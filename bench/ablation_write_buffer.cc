@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: write-buffer drain time.
+ *
+ * The paper's write-stall story rests on the one-longword buffer with
+ * its ~6-cycle drain: CALL/RET stalls heavily while pushing state,
+ * while the CHARACTER microcode avoids stalls by spacing its writes
+ * six cycles apart.  Sweeping the drain time shows both effects: the
+ * write-stall column scales with drain, and CHARACTER only stays
+ * stall-free while the drain fits its loop period.
+ */
+
+#include <cstdio>
+
+#include "cpu/cpu.hh"
+#include "support/table.hh"
+#include "upc/analyzer.hh"
+#include "workload/experiments.hh"
+
+using namespace vax;
+
+int
+main()
+{
+    uint64_t cycles = benchCycles(1'000'000);
+    WorkloadProfile prof = educationalProfile();
+    std::printf("write-buffer drain ablation under '%s' "
+                "(%llu cycles each)\n\n",
+                prof.name.c_str(), (unsigned long long)cycles);
+
+    TextTable t("Effect of the write-buffer drain time");
+    t.addRow({"Drain", "CPI", "W-Stall/instr", "CallRet W-Stall",
+              "Character W-Stall"});
+    for (uint32_t drain : {2u, 4u, 6u, 8u, 12u}) {
+        SimConfig sim;
+        sim.mem.writeDrainCycles = drain;
+        sim.seed = prof.seed;
+        ExperimentResult r = runExperiment(prof, cycles, sim);
+        Cpu780 ref(sim);
+        HistogramAnalyzer an(ref.controlStore(), r.hist);
+        std::string label = std::to_string(drain) +
+            (drain == 6 ? " (11/780)" : "");
+        t.addRow({label, TextTable::num(an.cyclesPerInstruction(), 2),
+                  TextTable::num(an.colTotal(TimeCol::WStall), 3),
+                  TextTable::num(an.cell(Row::ExecCallRet,
+                                         TimeCol::WStall), 3),
+                  TextTable::num(an.cell(Row::ExecCharacter,
+                                         TimeCol::WStall), 4)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf(
+        "Expected shape: write stall grows with the drain time and is "
+        "dominated by CALL/RET;\nthe CHARACTER row stays near zero "
+        "through drain <= 6 (its loop writes every 6th cycle)\nand "
+        "only picks up stall beyond that -- the optimization the "
+        "paper describes.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared plumbing for the table benches: run the composite of the five
+ * workloads once, analyze, and print measured values beside the
+ * paper's published numbers.
+ *
+ * Simulated length per experiment defaults to 2,000,000 cycles
+ * (0.4 simulated seconds); override with the UPC780_CYCLES environment
+ * variable for longer, more stable runs.
+ */
+
+#ifndef UPC780_BENCH_BENCH_UTIL_HH
+#define UPC780_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cpu/cpu.hh"
+#include "support/table.hh"
+#include "upc/analyzer.hh"
+#include "workload/experiments.hh"
+
+namespace vax::bench
+{
+
+/** Everything a table bench needs. */
+struct BenchRun
+{
+    CompositeResult composite;
+    std::unique_ptr<Cpu780> ref; ///< for the control-store annotations
+    std::unique_ptr<HistogramAnalyzer> analyzer;
+
+    const HistogramAnalyzer &an() const { return *analyzer; }
+};
+
+inline BenchRun
+runBench(const char *title)
+{
+    uint64_t cycles = benchCycles();
+    std::printf("upc780 bench: %s\n", title);
+    std::printf("(composite of 5 workloads, %llu cycles each; set "
+                "UPC780_CYCLES to change)\n\n",
+                static_cast<unsigned long long>(cycles));
+    BenchRun r;
+    r.composite = runComposite(cycles);
+    r.ref = std::make_unique<Cpu780>();
+    r.analyzer = std::make_unique<HistogramAnalyzer>(
+        r.ref->controlStore(), r.composite.hist);
+    std::printf("composite: %llu instructions, %llu cycles, "
+                "%.2f cycles/instruction\n\n",
+                static_cast<unsigned long long>(
+                    r.analyzer->instructions()),
+                static_cast<unsigned long long>(
+                    r.analyzer->totalCycles()),
+                r.analyzer->cyclesPerInstruction());
+    return r;
+}
+
+/** "paper X / measured Y" cell helpers. */
+inline std::string
+pvm(double paper, double measured, int decimals = 2)
+{
+    return TextTable::num(paper, decimals) + " / " +
+        TextTable::num(measured, decimals);
+}
+
+} // namespace vax::bench
+
+#endif // UPC780_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: raw
+ * machine-cycle throughput in several regimes, histogram analysis
+ * cost, and workload generation cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/assembler.hh"
+#include "ucode/rom.hh"
+#include "cpu/cpu.hh"
+#include "upc/analyzer.hh"
+#include "upc/monitor.hh"
+#include "workload/codegen.hh"
+#include "workload/experiments.hh"
+
+namespace
+{
+
+using namespace vax;
+
+/** Tight register-only loop: peak interpreter speed. */
+void
+BM_CycleThroughputRegisters(benchmark::State &state)
+{
+    Cpu780 cpu;
+    cpu.mem().setMapEnable(false);
+    Assembler a(0x1000);
+    a.label("loop");
+    for (int i = 0; i < 16; ++i)
+        a.instr(op::ADDL2, {Operand::lit(1), Operand::reg(R1)});
+    a.instr(op::BRW, {Operand::branch("loop")});
+    cpu.mem().phys().load(a.base(), a.finish());
+    cpu.reset(a.base());
+    cpu.ebox().setGpr(SP, 0x8000);
+
+    for (auto _ : state) {
+        cpu.tick();
+        benchmark::DoNotOptimize(cpu.cycles());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CycleThroughputRegisters);
+
+/** Memory-heavy loop: cache/TB path cost. */
+void
+BM_CycleThroughputMemory(benchmark::State &state)
+{
+    Cpu780 cpu;
+    cpu.mem().setMapEnable(false);
+    Assembler a(0x1000);
+    a.instr(op::MOVL, {Operand::imm(0x40000), Operand::reg(R2)});
+    a.label("loop");
+    for (int i = 0; i < 8; ++i) {
+        a.instr(op::MOVL, {Operand::disp(4 * i, R2),
+                           Operand::reg(R1)});
+        a.instr(op::MOVL, {Operand::reg(R1),
+                           Operand::disp(4 * i + 64, R2)});
+    }
+    a.instr(op::BRW, {Operand::branch("loop")});
+    cpu.mem().phys().load(a.base(), a.finish());
+    cpu.reset(a.base());
+    cpu.ebox().setGpr(SP, 0x8000);
+
+    for (auto _ : state) {
+        cpu.tick();
+        benchmark::DoNotOptimize(cpu.cycles());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CycleThroughputMemory);
+
+/** Cycle cost with the UPC monitor attached (should be ~free). */
+void
+BM_CycleThroughputMonitored(benchmark::State &state)
+{
+    Cpu780 cpu;
+    UpcMonitor mon;
+    cpu.setCycleSink(&mon);
+    cpu.mem().setMapEnable(false);
+    Assembler a(0x1000);
+    a.label("loop");
+    for (int i = 0; i < 16; ++i)
+        a.instr(op::ADDL2, {Operand::lit(1), Operand::reg(R1)});
+    a.instr(op::BRW, {Operand::branch("loop")});
+    cpu.mem().phys().load(a.base(), a.finish());
+    cpu.reset(a.base());
+    cpu.ebox().setGpr(SP, 0x8000);
+
+    for (auto _ : state) {
+        cpu.tick();
+        benchmark::DoNotOptimize(cpu.cycles());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CycleThroughputMonitored);
+
+/** Full ROM construction (per-CPU startup cost). */
+void
+BM_RomBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ControlStore cs;
+        buildMicrocodeRom(cs);
+        benchmark::DoNotOptimize(cs.size());
+    }
+}
+BENCHMARK(BM_RomBuild);
+
+/** Workload program generation. */
+void
+BM_CodeGeneration(benchmark::State &state)
+{
+    WorkloadProfile prof = educationalProfile();
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        CodeGenerator gen(prof, seed++);
+        UserProgram prog = gen.generate(0);
+        benchmark::DoNotOptimize(prog.image.size());
+    }
+}
+BENCHMARK(BM_CodeGeneration);
+
+/** Histogram analysis over a populated histogram. */
+void
+BM_HistogramAnalysis(benchmark::State &state)
+{
+    static ExperimentResult result =
+        runExperiment(timesharingLightProfile(), 200000);
+    Cpu780 ref;
+    for (auto _ : state) {
+        HistogramAnalyzer an(ref.controlStore(), result.hist);
+        benchmark::DoNotOptimize(an.cyclesPerInstruction());
+    }
+}
+BENCHMARK(BM_HistogramAnalysis);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

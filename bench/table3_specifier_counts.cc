@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 3: operand specifiers and branch displacements per average
+ * instruction, from specifier-routine entry counts.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace vax;
+using namespace vax::bench;
+
+int
+main()
+{
+    BenchRun r = runBench(
+        "Table 3 -- Specifiers and Branch Displacements per Instr");
+
+    TextTable t("Per average instruction");
+    t.addRow({"Object", "Paper", "Measured"});
+    t.addRow({"First specifiers", "0.726",
+              TextTable::num(r.an().spec1PerInstr(), 3)});
+    t.addRow({"Other specifiers", "0.758",
+              TextTable::num(r.an().spec26PerInstr(), 3)});
+    t.addRow({"Branch displacements", "0.312",
+              TextTable::num(r.an().bdispPerInstr(), 3)});
+    t.rule();
+    t.addRow({"All specifiers", "1.484",
+              TextTable::num(r.an().spec1PerInstr() +
+                             r.an().spec26PerInstr(), 3)});
+    std::printf("%s\n", t.str().c_str());
+
+    // Cross-check against the hardware decode counters.
+    const auto &hw = r.composite.hw.counters;
+    std::printf("hardware cross-check: %.3f specifiers/instr "
+                "(%.3f first), %.3f bdisp fields/instr\n",
+                double(hw.specifiers) / hw.instructions,
+                double(hw.firstSpecifiers) / hw.instructions,
+                double(hw.bdispCount) / hw.instructions);
+    return 0;
+}

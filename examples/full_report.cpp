@@ -1,0 +1,161 @@
+/**
+ * @file
+ * One-shot paper reproduction: run the five-workload composite once
+ * and print every table the paper reports, from the same histogram --
+ * the "general resource" workflow of the paper's conclusion.
+ *
+ * Usage: full_report [cycles-per-experiment]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cpu/cpu.hh"
+#include "support/table.hh"
+#include "upc/analyzer.hh"
+#include "workload/experiments.hh"
+
+using namespace vax;
+
+namespace
+{
+
+void
+printTable1(const HistogramAnalyzer &an)
+{
+    std::printf("--- Table 1: opcode group frequency ---\n");
+    for (unsigned g = 0; g < static_cast<unsigned>(Group::NumGroups);
+         ++g) {
+        std::printf("  %-10s %6.2f%%\n",
+                    groupName(static_cast<Group>(g)),
+                    100.0 * an.groupFraction(static_cast<Group>(g)));
+    }
+}
+
+void
+printTable2(const HistogramAnalyzer &an)
+{
+    std::printf("--- Table 2: PC-changing instructions ---\n");
+    double tot_f = 0, tot_a = 0;
+    for (unsigned k = 1;
+         k < static_cast<unsigned>(PcChangeKind::NumKinds); ++k) {
+        PcChangeKind kind = static_cast<PcChangeKind>(k);
+        double f = 100.0 * an.pcChangeFraction(kind);
+        double t = 100.0 * an.takenFraction(kind);
+        tot_f += f;
+        tot_a += f * t / 100.0;
+        std::printf("  %-24s %5.1f%%  taken %3.0f%%\n",
+                    pcChangeKindName(kind), f, t);
+    }
+    std::printf("  %-24s %5.1f%%  actual branches %4.1f%%\n", "TOTAL",
+                tot_f, tot_a);
+}
+
+void
+printTable3(const HistogramAnalyzer &an)
+{
+    std::printf("--- Table 3: specifiers per instruction ---\n");
+    std::printf("  first %.3f   other %.3f   branch disp %.3f\n",
+                an.spec1PerInstr(), an.spec26PerInstr(),
+                an.bdispPerInstr());
+}
+
+void
+printTable4(const HistogramAnalyzer &an)
+{
+    std::printf("--- Table 4: specifier distribution (total) ---\n");
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(SpecCategory::NumCategories);
+         ++c) {
+        SpecCategory cat = static_cast<SpecCategory>(c);
+        std::printf("  %-26s %5.1f%%\n", specCategoryName(cat),
+                    100.0 * an.specCategoryFraction(cat, 2));
+    }
+    std::printf("  %-26s %5.1f%%\n", "percent indexed",
+                100.0 * an.indexedFraction(2));
+}
+
+void
+printTables57(const HistogramAnalyzer &an)
+{
+    std::printf("--- Table 5: memory operations ---\n");
+    std::printf("  reads %.3f/instr, writes %.3f/instr "
+                "(ratio %.2f:1), unaligned %.4f\n",
+                an.totalReadsPerInstr(), an.totalWritesPerInstr(),
+                an.totalReadsPerInstr() /
+                    (an.totalWritesPerInstr() > 0
+                         ? an.totalWritesPerInstr() : 1.0),
+                an.unalignedPerInstr());
+    std::printf("--- Table 7: headways ---\n");
+    std::printf("  sw-int requests 1/%.0f, interrupts 1/%.0f, "
+                "context switches 1/%.0f\n",
+                an.headwaySwIntRequests(), an.headwayInterrupts(),
+                an.headwayContextSwitches());
+}
+
+void
+printTable8(const HistogramAnalyzer &an)
+{
+    std::printf("--- Table 8: cycles per average instruction ---\n");
+    std::printf("  %-12s", "");
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(TimeCol::NumCols); ++c)
+        std::printf("%9s", timeColName(static_cast<TimeCol>(c)));
+    std::printf("%9s\n", "Total");
+    for (unsigned r = 0; r < static_cast<unsigned>(Row::NumRows);
+         ++r) {
+        Row row = static_cast<Row>(r);
+        std::printf("  %-12s", rowName(row));
+        for (unsigned c = 0;
+             c < static_cast<unsigned>(TimeCol::NumCols); ++c)
+            std::printf("%9.3f",
+                        an.cell(row, static_cast<TimeCol>(c)));
+        std::printf("%9.3f\n", an.rowTotal(row));
+    }
+    std::printf("  %-12s", "TOTAL");
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(TimeCol::NumCols); ++c)
+        std::printf("%9.3f", an.colTotal(static_cast<TimeCol>(c)));
+    std::printf("%9.3f\n", an.cyclesPerInstruction());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t cycles = argc > 1 ? strtoull(argv[1], nullptr, 0)
+                               : 2'000'000;
+    std::printf("upc780 full paper reproduction "
+                "(%llu cycles per experiment)\n\n",
+                (unsigned long long)cycles);
+
+    CompositeResult comp = runComposite(cycles);
+    Cpu780 ref;
+    HistogramAnalyzer an(ref.controlStore(), comp.hist);
+
+    std::printf("composite: %llu instructions, %.2f cycles/instr, "
+                "%.2f simulated seconds\n\n",
+                (unsigned long long)an.instructions(),
+                an.cyclesPerInstruction(),
+                5.0 * cycles * 200e-9);
+
+    printTable1(an);
+    printTable2(an);
+    printTable3(an);
+    printTable4(an);
+    printTables57(an);
+    printTable8(an);
+
+    std::printf("\n--- Section 4: implementation events ---\n");
+    double instr = static_cast<double>(an.instructions());
+    std::printf("  TB misses %.4f/instr (%.1f cycles each, %.1f "
+                "stall); cache read misses %.3f/instr;\n"
+                "  IB refs %.2f/instr\n",
+                an.tbMissPerInstr(), an.tbServiceCyclesPerMiss(),
+                an.tbServiceStallPerMiss(),
+                (comp.hw.cache.readMissesI +
+                 comp.hw.cache.readMissesD) / instr,
+                comp.hw.ibLongwordFetches / instr);
+    return 0;
+}

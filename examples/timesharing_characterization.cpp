@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The paper's experiment in miniature: boot VMS-lite with a
+ * timesharing workload, let the RTE drive the terminals, and print
+ * the Table 8 timing decomposition for that single workload.
+ *
+ * Usage: timesharing_characterization [cycles] [profile 0-4]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cpu/cpu.hh"
+#include "support/table.hh"
+#include "upc/analyzer.hh"
+#include "workload/experiments.hh"
+
+using namespace vax;
+
+int
+main(int argc, char **argv)
+{
+    uint64_t cycles = argc > 1 ? strtoull(argv[1], nullptr, 0)
+                               : 2'000'000;
+    unsigned which = argc > 2 ? atoi(argv[2]) : 0;
+    auto profiles = allProfiles();
+    if (which >= profiles.size()) {
+        std::fprintf(stderr, "profile must be 0-%zu\n",
+                     profiles.size() - 1);
+        return 1;
+    }
+    const WorkloadProfile &prof = profiles[which];
+
+    std::printf("characterizing '%s' (%u simulated users, "
+                "%llu cycles = %.2f simulated seconds)\n\n",
+                prof.name.c_str(), prof.numUsers,
+                (unsigned long long)cycles, cycles * 200e-9);
+
+    ExperimentResult r = runExperiment(prof, cycles);
+    Cpu780 ref;
+    HistogramAnalyzer an(ref.controlStore(), r.hist);
+
+    std::printf("instructions: %llu  cycles/instruction: %.2f\n",
+                (unsigned long long)an.instructions(),
+                an.cyclesPerInstruction());
+    std::printf("terminal lines in/out: %llu / %llu\n\n",
+                (unsigned long long)r.hw.terminalLinesIn,
+                (unsigned long long)r.hw.terminalLinesOut);
+
+    TextTable t("Cycles per average instruction");
+    t.addRow({"Activity", "Compute", "Read", "R-Stall", "Write",
+              "W-Stall", "IB-Stall", "Total"});
+    for (unsigned i = 0; i < static_cast<unsigned>(Row::NumRows);
+         ++i) {
+        Row row = static_cast<Row>(i);
+        std::vector<std::string> line{rowName(row)};
+        for (unsigned c = 0;
+             c < static_cast<unsigned>(TimeCol::NumCols); ++c) {
+            line.push_back(TextTable::num(
+                an.cell(row, static_cast<TimeCol>(c)), 3));
+        }
+        line.push_back(TextTable::num(an.rowTotal(row), 3));
+        t.addRow(line);
+    }
+    t.rule();
+    std::vector<std::string> total{"TOTAL"};
+    for (unsigned c = 0; c < static_cast<unsigned>(TimeCol::NumCols);
+         ++c) {
+        total.push_back(TextTable::num(
+            an.colTotal(static_cast<TimeCol>(c)), 3));
+    }
+    total.push_back(TextTable::num(an.cyclesPerInstruction(), 3));
+    t.addRow(total);
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf("group mix: ");
+    for (unsigned g = 0; g < static_cast<unsigned>(Group::NumGroups);
+         ++g) {
+        std::printf("%s %.1f%%  ", groupName(static_cast<Group>(g)),
+                    100.0 * an.groupFraction(static_cast<Group>(g)));
+    }
+    std::printf("\n");
+    return 0;
+}

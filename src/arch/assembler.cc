@@ -1,0 +1,408 @@
+#include "arch/assembler.hh"
+
+#include "support/bitutil.hh"
+#include "support/logging.hh"
+
+namespace vax
+{
+
+Operand
+Operand::lit(uint8_t value)
+{
+    upc_assert(value < 64);
+    Operand o;
+    o.kind_ = Kind::Literal;
+    o.value_ = value;
+    return o;
+}
+
+Operand
+Operand::reg(uint8_t r)
+{
+    upc_assert(r < NumGpr && r != PC);
+    Operand o;
+    o.kind_ = Kind::Register;
+    o.reg_ = r;
+    return o;
+}
+
+Operand
+Operand::regDef(uint8_t r)
+{
+    upc_assert(r < NumGpr && r != PC);
+    Operand o;
+    o.kind_ = Kind::RegDeferred;
+    o.reg_ = r;
+    return o;
+}
+
+Operand
+Operand::autoInc(uint8_t r)
+{
+    upc_assert(r < NumGpr && r != PC);
+    Operand o;
+    o.kind_ = Kind::AutoInc;
+    o.reg_ = r;
+    return o;
+}
+
+Operand
+Operand::autoDec(uint8_t r)
+{
+    upc_assert(r < NumGpr && r != PC);
+    Operand o;
+    o.kind_ = Kind::AutoDec;
+    o.reg_ = r;
+    return o;
+}
+
+Operand
+Operand::autoIncDef(uint8_t r)
+{
+    upc_assert(r < NumGpr && r != PC);
+    Operand o;
+    o.kind_ = Kind::AutoIncDef;
+    o.reg_ = r;
+    return o;
+}
+
+Operand
+Operand::disp(int32_t d, uint8_t r)
+{
+    upc_assert(r < NumGpr && r != PC);
+    Operand o;
+    o.kind_ = Kind::Disp;
+    o.reg_ = r;
+    o.value_ = d;
+    return o;
+}
+
+Operand
+Operand::dispDef(int32_t d, uint8_t r)
+{
+    upc_assert(r < NumGpr && r != PC);
+    Operand o;
+    o.kind_ = Kind::DispDef;
+    o.reg_ = r;
+    o.value_ = d;
+    return o;
+}
+
+Operand
+Operand::imm(uint32_t value)
+{
+    Operand o;
+    o.kind_ = Kind::Immediate;
+    o.value_ = static_cast<int32_t>(value);
+    return o;
+}
+
+Operand
+Operand::immAddr(const std::string &label)
+{
+    Operand o;
+    o.kind_ = Kind::ImmediateLabel;
+    o.label_ = label;
+    return o;
+}
+
+Operand
+Operand::absolute(uint32_t address)
+{
+    Operand o;
+    o.kind_ = Kind::Absolute;
+    o.value_ = static_cast<int32_t>(address);
+    return o;
+}
+
+Operand
+Operand::rel(const std::string &label)
+{
+    Operand o;
+    o.kind_ = Kind::RelLabel;
+    o.label_ = label;
+    return o;
+}
+
+Operand
+Operand::relDef(const std::string &label)
+{
+    Operand o;
+    o.kind_ = Kind::RelDefLabel;
+    o.label_ = label;
+    return o;
+}
+
+Operand
+Operand::branch(const std::string &label)
+{
+    Operand o;
+    o.kind_ = Kind::BranchLabel;
+    o.label_ = label;
+    return o;
+}
+
+Operand
+Operand::idx(uint8_t rx) const
+{
+    upc_assert(rx < NumGpr && rx != PC);
+    upc_assert(kind_ != Kind::Literal && kind_ != Kind::Register &&
+               kind_ != Kind::Immediate && kind_ != Kind::BranchLabel);
+    Operand o = *this;
+    o.indexed_ = true;
+    o.indexReg_ = rx;
+    return o;
+}
+
+Assembler::Assembler(VirtAddr base)
+    : base_(base)
+{
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    if (labels_.count(name))
+        fatal("assembler: duplicate label '%s'", name.c_str());
+    labels_[name] = here();
+}
+
+void
+Assembler::putBytes(uint32_t v, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        image_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+Assembler::byte(uint8_t v)
+{
+    image_.push_back(v);
+}
+
+void
+Assembler::word(uint16_t v)
+{
+    putBytes(v, 2);
+}
+
+void
+Assembler::lword(uint32_t v)
+{
+    putBytes(v, 4);
+}
+
+void
+Assembler::ascii(const std::string &s)
+{
+    for (char c : s)
+        image_.push_back(static_cast<uint8_t>(c));
+}
+
+void
+Assembler::space(unsigned n, uint8_t fill)
+{
+    image_.insert(image_.end(), n, fill);
+}
+
+void
+Assembler::align(unsigned a)
+{
+    upc_assert(isPowerOf2(a));
+    while (here() % a)
+        image_.push_back(0);
+}
+
+void
+Assembler::addrLong(const std::string &lbl)
+{
+    fixups_.push_back({FixKind::AbsLong, image_.size(), here() + 4, 0, lbl});
+    putBytes(0, 4);
+}
+
+void
+Assembler::caseTable(const std::vector<std::string> &targets)
+{
+    VirtAddr table_base = here();
+    for (const auto &t : targets) {
+        fixups_.push_back(
+            {FixKind::CaseWord, image_.size(), here() + 2, table_base, t});
+        putBytes(0, 2);
+    }
+}
+
+void
+Assembler::entryMask(uint16_t mask)
+{
+    word(mask);
+}
+
+void
+Assembler::emitOperand(const Operand &op, const OperandDef &def)
+{
+    using K = Operand::Kind;
+
+    if (def.access == Access::Branch) {
+        if (op.kind_ != K::BranchLabel)
+            fatal("assembler: branch operand must be a branch label");
+        unsigned n = dataTypeBytes(def.type);
+        fixups_.push_back({n == 1 ? FixKind::BranchByte : FixKind::BranchWord,
+                           image_.size(), here() + n, 0, op.label_});
+        putBytes(0, n);
+        return;
+    }
+
+    if (op.kind_ == K::BranchLabel)
+        fatal("assembler: branch label used as a general operand");
+
+    if (op.indexed_)
+        image_.push_back(static_cast<uint8_t>(0x40 | op.indexReg_));
+
+    switch (op.kind_) {
+      case K::Literal:
+        if (def.access != Access::Read)
+            fatal("assembler: literal with non-read access");
+        image_.push_back(static_cast<uint8_t>(op.value_ & 0x3F));
+        break;
+      case K::Register:
+        image_.push_back(static_cast<uint8_t>(0x50 | op.reg_));
+        break;
+      case K::RegDeferred:
+        image_.push_back(static_cast<uint8_t>(0x60 | op.reg_));
+        break;
+      case K::AutoDec:
+        image_.push_back(static_cast<uint8_t>(0x70 | op.reg_));
+        break;
+      case K::AutoInc:
+        image_.push_back(static_cast<uint8_t>(0x80 | op.reg_));
+        break;
+      case K::AutoIncDef:
+        image_.push_back(static_cast<uint8_t>(0x90 | op.reg_));
+        break;
+      case K::Immediate:
+        if (def.access != Access::Read)
+            fatal("assembler: immediate with non-read access");
+        image_.push_back(0x8F);
+        putBytes(static_cast<uint32_t>(op.value_),
+                 dataTypeBytes(def.type));
+        break;
+      case K::ImmediateLabel:
+        if (def.access != Access::Read ||
+            dataTypeBytes(def.type) != 4)
+            fatal("assembler: immAddr needs a longword read operand");
+        image_.push_back(0x8F);
+        fixups_.push_back({FixKind::AbsLong, image_.size(), here() + 4,
+                           0, op.label_});
+        putBytes(0, 4);
+        break;
+      case K::Absolute:
+        image_.push_back(0x9F);
+        putBytes(static_cast<uint32_t>(op.value_), 4);
+        break;
+      case K::Disp:
+      case K::DispDef: {
+        bool deferred = op.kind_ == K::DispDef;
+        int32_t d = op.value_;
+        if (d >= -128 && d <= 127) {
+            image_.push_back(
+                static_cast<uint8_t>((deferred ? 0xB0 : 0xA0) | op.reg_));
+            putBytes(static_cast<uint32_t>(d), 1);
+        } else if (d >= -32768 && d <= 32767) {
+            image_.push_back(
+                static_cast<uint8_t>((deferred ? 0xD0 : 0xC0) | op.reg_));
+            putBytes(static_cast<uint32_t>(d), 2);
+        } else {
+            image_.push_back(
+                static_cast<uint8_t>((deferred ? 0xF0 : 0xE0) | op.reg_));
+            putBytes(static_cast<uint32_t>(d), 4);
+        }
+        break;
+      }
+      case K::RelLabel:
+      case K::RelDefLabel: {
+        bool deferred = op.kind_ == K::RelDefLabel;
+        // Word-displacement PC-relative form.
+        image_.push_back(static_cast<uint8_t>((deferred ? 0xD0 : 0xC0) | PC));
+        fixups_.push_back({FixKind::RelWord, image_.size(), here() + 2, 0,
+                           op.label_});
+        putBytes(0, 2);
+        break;
+      }
+      case K::BranchLabel:
+        break; // handled above
+    }
+}
+
+void
+Assembler::instr(uint8_t opcode, const std::vector<Operand> &ops)
+{
+    const OpcodeInfo &info = opcodeInfo(opcode);
+    if (!info.valid)
+        fatal("assembler: opcode %#x not implemented", opcode);
+    if (ops.size() != info.numOperands)
+        fatal("assembler: %s expects %u operands, got %zu",
+              info.mnemonic, info.numOperands, ops.size());
+    image_.push_back(opcode);
+    for (unsigned i = 0; i < info.numOperands; ++i)
+        emitOperand(ops[i], info.operands[i]);
+}
+
+VirtAddr
+Assembler::addrOf(const std::string &lbl) const
+{
+    auto it = labels_.find(lbl);
+    if (it == labels_.end())
+        fatal("assembler: undefined label '%s'", lbl.c_str());
+    return it->second;
+}
+
+bool
+Assembler::hasLabel(const std::string &lbl) const
+{
+    return labels_.count(lbl) != 0;
+}
+
+std::vector<uint8_t>
+Assembler::finish()
+{
+    upc_assert(!finished_);
+    finished_ = true;
+    for (const auto &f : fixups_) {
+        VirtAddr target = addrOf(f.label);
+        int64_t value = 0;
+        switch (f.kind) {
+          case FixKind::BranchByte:
+            value = static_cast<int64_t>(target) - f.nextPc;
+            if (value < -128 || value > 127)
+                fatal("assembler: byte branch to '%s' out of range (%lld)",
+                      f.label.c_str(), static_cast<long long>(value));
+            image_[f.offset] = static_cast<uint8_t>(value);
+            break;
+          case FixKind::BranchWord:
+          case FixKind::RelWord:
+            value = static_cast<int64_t>(target) - f.nextPc;
+            if (value < -32768 || value > 32767)
+                fatal("assembler: word displacement to '%s' out of range",
+                      f.label.c_str());
+            image_[f.offset] = static_cast<uint8_t>(value);
+            image_[f.offset + 1] = static_cast<uint8_t>(value >> 8);
+            break;
+          case FixKind::AbsLong:
+            for (unsigned i = 0; i < 4; ++i)
+                image_[f.offset + i] =
+                    static_cast<uint8_t>(target >> (8 * i));
+            break;
+          case FixKind::CaseWord:
+            value = static_cast<int64_t>(target) - f.tableBase;
+            if (value < -32768 || value > 32767)
+                fatal("assembler: case displacement to '%s' out of range",
+                      f.label.c_str());
+            image_[f.offset] = static_cast<uint8_t>(value);
+            image_[f.offset + 1] = static_cast<uint8_t>(value >> 8);
+            break;
+        }
+    }
+    return image_;
+}
+
+} // namespace vax

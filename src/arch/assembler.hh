@@ -1,0 +1,173 @@
+/**
+ * @file
+ * A programmatic VAX assembler.
+ *
+ * Builds machine-code images for the simulator: the workload
+ * generator, the OS image builder, the examples and the tests all
+ * assemble through this interface.  Labels are resolved in finish();
+ * displacement-size violations are user (generator) errors and fatal.
+ */
+
+#ifndef UPC780_ARCH_ASSEMBLER_HH
+#define UPC780_ARCH_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/opcodes.hh"
+#include "arch/specifiers.hh"
+#include "arch/types.hh"
+
+namespace vax
+{
+
+/**
+ * One operand of an instruction being assembled.
+ *
+ * Construct through the static factories; apply idx() to add an index
+ * prefix to a memory-mode operand.
+ */
+class Operand
+{
+  public:
+    /** Short literal 0..63 (modes 0-3). */
+    static Operand lit(uint8_t value);
+    /** Register direct. */
+    static Operand reg(uint8_t r);
+    /** Register deferred (Rn). */
+    static Operand regDef(uint8_t r);
+    /** Autoincrement (Rn)+. */
+    static Operand autoInc(uint8_t r);
+    /** Autodecrement -(Rn). */
+    static Operand autoDec(uint8_t r);
+    /** Autoincrement deferred @(Rn)+. */
+    static Operand autoIncDef(uint8_t r);
+    /** Displacement d(Rn); smallest of byte/word/long chosen. */
+    static Operand disp(int32_t d, uint8_t r);
+    /** Displacement deferred @d(Rn). */
+    static Operand dispDef(int32_t d, uint8_t r);
+    /** Immediate I^#value ((PC)+); size follows the operand type. */
+    static Operand imm(uint32_t value);
+    /** Immediate whose value is the address of a label (long only). */
+    static Operand immAddr(const std::string &label);
+    /** Absolute @#address. */
+    static Operand absolute(uint32_t address);
+    /** PC-relative reference to a label (word displacement). */
+    static Operand rel(const std::string &label);
+    /** PC-relative deferred reference to a label. */
+    static Operand relDef(const std::string &label);
+    /** Branch displacement to a label (for 'b' operands only). */
+    static Operand branch(const std::string &label);
+
+    /** Return a copy of this operand with an index register prefix. */
+    Operand idx(uint8_t rx) const;
+
+  private:
+    friend class Assembler;
+    Operand() = default;
+
+    enum class Kind : uint8_t {
+        Literal, Register, RegDeferred, AutoInc, AutoDec, AutoIncDef,
+        Disp, DispDef, Immediate, ImmediateLabel, Absolute, RelLabel,
+        RelDefLabel, BranchLabel,
+    };
+
+    Kind kind_ = Kind::Register;
+    uint8_t reg_ = 0;
+    int32_t value_ = 0;        ///< literal / displacement / immediate
+    std::string label_;
+    bool indexed_ = false;
+    uint8_t indexReg_ = 0;
+};
+
+/**
+ * Assembles instructions and data into a contiguous image at a base
+ * virtual address.
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(VirtAddr base);
+
+    /** Define a label at the current location. */
+    void label(const std::string &name);
+
+    /** Current location counter (virtual address). */
+    VirtAddr here() const { return base_ + image_.size(); }
+
+    /** Base virtual address of the image. */
+    VirtAddr base() const { return base_; }
+
+    /**
+     * Assemble one instruction.
+     *
+     * The operand list must match the opcode's signature (count and
+     * branch-displacement position); mismatches are fatal.
+     */
+    void instr(uint8_t opcode, const std::vector<Operand> &ops = {});
+
+    /** @{ Raw data emission. */
+    void byte(uint8_t v);
+    void word(uint16_t v);
+    void lword(uint32_t v);
+    void ascii(const std::string &s);
+    void space(unsigned n, uint8_t fill = 0);
+    void align(unsigned a);
+    /** @} */
+
+    /** Emit a longword holding the address of a label (abs fixup). */
+    void addrLong(const std::string &label);
+
+    /**
+     * Emit a CASEx displacement table.
+     *
+     * Word displacements relative to the table start, one per target
+     * label, as the CASE instruction expects.
+     */
+    void caseTable(const std::vector<std::string> &targets);
+
+    /** Entry mask longword-pair for CALLS targets: emit a 16-bit mask. */
+    void entryMask(uint16_t mask);
+
+    /** Resolve fixups and return the image. Call exactly once. */
+    std::vector<uint8_t> finish();
+
+    /** Address of a defined label (fatal if missing); valid anytime. */
+    VirtAddr addrOf(const std::string &label) const;
+
+    /** True if the label has been defined. */
+    bool hasLabel(const std::string &label) const;
+
+  private:
+    enum class FixKind : uint8_t {
+        BranchByte,   ///< 1-byte branch displacement
+        BranchWord,   ///< 2-byte branch displacement
+        RelWord,      ///< word displacement off PC in a specifier
+        AbsLong,      ///< 32-bit absolute address
+        CaseWord,     ///< word offset from a case-table base
+    };
+
+    struct Fixup
+    {
+        FixKind kind;
+        size_t offset;        ///< where the field lives in the image
+        VirtAddr nextPc;      ///< address just after the field
+        VirtAddr tableBase;   ///< for CaseWord
+        std::string label;
+    };
+
+    void emitOperand(const Operand &op, const OperandDef &def);
+    void putBytes(uint32_t v, unsigned n);
+
+    VirtAddr base_;
+    std::vector<uint8_t> image_;
+    std::map<std::string, VirtAddr> labels_;
+    std::vector<Fixup> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace vax
+
+#endif // UPC780_ARCH_ASSEMBLER_HH

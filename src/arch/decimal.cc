@@ -1,0 +1,63 @@
+#include "arch/decimal.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+int64_t
+packedToInt(const std::vector<uint8_t> &bytes, unsigned digits, bool *ok)
+{
+    upc_assert(digits <= 31);
+    upc_assert(bytes.size() >= packedBytes(digits));
+    if (ok)
+        *ok = true;
+    int64_t value = 0;
+    // Digits are packed from the most significant; with an even digit
+    // count the first (high) nibble of byte 0 is a pad digit of 0.
+    unsigned total_nibbles = packedBytes(digits) * 2;
+    for (unsigned i = 0; i < total_nibbles - 1; ++i) {
+        uint8_t nib = (i % 2 == 0) ? (bytes[i / 2] >> 4)
+                                   : (bytes[i / 2] & 0xF);
+        if (nib > 9) {
+            if (ok)
+                *ok = false;
+            nib = 0;
+        }
+        value = value * 10 + nib;
+    }
+    uint8_t sign = bytes[packedBytes(digits) - 1] & 0xF;
+    if (sign == 13 || sign == 11) // preferred and alternate '-'
+        value = -value;
+    else if (sign <= 9 && ok)
+        *ok = false;
+    return value;
+}
+
+std::vector<uint8_t>
+intToPacked(int64_t value, unsigned digits)
+{
+    upc_assert(digits <= 31);
+    std::vector<uint8_t> bytes(packedBytes(digits), 0);
+    bool neg = value < 0;
+    uint64_t mag = neg ? static_cast<uint64_t>(-value)
+                       : static_cast<uint64_t>(value);
+    unsigned total_nibbles = bytes.size() * 2;
+    // Fill digit nibbles from least significant (just before the sign).
+    for (unsigned i = total_nibbles - 2; ; --i) {
+        uint8_t nib = static_cast<uint8_t>(mag % 10);
+        mag /= 10;
+        if (i % 2 == 0)
+            bytes[i / 2] |= static_cast<uint8_t>(nib << 4);
+        else
+            bytes[i / 2] |= nib;
+        if (i == 0)
+            break;
+    }
+    bytes.back() = (bytes.back() & 0xF0) | (neg ? 13 : 12);
+    return bytes;
+}
+
+} // namespace vax

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * VAX packed-decimal string helpers.
+ *
+ * A packed decimal string of N digits occupies N/2 + 1 bytes; digits
+ * are stored two per byte most-significant first, and the low nibble
+ * of the final byte holds the sign (12 = '+', 13 = '-').
+ */
+
+#ifndef UPC780_ARCH_DECIMAL_HH
+#define UPC780_ARCH_DECIMAL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vax
+{
+
+/** Bytes occupied by a packed decimal string of the given digit count. */
+constexpr unsigned
+packedBytes(unsigned digits)
+{
+    return digits / 2 + 1;
+}
+
+/**
+ * Decode a packed decimal string to a signed integer.
+ *
+ * @param bytes  The packedBytes(digits) bytes of the string.
+ * @param digits Digit count (0-31).
+ * @param ok     Cleared if a nibble is not a valid digit/sign.
+ */
+int64_t packedToInt(const std::vector<uint8_t> &bytes, unsigned digits,
+                    bool *ok = nullptr);
+
+/**
+ * Encode a signed integer as a packed decimal string.
+ *
+ * Excess high digits are truncated (decimal overflow), matching the
+ * architecture's overflow behaviour for our purposes.
+ */
+std::vector<uint8_t> intToPacked(int64_t value, unsigned digits);
+
+} // namespace vax
+
+#endif // UPC780_ARCH_DECIMAL_HH

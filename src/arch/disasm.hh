@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A VAX disassembler for debugging and test verification.
+ */
+
+#ifndef UPC780_ARCH_DISASM_HH
+#define UPC780_ARCH_DISASM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "arch/types.hh"
+
+namespace vax
+{
+
+/** Callback that returns the byte at a virtual address. */
+using ByteReader = std::function<uint8_t(VirtAddr)>;
+
+/** Result of disassembling one instruction. */
+struct DisasmResult
+{
+    std::string text;     ///< e.g. "MOVL R1, 8(R2)"
+    unsigned length = 0;  ///< instruction length in bytes
+    bool valid = false;   ///< false if the opcode is unimplemented
+};
+
+/**
+ * Disassemble the instruction at addr.
+ *
+ * CASEx instructions report only the three specifiers; the trailing
+ * displacement table is data and its length depends on the runtime
+ * limit operand.
+ */
+DisasmResult disassemble(VirtAddr addr, const ByteReader &read);
+
+} // namespace vax
+
+#endif // UPC780_ARCH_DISASM_HH

@@ -1,0 +1,55 @@
+#include "arch/ffloat.hh"
+
+#include <cmath>
+
+namespace vax
+{
+
+double
+fToDouble(uint32_t f)
+{
+    unsigned sign = (f >> 15) & 1;
+    unsigned exp = (f >> 7) & 0xFF;
+    uint32_t frac = ((f & 0x7F) << 16) | ((f >> 16) & 0xFFFF);
+    if (exp == 0) {
+        // Sign clear: true zero. Sign set: reserved operand; we map it
+        // to zero as well (the microcode faults before using it).
+        return 0.0;
+    }
+    double mant = 0.5 + static_cast<double>(frac) / 16777216.0; // 2^24
+    double val = std::ldexp(mant, static_cast<int>(exp) - 128);
+    return sign ? -val : val;
+}
+
+uint32_t
+doubleToF(double d)
+{
+    if (d == 0.0 || std::isnan(d))
+        return 0;
+    unsigned sign = d < 0.0 ? 1u : 0u;
+    double mag = std::fabs(d);
+    int exp;
+    double mant = std::frexp(mag, &exp); // mant in [0.5, 1)
+    int fexp = exp + 128;
+    if (fexp >= 256) {
+        // Saturate at the largest finite magnitude.
+        fexp = 255;
+        mant = (16777215.5) / 16777216.0;
+    } else if (fexp <= 0) {
+        return 0; // underflow flushes to zero
+    }
+    uint32_t frac =
+        static_cast<uint32_t>((mant - 0.5) * 16777216.0 + 0.5) & 0x7FFFFF;
+    uint32_t hi7 = (frac >> 16) & 0x7F;
+    uint32_t lo16 = frac & 0xFFFF;
+    return (lo16 << 16) | (sign << 15) |
+        (static_cast<uint32_t>(fexp) << 7) | hi7;
+}
+
+bool
+fIsReserved(uint32_t f)
+{
+    return ((f >> 15) & 1) && ((f >> 7) & 0xFF) == 0;
+}
+
+} // namespace vax

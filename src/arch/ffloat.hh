@@ -1,0 +1,37 @@
+/**
+ * @file
+ * VAX F_floating conversion helpers.
+ *
+ * F_floating is a 32-bit format with a sign bit, an 8-bit excess-128
+ * exponent and a 23-bit fraction with a hidden leading bit, laid out
+ * word-swapped relative to the natural little-endian longword:
+ * as fetched into a register, the sign is bit 15, the exponent bits
+ * 14:7, and the fraction bits 6:0 (high part) and 31:16 (low part).
+ */
+
+#ifndef UPC780_ARCH_FFLOAT_HH
+#define UPC780_ARCH_FFLOAT_HH
+
+#include <cstdint>
+
+namespace vax
+{
+
+/** Convert an F_floating bit pattern to a host double. */
+double fToDouble(uint32_t f);
+
+/**
+ * Convert a host double to the nearest F_floating bit pattern.
+ *
+ * Values too large to represent saturate at the largest finite
+ * F_floating magnitude; values too small flush to zero (true zero
+ * in F_floating has a zero sign and exponent).
+ */
+uint32_t doubleToF(double d);
+
+/** True if the pattern is a reserved operand (sign set, exponent 0). */
+bool fIsReserved(uint32_t f);
+
+} // namespace vax
+
+#endif // UPC780_ARCH_FFLOAT_HH

@@ -1,0 +1,445 @@
+#include "arch/opcodes.hh"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+const char *
+groupName(Group g)
+{
+    switch (g) {
+      case Group::Simple:    return "SIMPLE";
+      case Group::Field:     return "FIELD";
+      case Group::Float:     return "FLOAT";
+      case Group::CallRet:   return "CALL/RET";
+      case Group::System:    return "SYSTEM";
+      case Group::Character: return "CHARACTER";
+      case Group::Decimal:   return "DECIMAL";
+      default:               return "?";
+    }
+}
+
+const char *
+pcChangeKindName(PcChangeKind k)
+{
+    switch (k) {
+      case PcChangeKind::None:        return "(none)";
+      case PcChangeKind::SimpleCond:  return "Simple cond. + BRB/BRW";
+      case PcChangeKind::LoopBranch:  return "Loop branches";
+      case PcChangeKind::LowBitTest:  return "Low-bit tests";
+      case PcChangeKind::SubrCallRet: return "Subroutine call/return";
+      case PcChangeKind::Uncond:      return "Unconditional (JMP)";
+      case PcChangeKind::CaseBranch:  return "Case branch (CASEx)";
+      case PcChangeKind::BitBranch:   return "Bit branches";
+      case PcChangeKind::ProcCallRet: return "Procedure call/return";
+      case PcChangeKind::SystemBr:    return "System branches";
+      default:                        return "?";
+    }
+}
+
+const char *
+execFlowName(ExecFlow f)
+{
+    switch (f) {
+      case ExecFlow::None:     return "none";
+      case ExecFlow::Mov:      return "MOV";
+      case ExecFlow::MovAddr:  return "MOVA";
+      case ExecFlow::MovQ:     return "MOVQ";
+      case ExecFlow::Push:     return "PUSH";
+      case ExecFlow::Clr:      return "CLR";
+      case ExecFlow::Tst:      return "TST";
+      case ExecFlow::Cmp:      return "CMP";
+      case ExecFlow::Bit:      return "BIT";
+      case ExecFlow::MCom:     return "MCOM";
+      case ExecFlow::MNeg:     return "MNEG";
+      case ExecFlow::IncDec:   return "INC/DEC";
+      case ExecFlow::Alu2:     return "ALU2";
+      case ExecFlow::Alu3:     return "ALU3";
+      case ExecFlow::Ash:      return "ASH";
+      case ExecFlow::Cvt:      return "CVT";
+      case ExecFlow::BCond:    return "BCOND";
+      case ExecFlow::Sob:      return "SOB";
+      case ExecFlow::Aob:      return "AOB";
+      case ExecFlow::Acb:      return "ACB";
+      case ExecFlow::Blb:      return "BLB";
+      case ExecFlow::Bsb:      return "BSB";
+      case ExecFlow::Jsb:      return "JSB";
+      case ExecFlow::Rsb:      return "RSB";
+      case ExecFlow::Jmp:      return "JMP";
+      case ExecFlow::Case:     return "CASE";
+      case ExecFlow::Ext:      return "EXTV";
+      case ExecFlow::CmpV:     return "CMPV";
+      case ExecFlow::Insv:     return "INSV";
+      case ExecFlow::Ffs:      return "FFS";
+      case ExecFlow::BitBr:    return "BB";
+      case ExecFlow::BitBrMod: return "BBxx";
+      case ExecFlow::FAddSub:  return "FADD/FSUB";
+      case ExecFlow::FMul:     return "FMUL";
+      case ExecFlow::FDiv:     return "FDIV";
+      case ExecFlow::FMov:     return "FMOV";
+      case ExecFlow::FCmp:     return "FCMP";
+      case ExecFlow::CvtFI:    return "CVTFI";
+      case ExecFlow::CvtIF:    return "CVTIF";
+      case ExecFlow::MulL:     return "MULL";
+      case ExecFlow::DivL:     return "DIVL";
+      case ExecFlow::Emul:     return "EMUL";
+      case ExecFlow::Ediv:     return "EDIV";
+      case ExecFlow::CallG:    return "CALLG";
+      case ExecFlow::CallS:    return "CALLS";
+      case ExecFlow::Ret:      return "RET";
+      case ExecFlow::PushR:    return "PUSHR";
+      case ExecFlow::PopR:     return "POPR";
+      case ExecFlow::Chmk:     return "CHMK";
+      case ExecFlow::Rei:      return "REI";
+      case ExecFlow::SvPctx:   return "SVPCTX";
+      case ExecFlow::LdPctx:   return "LDPCTX";
+      case ExecFlow::Probe:    return "PROBE";
+      case ExecFlow::InsQue:   return "INSQUE";
+      case ExecFlow::RemQue:   return "REMQUE";
+      case ExecFlow::Mtpr:     return "MTPR";
+      case ExecFlow::Mfpr:     return "MFPR";
+      case ExecFlow::Halt:     return "HALT";
+      case ExecFlow::Nop:      return "NOP";
+      case ExecFlow::Bpt:      return "BPT";
+      case ExecFlow::Psw:      return "xxxPSW";
+      case ExecFlow::MovC3:    return "MOVC3";
+      case ExecFlow::MovC5:    return "MOVC5";
+      case ExecFlow::CmpC:     return "CMPC";
+      case ExecFlow::Locc:     return "LOCC";
+      case ExecFlow::Scanc:    return "SCANC";
+      case ExecFlow::AddP:     return "ADDP/SUBP";
+      case ExecFlow::CmpP:     return "CMPP";
+      case ExecFlow::MovP:     return "MOVP";
+      case ExecFlow::CvtPL:    return "CVTPL";
+      case ExecFlow::CvtLP:    return "CVTLP";
+      case ExecFlow::AshP:     return "ASHP";
+      default:                 return "?";
+    }
+}
+
+DataType
+OpcodeInfo::sizeLatch() const
+{
+    if (numOperands == 0)
+        return DataType::Long;
+    return operands[0].type;
+}
+
+namespace
+{
+
+/**
+ * Parse an operand signature such as "rl mb vb bw" into OperandDefs.
+ *
+ * First letter: r(ead) w(rite) m(odify) a(ddress) v(field base)
+ * b(ranch displacement).  Second letter: b(yte) w(ord) l(ong) q(uad)
+ * f(float).
+ */
+void
+parseSignature(OpcodeInfo &info, const char *sig)
+{
+    const char *p = sig;
+    while (*p) {
+        while (*p == ' ')
+            ++p;
+        if (!*p)
+            break;
+        upc_assert(info.numOperands < 6);
+        OperandDef od;
+        switch (p[0]) {
+          case 'r': od.access = Access::Read; break;
+          case 'w': od.access = Access::Write; break;
+          case 'm': od.access = Access::Modify; break;
+          case 'a': od.access = Access::Address; break;
+          case 'v': od.access = Access::Field; break;
+          case 'b': od.access = Access::Branch; break;
+          default: panic("bad access letter in signature '%s'", sig);
+        }
+        switch (p[1]) {
+          case 'b': od.type = DataType::Byte; break;
+          case 'w': od.type = DataType::Word; break;
+          case 'l': od.type = DataType::Long; break;
+          case 'q': od.type = DataType::Quad; break;
+          case 'f': od.type = DataType::FFloat; break;
+          default: panic("bad type letter in signature '%s'", sig);
+        }
+        info.operands[info.numOperands++] = od;
+        if (od.access == Access::Branch) {
+            info.bdispBytes = dataTypeBytes(od.type);
+            upc_assert(info.bdispBytes <= 2);
+        } else {
+            upc_assert(info.bdispBytes == 0); // bdisp must be last
+            ++info.numSpecifiers;
+        }
+        p += 2;
+    }
+}
+
+struct OpDef
+{
+    uint8_t opcode;
+    const char *mnemonic;
+    Group group;
+    PcChangeKind pck;
+    ExecFlow flow;
+    const char *sig;
+};
+
+constexpr Group SIM = Group::Simple;
+constexpr Group FLD = Group::Field;
+constexpr Group FLT = Group::Float;
+constexpr Group CAL = Group::CallRet;
+constexpr Group SYS = Group::System;
+constexpr Group CHR = Group::Character;
+constexpr Group DEC = Group::Decimal;
+
+constexpr PcChangeKind PCK_N = PcChangeKind::None;
+constexpr PcChangeKind PCK_SC = PcChangeKind::SimpleCond;
+constexpr PcChangeKind PCK_LB = PcChangeKind::LoopBranch;
+constexpr PcChangeKind PCK_LT = PcChangeKind::LowBitTest;
+constexpr PcChangeKind PCK_SR = PcChangeKind::SubrCallRet;
+constexpr PcChangeKind PCK_UN = PcChangeKind::Uncond;
+constexpr PcChangeKind PCK_CS = PcChangeKind::CaseBranch;
+constexpr PcChangeKind PCK_BB = PcChangeKind::BitBranch;
+constexpr PcChangeKind PCK_PR = PcChangeKind::ProcCallRet;
+constexpr PcChangeKind PCK_SY = PcChangeKind::SystemBr;
+
+const OpDef defs[] = {
+    // --- SIMPLE: moves ---
+    {op::MOVB,   "MOVB",   SIM, PCK_N, ExecFlow::Mov, "rb wb"},
+    {op::MOVW,   "MOVW",   SIM, PCK_N, ExecFlow::Mov, "rw ww"},
+    {op::MOVL,   "MOVL",   SIM, PCK_N, ExecFlow::Mov, "rl wl"},
+    {op::MOVQ,   "MOVQ",   SIM, PCK_N, ExecFlow::MovQ, "rq wq"},
+    {op::MOVAB,  "MOVAB",  SIM, PCK_N, ExecFlow::MovAddr, "ab wl"},
+    {op::MOVAL,  "MOVAL",  SIM, PCK_N, ExecFlow::MovAddr, "al wl"},
+    {op::PUSHAB, "PUSHAB", SIM, PCK_N, ExecFlow::Push, "ab"},
+    {op::PUSHAL, "PUSHAL", SIM, PCK_N, ExecFlow::Push, "al"},
+    {op::PUSHL,  "PUSHL",  SIM, PCK_N, ExecFlow::Push, "rl"},
+    {op::MOVZBL, "MOVZBL", SIM, PCK_N, ExecFlow::Cvt, "rb wl"},
+    {op::MOVZBW, "MOVZBW", SIM, PCK_N, ExecFlow::Cvt, "rb ww"},
+    {op::MOVZWL, "MOVZWL", SIM, PCK_N, ExecFlow::Cvt, "rw wl"},
+    // --- SIMPLE: arithmetic / logical ---
+    {op::CLRB, "CLRB", SIM, PCK_N, ExecFlow::Clr, "wb"},
+    {op::CLRW, "CLRW", SIM, PCK_N, ExecFlow::Clr, "ww"},
+    {op::CLRL, "CLRL", SIM, PCK_N, ExecFlow::Clr, "wl"},
+    {op::CLRQ, "CLRQ", SIM, PCK_N, ExecFlow::Clr, "wq"},
+    {op::TSTB, "TSTB", SIM, PCK_N, ExecFlow::Tst, "rb"},
+    {op::TSTW, "TSTW", SIM, PCK_N, ExecFlow::Tst, "rw"},
+    {op::TSTL, "TSTL", SIM, PCK_N, ExecFlow::Tst, "rl"},
+    {op::CMPB, "CMPB", SIM, PCK_N, ExecFlow::Cmp, "rb rb"},
+    {op::CMPW, "CMPW", SIM, PCK_N, ExecFlow::Cmp, "rw rw"},
+    {op::CMPL, "CMPL", SIM, PCK_N, ExecFlow::Cmp, "rl rl"},
+    {op::MCOMB, "MCOMB", SIM, PCK_N, ExecFlow::MCom, "rb wb"},
+    {op::MNEGB, "MNEGB", SIM, PCK_N, ExecFlow::MNeg, "rb wb"},
+    {op::MNEGW, "MNEGW", SIM, PCK_N, ExecFlow::MNeg, "rw ww"},
+    {op::MNEGL, "MNEGL", SIM, PCK_N, ExecFlow::MNeg, "rl wl"},
+    {op::MCOMW, "MCOMW", SIM, PCK_N, ExecFlow::MCom, "rw ww"},
+    {op::MCOML, "MCOML", SIM, PCK_N, ExecFlow::MCom, "rl wl"},
+    {op::BITB, "BITB", SIM, PCK_N, ExecFlow::Bit, "rb rb"},
+    {op::BITW, "BITW", SIM, PCK_N, ExecFlow::Bit, "rw rw"},
+    {op::BITL, "BITL", SIM, PCK_N, ExecFlow::Bit, "rl rl"},
+    {op::INCB, "INCB", SIM, PCK_N, ExecFlow::IncDec, "mb"},
+    {op::INCW, "INCW", SIM, PCK_N, ExecFlow::IncDec, "mw"},
+    {op::INCL, "INCL", SIM, PCK_N, ExecFlow::IncDec, "ml"},
+    {op::DECB, "DECB", SIM, PCK_N, ExecFlow::IncDec, "mb"},
+    {op::DECW, "DECW", SIM, PCK_N, ExecFlow::IncDec, "mw"},
+    {op::DECL, "DECL", SIM, PCK_N, ExecFlow::IncDec, "ml"},
+    {op::ADDB2, "ADDB2", SIM, PCK_N, ExecFlow::Alu2, "rb mb"},
+    {op::ADDB3, "ADDB3", SIM, PCK_N, ExecFlow::Alu3, "rb rb wb"},
+    {op::SUBB2, "SUBB2", SIM, PCK_N, ExecFlow::Alu2, "rb mb"},
+    {op::SUBB3, "SUBB3", SIM, PCK_N, ExecFlow::Alu3, "rb rb wb"},
+    {op::ADDW2, "ADDW2", SIM, PCK_N, ExecFlow::Alu2, "rw mw"},
+    {op::ADDW3, "ADDW3", SIM, PCK_N, ExecFlow::Alu3, "rw rw ww"},
+    {op::SUBW2, "SUBW2", SIM, PCK_N, ExecFlow::Alu2, "rw mw"},
+    {op::SUBW3, "SUBW3", SIM, PCK_N, ExecFlow::Alu3, "rw rw ww"},
+    {op::ADDL2, "ADDL2", SIM, PCK_N, ExecFlow::Alu2, "rl ml"},
+    {op::ADDL3, "ADDL3", SIM, PCK_N, ExecFlow::Alu3, "rl rl wl"},
+    {op::SUBL2, "SUBL2", SIM, PCK_N, ExecFlow::Alu2, "rl ml"},
+    {op::SUBL3, "SUBL3", SIM, PCK_N, ExecFlow::Alu3, "rl rl wl"},
+    {op::BISB2, "BISB2", SIM, PCK_N, ExecFlow::Alu2, "rb mb"},
+    {op::BISB3, "BISB3", SIM, PCK_N, ExecFlow::Alu3, "rb rb wb"},
+    {op::BICB2, "BICB2", SIM, PCK_N, ExecFlow::Alu2, "rb mb"},
+    {op::BICB3, "BICB3", SIM, PCK_N, ExecFlow::Alu3, "rb rb wb"},
+    {op::XORB2, "XORB2", SIM, PCK_N, ExecFlow::Alu2, "rb mb"},
+    {op::XORB3, "XORB3", SIM, PCK_N, ExecFlow::Alu3, "rb rb wb"},
+    {op::BISW2, "BISW2", SIM, PCK_N, ExecFlow::Alu2, "rw mw"},
+    {op::BISW3, "BISW3", SIM, PCK_N, ExecFlow::Alu3, "rw rw ww"},
+    {op::BICW2, "BICW2", SIM, PCK_N, ExecFlow::Alu2, "rw mw"},
+    {op::BICW3, "BICW3", SIM, PCK_N, ExecFlow::Alu3, "rw rw ww"},
+    {op::XORW2, "XORW2", SIM, PCK_N, ExecFlow::Alu2, "rw mw"},
+    {op::XORW3, "XORW3", SIM, PCK_N, ExecFlow::Alu3, "rw rw ww"},
+    {op::BISL2, "BISL2", SIM, PCK_N, ExecFlow::Alu2, "rl ml"},
+    {op::BISL3, "BISL3", SIM, PCK_N, ExecFlow::Alu3, "rl rl wl"},
+    {op::BICL2, "BICL2", SIM, PCK_N, ExecFlow::Alu2, "rl ml"},
+    {op::BICL3, "BICL3", SIM, PCK_N, ExecFlow::Alu3, "rl rl wl"},
+    {op::XORL2, "XORL2", SIM, PCK_N, ExecFlow::Alu2, "rl ml"},
+    {op::XORL3, "XORL3", SIM, PCK_N, ExecFlow::Alu3, "rl rl wl"},
+    {op::ASHL, "ASHL", SIM, PCK_N, ExecFlow::Ash, "rb rl wl"},
+    {op::ROTL, "ROTL", SIM, PCK_N, ExecFlow::Ash, "rb rl wl"},
+    {op::CVTBL, "CVTBL", SIM, PCK_N, ExecFlow::Cvt, "rb wl"},
+    {op::CVTBW, "CVTBW", SIM, PCK_N, ExecFlow::Cvt, "rb ww"},
+    {op::CVTWB, "CVTWB", SIM, PCK_N, ExecFlow::Cvt, "rw wb"},
+    {op::CVTWL, "CVTWL", SIM, PCK_N, ExecFlow::Cvt, "rw wl"},
+    {op::CVTLB, "CVTLB", SIM, PCK_N, ExecFlow::Cvt, "rl wb"},
+    {op::CVTLW, "CVTLW", SIM, PCK_N, ExecFlow::Cvt, "rl ww"},
+    // --- SIMPLE: branches & linkage ---
+    {op::BRB, "BRB", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BRW, "BRW", SIM, PCK_SC, ExecFlow::BCond, "bw"},
+    {op::BNEQ, "BNEQ", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BEQL, "BEQL", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BGTR, "BGTR", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BLEQ, "BLEQ", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BGEQ, "BGEQ", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BLSS, "BLSS", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BGTRU, "BGTRU", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BLEQU, "BLEQU", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BVC, "BVC", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BVS, "BVS", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BCC, "BCC", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::BCS, "BCS", SIM, PCK_SC, ExecFlow::BCond, "bb"},
+    {op::SOBGEQ, "SOBGEQ", SIM, PCK_LB, ExecFlow::Sob, "ml bb"},
+    {op::SOBGTR, "SOBGTR", SIM, PCK_LB, ExecFlow::Sob, "ml bb"},
+    {op::AOBLSS, "AOBLSS", SIM, PCK_LB, ExecFlow::Aob, "rl ml bb"},
+    {op::AOBLEQ, "AOBLEQ", SIM, PCK_LB, ExecFlow::Aob, "rl ml bb"},
+    {op::ACBL, "ACBL", SIM, PCK_LB, ExecFlow::Acb, "rl rl ml bw"},
+    {op::BLBS, "BLBS", SIM, PCK_LT, ExecFlow::Blb, "rl bb"},
+    {op::BLBC, "BLBC", SIM, PCK_LT, ExecFlow::Blb, "rl bb"},
+    {op::BSBB, "BSBB", SIM, PCK_SR, ExecFlow::Bsb, "bb"},
+    {op::BSBW, "BSBW", SIM, PCK_SR, ExecFlow::Bsb, "bw"},
+    {op::JSB, "JSB", SIM, PCK_SR, ExecFlow::Jsb, "al"},
+    {op::RSB, "RSB", SIM, PCK_SR, ExecFlow::Rsb, ""},
+    {op::JMP, "JMP", SIM, PCK_UN, ExecFlow::Jmp, "al"},
+    {op::CASEB, "CASEB", SIM, PCK_CS, ExecFlow::Case, "rb rb rb"},
+    {op::CASEW, "CASEW", SIM, PCK_CS, ExecFlow::Case, "rw rw rw"},
+    {op::CASEL, "CASEL", SIM, PCK_CS, ExecFlow::Case, "rl rl rl"},
+    // --- FIELD ---
+    {op::EXTV, "EXTV", FLD, PCK_N, ExecFlow::Ext, "rl rb vb wl"},
+    {op::EXTZV, "EXTZV", FLD, PCK_N, ExecFlow::Ext, "rl rb vb wl"},
+    {op::CMPV, "CMPV", FLD, PCK_N, ExecFlow::CmpV, "rl rb vb rl"},
+    {op::CMPZV, "CMPZV", FLD, PCK_N, ExecFlow::CmpV, "rl rb vb rl"},
+    {op::INSV, "INSV", FLD, PCK_N, ExecFlow::Insv, "rl rl rb vb"},
+    {op::FFS, "FFS", FLD, PCK_N, ExecFlow::Ffs, "rl rb vb wl"},
+    {op::FFC, "FFC", FLD, PCK_N, ExecFlow::Ffs, "rl rb vb wl"},
+    {op::BBS, "BBS", FLD, PCK_BB, ExecFlow::BitBr, "rl vb bb"},
+    {op::BBC, "BBC", FLD, PCK_BB, ExecFlow::BitBr, "rl vb bb"},
+    {op::BBSS, "BBSS", FLD, PCK_BB, ExecFlow::BitBrMod, "rl vb bb"},
+    {op::BBCS, "BBCS", FLD, PCK_BB, ExecFlow::BitBrMod, "rl vb bb"},
+    {op::BBSC, "BBSC", FLD, PCK_BB, ExecFlow::BitBrMod, "rl vb bb"},
+    {op::BBCC, "BBCC", FLD, PCK_BB, ExecFlow::BitBrMod, "rl vb bb"},
+    // --- FLOAT ---
+    {op::ADDF2, "ADDF2", FLT, PCK_N, ExecFlow::FAddSub, "rf mf"},
+    {op::ADDF3, "ADDF3", FLT, PCK_N, ExecFlow::FAddSub, "rf rf wf"},
+    {op::SUBF2, "SUBF2", FLT, PCK_N, ExecFlow::FAddSub, "rf mf"},
+    {op::SUBF3, "SUBF3", FLT, PCK_N, ExecFlow::FAddSub, "rf rf wf"},
+    {op::MULF2, "MULF2", FLT, PCK_N, ExecFlow::FMul, "rf mf"},
+    {op::MULF3, "MULF3", FLT, PCK_N, ExecFlow::FMul, "rf rf wf"},
+    {op::DIVF2, "DIVF2", FLT, PCK_N, ExecFlow::FDiv, "rf mf"},
+    {op::DIVF3, "DIVF3", FLT, PCK_N, ExecFlow::FDiv, "rf rf wf"},
+    {op::MOVF, "MOVF", FLT, PCK_N, ExecFlow::FMov, "rf wf"},
+    {op::MNEGF, "MNEGF", FLT, PCK_N, ExecFlow::FMov, "rf wf"},
+    {op::CMPF, "CMPF", FLT, PCK_N, ExecFlow::FCmp, "rf rf"},
+    {op::TSTF, "TSTF", FLT, PCK_N, ExecFlow::FCmp, "rf"},
+    {op::CVTFL, "CVTFL", FLT, PCK_N, ExecFlow::CvtFI, "rf wl"},
+    {op::CVTLF, "CVTLF", FLT, PCK_N, ExecFlow::CvtIF, "rl wf"},
+    {op::MULL2, "MULL2", FLT, PCK_N, ExecFlow::MulL, "rl ml"},
+    {op::MULL3, "MULL3", FLT, PCK_N, ExecFlow::MulL, "rl rl wl"},
+    {op::DIVL2, "DIVL2", FLT, PCK_N, ExecFlow::DivL, "rl ml"},
+    {op::DIVL3, "DIVL3", FLT, PCK_N, ExecFlow::DivL, "rl rl wl"},
+    {op::EMUL, "EMUL", FLT, PCK_N, ExecFlow::Emul, "rl rl rl wq"},
+    {op::EDIV, "EDIV", FLT, PCK_N, ExecFlow::Ediv, "rl rq wl wl"},
+    // --- CALL/RET ---
+    {op::CALLG, "CALLG", CAL, PCK_PR, ExecFlow::CallG, "ab ab"},
+    {op::CALLS, "CALLS", CAL, PCK_PR, ExecFlow::CallS, "rl ab"},
+    {op::RET, "RET", CAL, PCK_PR, ExecFlow::Ret, ""},
+    {op::PUSHR, "PUSHR", CAL, PCK_N, ExecFlow::PushR, "rw"},
+    {op::POPR, "POPR", CAL, PCK_N, ExecFlow::PopR, "rw"},
+    // --- SYSTEM ---
+    {op::CHMK, "CHMK", SYS, PCK_SY, ExecFlow::Chmk, "rw"},
+    {op::REI, "REI", SYS, PCK_SY, ExecFlow::Rei, ""},
+    {op::SVPCTX, "SVPCTX", SYS, PCK_N, ExecFlow::SvPctx, ""},
+    {op::LDPCTX, "LDPCTX", SYS, PCK_N, ExecFlow::LdPctx, ""},
+    {op::PROBER, "PROBER", SYS, PCK_N, ExecFlow::Probe, "rb rw ab"},
+    {op::PROBEW, "PROBEW", SYS, PCK_N, ExecFlow::Probe, "rb rw ab"},
+    {op::INSQUE, "INSQUE", SYS, PCK_N, ExecFlow::InsQue, "ab ab"},
+    {op::REMQUE, "REMQUE", SYS, PCK_N, ExecFlow::RemQue, "ab wl"},
+    {op::MTPR, "MTPR", SYS, PCK_N, ExecFlow::Mtpr, "rl rl"},
+    {op::MFPR, "MFPR", SYS, PCK_N, ExecFlow::Mfpr, "rl wl"},
+    {op::HALT, "HALT", SYS, PCK_N, ExecFlow::Halt, ""},
+    {op::NOP, "NOP", SYS, PCK_N, ExecFlow::Nop, ""},
+    {op::BPT, "BPT", SYS, PCK_N, ExecFlow::Bpt, ""},
+    {op::BISPSW, "BISPSW", SYS, PCK_N, ExecFlow::Psw, "rw"},
+    {op::BICPSW, "BICPSW", SYS, PCK_N, ExecFlow::Psw, "rw"},
+    // --- CHARACTER ---
+    {op::MOVC3, "MOVC3", CHR, PCK_N, ExecFlow::MovC3, "rw ab ab"},
+    {op::MOVC5, "MOVC5", CHR, PCK_N, ExecFlow::MovC5, "rw ab rb rw ab"},
+    {op::CMPC3, "CMPC3", CHR, PCK_N, ExecFlow::CmpC, "rw ab ab"},
+    {op::CMPC5, "CMPC5", CHR, PCK_N, ExecFlow::CmpC, "rw ab rb rw ab"},
+    {op::LOCC, "LOCC", CHR, PCK_N, ExecFlow::Locc, "rb rw ab"},
+    {op::SKPC, "SKPC", CHR, PCK_N, ExecFlow::Locc, "rb rw ab"},
+    {op::SCANC, "SCANC", CHR, PCK_N, ExecFlow::Scanc, "rw ab ab rb"},
+    {op::SPANC, "SPANC", CHR, PCK_N, ExecFlow::Scanc, "rw ab ab rb"},
+    // --- DECIMAL ---
+    {op::ADDP4, "ADDP4", DEC, PCK_N, ExecFlow::AddP, "rw ab rw ab"},
+    {op::SUBP4, "SUBP4", DEC, PCK_N, ExecFlow::AddP, "rw ab rw ab"},
+    {op::CMPP3, "CMPP3", DEC, PCK_N, ExecFlow::CmpP, "rw ab ab"},
+    {op::MOVP, "MOVP", DEC, PCK_N, ExecFlow::MovP, "rw ab ab"},
+    {op::CVTPL, "CVTPL", DEC, PCK_N, ExecFlow::CvtPL, "rw ab wl"},
+    {op::CVTLP, "CVTLP", DEC, PCK_N, ExecFlow::CvtLP, "rl rw ab"},
+    {op::ASHP, "ASHP", DEC, PCK_N, ExecFlow::AshP, "rb rw ab rb rw ab"},
+};
+
+std::array<OpcodeInfo, 256>
+buildTable()
+{
+    std::array<OpcodeInfo, 256> table{};
+    for (unsigned i = 0; i < 256; ++i) {
+        table[i].opcode = static_cast<uint8_t>(i);
+        table[i].valid = false;
+    }
+    for (const auto &d : defs) {
+        OpcodeInfo &info = table[d.opcode];
+        upc_assert(!info.valid); // duplicate encodings are a bug
+        info.mnemonic = d.mnemonic;
+        info.group = d.group;
+        info.pck = d.pck;
+        info.flow = d.flow;
+        info.valid = true;
+        parseSignature(info, d.sig);
+    }
+    return table;
+}
+
+} // anonymous namespace
+
+const std::array<OpcodeInfo, 256> &
+opcodeTable()
+{
+    static const std::array<OpcodeInfo, 256> table = buildTable();
+    return table;
+}
+
+int
+opcodeByMnemonic(const std::string &mnemonic)
+{
+    static const std::map<std::string, int> index = [] {
+        std::map<std::string, int> m;
+        const auto &table = opcodeTable();
+        for (unsigned i = 0; i < 256; ++i)
+            if (table[i].valid)
+                m[table[i].mnemonic] = static_cast<int>(i);
+        return m;
+    }();
+    std::string upper;
+    for (char c : mnemonic)
+        upper.push_back(static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c))));
+    auto it = index.find(upper);
+    return it == index.end() ? -1 : it->second;
+}
+
+} // namespace vax

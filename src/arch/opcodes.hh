@@ -1,0 +1,177 @@
+/**
+ * @file
+ * VAX instruction set definition.
+ *
+ * We implement a substantial subset of the VAX architecture, using the
+ * real single-byte opcode encodings from the VAX Architecture Reference
+ * Manual.  Each opcode carries the metadata every other layer keys off:
+ * its Table 1 group, its Table 2 PC-changing class, the microcode
+ * execute flow it dispatches to (several opcodes share one flow, as on
+ * the real machine), and its operand signature.
+ */
+
+#ifndef UPC780_ARCH_OPCODES_HH
+#define UPC780_ARCH_OPCODES_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "arch/types.hh"
+
+namespace vax
+{
+
+/**
+ * Microcode execute flows.
+ *
+ * One entry per execute routine in the control store.  Opcode-specific
+ * behaviour inside a shared flow (e.g. add vs. subtract) is derived
+ * from the latched opcode, mirroring the 11/780's hardware-assisted
+ * microcode sharing -- which is why the UPC technique cannot separate
+ * such opcodes, exactly as the paper reports.
+ */
+enum class ExecFlow : uint8_t {
+    None,
+    // SIMPLE
+    Mov, MovAddr, MovQ, Push, Clr, Tst, Cmp, Bit, MCom, MNeg, IncDec,
+    Alu2, Alu3, Ash, Cvt,
+    BCond,   ///< simple conditional branches + BRB/BRW (shared)
+    Sob, Aob, Acb, Blb, Bsb, Jsb, Rsb, Jmp, Case,
+    // FIELD
+    Ext, CmpV, Insv, Ffs, BitBr, BitBrMod,
+    // FLOAT
+    FAddSub, FMul, FDiv, FMov, FCmp, CvtFI, CvtIF,
+    MulL, DivL, Emul, Ediv,
+    // CALL/RET
+    CallG, CallS, Ret, PushR, PopR,
+    // SYSTEM
+    Chmk, Rei, SvPctx, LdPctx, Probe, InsQue, RemQue, Mtpr, Mfpr,
+    Halt, Nop, Bpt, Psw,
+    // CHARACTER
+    MovC3, MovC5, CmpC, Locc, Scanc,
+    // DECIMAL
+    AddP, CmpP, MovP, CvtPL, CvtLP, AshP,
+    NumFlows,
+};
+
+/** Printable name of an execute flow. */
+const char *execFlowName(ExecFlow f);
+
+/** Definition of one instruction operand. */
+struct OperandDef
+{
+    Access access = Access::Read;
+    DataType type = DataType::Long;
+};
+
+/** Static description of one opcode. */
+struct OpcodeInfo
+{
+    uint8_t opcode = 0;
+    const char *mnemonic = "???";
+    Group group = Group::Simple;
+    PcChangeKind pck = PcChangeKind::None;
+    ExecFlow flow = ExecFlow::None;
+    /** Operands in I-stream order, including a trailing branch disp. */
+    std::array<OperandDef, 6> operands{};
+    uint8_t numOperands = 0;      ///< total operands incl. branch disp
+    uint8_t numSpecifiers = 0;    ///< operands encoded as specifiers
+    uint8_t bdispBytes = 0;       ///< 0, 1 or 2 bytes of branch disp
+    bool valid = false;           ///< true if this opcode is implemented
+
+    /** Data size latch handed to the execute flow (first operand's). */
+    DataType sizeLatch() const;
+};
+
+/** Mnemonic constants (real VAX encodings). */
+namespace op
+{
+// SIMPLE: moves
+constexpr uint8_t MOVB = 0x90, MOVW = 0xB0, MOVL = 0xD0, MOVQ = 0x7D;
+constexpr uint8_t MOVAB = 0x9E, MOVAL = 0xDE;
+constexpr uint8_t PUSHAB = 0x9F, PUSHAL = 0xDF, PUSHL = 0xDD;
+constexpr uint8_t MOVZBL = 0x9A, MOVZBW = 0x9B, MOVZWL = 0x3C;
+// SIMPLE: arithmetic/boolean
+constexpr uint8_t CLRB = 0x94, CLRW = 0xB4, CLRL = 0xD4, CLRQ = 0x7C;
+constexpr uint8_t TSTB = 0x95, TSTW = 0xB5, TSTL = 0xD5;
+constexpr uint8_t CMPB = 0x91, CMPW = 0xB1, CMPL = 0xD1;
+constexpr uint8_t MCOMB = 0x92, MCOMW = 0xB2, MCOML = 0xD2;
+constexpr uint8_t MNEGB = 0x8E, MNEGW = 0xAE, MNEGL = 0xCE;
+constexpr uint8_t BITB = 0x93, BITW = 0xB3, BITL = 0xD3;
+constexpr uint8_t INCB = 0x96, INCW = 0xB6, INCL = 0xD6;
+constexpr uint8_t DECB = 0x97, DECW = 0xB7, DECL = 0xD7;
+constexpr uint8_t ADDB2 = 0x80, ADDB3 = 0x81, SUBB2 = 0x82, SUBB3 = 0x83;
+constexpr uint8_t ADDW2 = 0xA0, ADDW3 = 0xA1, SUBW2 = 0xA2, SUBW3 = 0xA3;
+constexpr uint8_t ADDL2 = 0xC0, ADDL3 = 0xC1, SUBL2 = 0xC2, SUBL3 = 0xC3;
+constexpr uint8_t BISB2 = 0x88, BISB3 = 0x89, BICB2 = 0x8A, BICB3 = 0x8B;
+constexpr uint8_t XORB2 = 0x8C, XORB3 = 0x8D;
+constexpr uint8_t BISW2 = 0xA8, BISW3 = 0xA9, BICW2 = 0xAA, BICW3 = 0xAB;
+constexpr uint8_t XORW2 = 0xAC, XORW3 = 0xAD;
+constexpr uint8_t BISL2 = 0xC8, BISL3 = 0xC9, BICL2 = 0xCA, BICL3 = 0xCB;
+constexpr uint8_t XORL2 = 0xCC, XORL3 = 0xCD;
+constexpr uint8_t ASHL = 0x78, ROTL = 0x9C;
+constexpr uint8_t CVTBL = 0x98, CVTBW = 0x99, CVTWB = 0x33, CVTWL = 0x32;
+constexpr uint8_t CVTLB = 0xF6, CVTLW = 0xF7;
+// SIMPLE: branches and linkage
+constexpr uint8_t BRB = 0x11, BRW = 0x31;
+constexpr uint8_t BNEQ = 0x12, BEQL = 0x13, BGTR = 0x14, BLEQ = 0x15;
+constexpr uint8_t BGEQ = 0x18, BLSS = 0x19, BGTRU = 0x1A, BLEQU = 0x1B;
+constexpr uint8_t BVC = 0x1C, BVS = 0x1D, BCC = 0x1E, BCS = 0x1F;
+constexpr uint8_t SOBGEQ = 0xF4, SOBGTR = 0xF5;
+constexpr uint8_t AOBLSS = 0xF2, AOBLEQ = 0xF3, ACBL = 0xF1;
+constexpr uint8_t BLBS = 0xE8, BLBC = 0xE9;
+constexpr uint8_t BSBB = 0x10, BSBW = 0x30, JSB = 0x16, RSB = 0x05;
+constexpr uint8_t JMP = 0x17;
+constexpr uint8_t CASEB = 0x8F, CASEW = 0xAF, CASEL = 0xCF;
+// FIELD
+constexpr uint8_t EXTV = 0xEE, EXTZV = 0xEF, CMPV = 0xEC, CMPZV = 0xED;
+constexpr uint8_t INSV = 0xF0, FFS = 0xEA, FFC = 0xEB;
+constexpr uint8_t BBS = 0xE0, BBC = 0xE1, BBSS = 0xE2, BBCS = 0xE3;
+constexpr uint8_t BBSC = 0xE4, BBCC = 0xE5;
+// FLOAT (incl. integer multiply/divide, per Table 1)
+constexpr uint8_t ADDF2 = 0x40, ADDF3 = 0x41, SUBF2 = 0x42, SUBF3 = 0x43;
+constexpr uint8_t MULF2 = 0x44, MULF3 = 0x45, DIVF2 = 0x46, DIVF3 = 0x47;
+constexpr uint8_t MOVF = 0x50, CMPF = 0x51, MNEGF = 0x52, TSTF = 0x53;
+constexpr uint8_t CVTFL = 0x4A, CVTLF = 0x4E;
+constexpr uint8_t MULL2 = 0xC4, MULL3 = 0xC5, DIVL2 = 0xC6, DIVL3 = 0xC7;
+constexpr uint8_t EMUL = 0x7A, EDIV = 0x7B;
+// CALL/RET
+constexpr uint8_t CALLG = 0xFA, CALLS = 0xFB, RET = 0x04;
+constexpr uint8_t PUSHR = 0xBB, POPR = 0xBA;
+// SYSTEM
+constexpr uint8_t CHMK = 0xBC, REI = 0x02, SVPCTX = 0x07, LDPCTX = 0x06;
+constexpr uint8_t PROBER = 0x0C, PROBEW = 0x0D;
+constexpr uint8_t INSQUE = 0x0E, REMQUE = 0x0F;
+constexpr uint8_t MTPR = 0xDA, MFPR = 0xDB;
+constexpr uint8_t HALT = 0x00, NOP = 0x01, BPT = 0x03;
+constexpr uint8_t BISPSW = 0xB8, BICPSW = 0xB9;
+// CHARACTER
+constexpr uint8_t MOVC3 = 0x28, MOVC5 = 0x2C, CMPC3 = 0x29, CMPC5 = 0x2D;
+constexpr uint8_t LOCC = 0x3A, SKPC = 0x3B, SCANC = 0x2A, SPANC = 0x2B;
+// DECIMAL
+constexpr uint8_t ADDP4 = 0x20, SUBP4 = 0x22, CMPP3 = 0x35, MOVP = 0x34;
+constexpr uint8_t CVTPL = 0x36, CVTLP = 0xF9, ASHP = 0xF8;
+} // namespace op
+
+/**
+ * The decode table: metadata for all 256 opcode bytes.
+ *
+ * Unimplemented opcodes have valid == false; executing one raises a
+ * reserved-instruction fault in the simulator.
+ */
+const std::array<OpcodeInfo, 256> &opcodeTable();
+
+/** Metadata for one opcode byte. */
+inline const OpcodeInfo &
+opcodeInfo(uint8_t opc)
+{
+    return opcodeTable()[opc];
+}
+
+/** Look up an opcode by mnemonic (case-insensitive); -1 if unknown. */
+int opcodeByMnemonic(const std::string &mnemonic);
+
+} // namespace vax
+
+#endif // UPC780_ARCH_OPCODES_HH

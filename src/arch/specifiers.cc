@@ -1,0 +1,156 @@
+#include "arch/specifiers.hh"
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+const char *
+addrModeName(AddrMode m)
+{
+    switch (m) {
+      case AddrMode::ShortLiteral: return "S^#literal";
+      case AddrMode::Register:     return "Rn";
+      case AddrMode::RegDeferred:  return "(Rn)";
+      case AddrMode::AutoDec:      return "-(Rn)";
+      case AddrMode::AutoInc:      return "(Rn)+";
+      case AddrMode::Immediate:    return "I^#immediate";
+      case AddrMode::AutoIncDef:   return "@(Rn)+";
+      case AddrMode::Absolute:     return "@#absolute";
+      case AddrMode::ByteDisp:     return "b^d(Rn)";
+      case AddrMode::ByteDispDef:  return "@b^d(Rn)";
+      case AddrMode::WordDisp:     return "w^d(Rn)";
+      case AddrMode::WordDispDef:  return "@w^d(Rn)";
+      case AddrMode::LongDisp:     return "l^d(Rn)";
+      case AddrMode::LongDispDef:  return "@l^d(Rn)";
+      default:                     return "?";
+    }
+}
+
+SpecByte
+decodeSpecByte(uint8_t spec_byte)
+{
+    uint8_t mode = spec_byte >> 4;
+    uint8_t reg = spec_byte & 0xF;
+    SpecByte out{AddrMode::Register, reg, 0};
+    switch (mode) {
+      case 0: case 1: case 2: case 3:
+        out.mode = AddrMode::ShortLiteral;
+        out.literal = spec_byte & 0x3F;
+        out.reg = 0;
+        break;
+      case 4:
+        panic("index prefix byte passed to decodeSpecByte");
+      case 5:
+        out.mode = AddrMode::Register;
+        break;
+      case 6:
+        out.mode = AddrMode::RegDeferred;
+        break;
+      case 7:
+        out.mode = AddrMode::AutoDec;
+        break;
+      case 8:
+        out.mode = reg == PC ? AddrMode::Immediate : AddrMode::AutoInc;
+        break;
+      case 9:
+        out.mode = reg == PC ? AddrMode::Absolute : AddrMode::AutoIncDef;
+        break;
+      case 10:
+        out.mode = AddrMode::ByteDisp;
+        break;
+      case 11:
+        out.mode = AddrMode::ByteDispDef;
+        break;
+      case 12:
+        out.mode = AddrMode::WordDisp;
+        break;
+      case 13:
+        out.mode = AddrMode::WordDispDef;
+        break;
+      case 14:
+        out.mode = AddrMode::LongDisp;
+        break;
+      case 15:
+        out.mode = AddrMode::LongDispDef;
+        break;
+    }
+    return out;
+}
+
+unsigned
+specTrailingBytes(AddrMode mode, DataType type)
+{
+    switch (mode) {
+      case AddrMode::ShortLiteral:
+      case AddrMode::Register:
+      case AddrMode::RegDeferred:
+      case AddrMode::AutoDec:
+      case AddrMode::AutoInc:
+      case AddrMode::AutoIncDef:
+        return 0;
+      case AddrMode::Immediate:
+        return dataTypeBytes(type);
+      case AddrMode::Absolute:
+        return 4;
+      case AddrMode::ByteDisp:
+      case AddrMode::ByteDispDef:
+        return 1;
+      case AddrMode::WordDisp:
+      case AddrMode::WordDispDef:
+        return 2;
+      case AddrMode::LongDisp:
+      case AddrMode::LongDispDef:
+        return 4;
+      default:
+        panic("bad addressing mode");
+    }
+}
+
+bool
+addrModeIsMemory(AddrMode m)
+{
+    return m != AddrMode::ShortLiteral && m != AddrMode::Register &&
+        m != AddrMode::Immediate;
+}
+
+const char *
+specCategoryName(SpecCategory c)
+{
+    switch (c) {
+      case SpecCategory::Register:     return "Register Rn";
+      case SpecCategory::ShortLiteral: return "Short literal S^#";
+      case SpecCategory::Immediate:    return "Immediate (PC)+";
+      case SpecCategory::Displacement: return "Displacement d(Rn)";
+      case SpecCategory::RegDeferred:  return "Register deferred (Rn)";
+      case SpecCategory::AutoIncDec:   return "Autoinc/dec (Rn)+ -(Rn)";
+      case SpecCategory::DispDeferred: return "Disp. deferred @d(Rn)";
+      case SpecCategory::Absolute:     return "Absolute @#";
+      case SpecCategory::AutoIncDef:   return "Autoinc deferred @(Rn)+";
+      default:                         return "?";
+    }
+}
+
+SpecCategory
+specCategory(AddrMode m)
+{
+    switch (m) {
+      case AddrMode::Register:     return SpecCategory::Register;
+      case AddrMode::ShortLiteral: return SpecCategory::ShortLiteral;
+      case AddrMode::Immediate:    return SpecCategory::Immediate;
+      case AddrMode::ByteDisp:
+      case AddrMode::WordDisp:
+      case AddrMode::LongDisp:     return SpecCategory::Displacement;
+      case AddrMode::RegDeferred:  return SpecCategory::RegDeferred;
+      case AddrMode::AutoInc:
+      case AddrMode::AutoDec:      return SpecCategory::AutoIncDec;
+      case AddrMode::ByteDispDef:
+      case AddrMode::WordDispDef:
+      case AddrMode::LongDispDef:  return SpecCategory::DispDeferred;
+      case AddrMode::Absolute:     return SpecCategory::Absolute;
+      case AddrMode::AutoIncDef:   return SpecCategory::AutoIncDef;
+      default: panic("bad addressing mode");
+    }
+}
+
+} // namespace vax

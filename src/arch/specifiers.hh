@@ -1,0 +1,99 @@
+/**
+ * @file
+ * VAX operand specifier (addressing mode) definitions.
+ *
+ * A specifier is one byte -- mode in bits 7:4, register in bits 3:0 --
+ * optionally followed by displacement or immediate bytes, and
+ * optionally preceded by an index-prefix byte (mode 4).  PC-based
+ * forms of the general modes have distinct names (immediate, absolute,
+ * relative) per the architecture.
+ */
+
+#ifndef UPC780_ARCH_SPECIFIERS_HH
+#define UPC780_ARCH_SPECIFIERS_HH
+
+#include <cstdint>
+
+#include "arch/types.hh"
+
+namespace vax
+{
+
+/**
+ * Addressing-mode classification used by I-Decode, the analyzer and
+ * Table 4.  PC-based variants are split out because the paper reports
+ * them separately (immediate, absolute).
+ */
+enum class AddrMode : uint8_t {
+    ShortLiteral,  ///< modes 0-3: 6-bit literal in the specifier byte
+    Register,      ///< mode 5: Rn
+    RegDeferred,   ///< mode 6: (Rn)
+    AutoDec,       ///< mode 7: -(Rn)
+    AutoInc,       ///< mode 8: (Rn)+
+    Immediate,     ///< mode 8 with Rn=PC: I-stream constant
+    AutoIncDef,    ///< mode 9: @(Rn)+
+    Absolute,      ///< mode 9 with Rn=PC: @#address
+    ByteDisp,      ///< mode A: b^d(Rn) (incl. PC-relative)
+    ByteDispDef,   ///< mode B: @b^d(Rn)
+    WordDisp,      ///< mode C
+    WordDispDef,   ///< mode D
+    LongDisp,      ///< mode E
+    LongDispDef,   ///< mode F
+    NumModes,
+};
+
+/** Printable name of an addressing mode. */
+const char *addrModeName(AddrMode m);
+
+/** Decoded form of one specifier byte (index prefix handled apart). */
+struct SpecByte
+{
+    AddrMode mode;
+    uint8_t reg;       ///< register number (PC for imm/abs/relative)
+    uint8_t literal;   ///< 6-bit value for short literals
+};
+
+/** True if the mode-nibble denotes the index prefix (mode 4). */
+constexpr bool
+isIndexPrefix(uint8_t spec_byte)
+{
+    return (spec_byte >> 4) == 4;
+}
+
+/** Classify a (non-index-prefix) specifier byte. */
+SpecByte decodeSpecByte(uint8_t spec_byte);
+
+/**
+ * Number of I-stream bytes that follow the specifier byte.
+ *
+ * @param mode Decoded addressing mode.
+ * @param type Operand data type (sets immediate size).
+ */
+unsigned specTrailingBytes(AddrMode mode, DataType type);
+
+/** True for modes whose operand datum lives in memory. */
+bool addrModeIsMemory(AddrMode m);
+
+/** Aggregated Table 4 reporting category for an addressing mode. */
+enum class SpecCategory : uint8_t {
+    Register,
+    ShortLiteral,
+    Immediate,
+    Displacement,     ///< byte/word/long displacement (incl. relative)
+    RegDeferred,
+    AutoIncDec,       ///< (Rn)+ and -(Rn)
+    DispDeferred,     ///< displacement deferred (incl. relative def.)
+    Absolute,
+    AutoIncDef,
+    NumCategories,
+};
+
+/** Printable name of a Table 4 category. */
+const char *specCategoryName(SpecCategory c);
+
+/** Map an addressing mode to its Table 4 category. */
+SpecCategory specCategory(AddrMode m);
+
+} // namespace vax
+
+#endif // UPC780_ARCH_SPECIFIERS_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fundamental VAX architecture types shared across the simulator.
+ */
+
+#ifndef UPC780_ARCH_TYPES_HH
+#define UPC780_ARCH_TYPES_HH
+
+#include <cstdint>
+
+namespace vax
+{
+
+/** 32-bit virtual address. */
+using VirtAddr = uint32_t;
+/** Physical address (11/780 supported up to 2^30 bytes; we use 32 bits). */
+using PhysAddr = uint32_t;
+
+/** VAX page size: 512 bytes. */
+constexpr uint32_t pageBytes = 512;
+constexpr uint32_t pageShift = 9;
+
+/** General register numbers with architectural roles. */
+enum Reg : uint8_t {
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11,
+    AP = 12,   ///< argument pointer
+    FP = 13,   ///< frame pointer
+    SP = 14,   ///< stack pointer
+    PC = 15,   ///< program counter
+    NumGpr = 16,
+};
+
+/** Scalar operand data types. */
+enum class DataType : uint8_t {
+    Byte,     ///< 8 bits
+    Word,     ///< 16 bits
+    Long,     ///< 32 bits
+    Quad,     ///< 64 bits
+    FFloat,   ///< VAX F_floating (32 bits)
+};
+
+/** Size in bytes of a scalar data type. */
+constexpr unsigned
+dataTypeBytes(DataType t)
+{
+    switch (t) {
+      case DataType::Byte:   return 1;
+      case DataType::Word:   return 2;
+      case DataType::Long:   return 4;
+      case DataType::Quad:   return 8;
+      case DataType::FFloat: return 4;
+    }
+    return 4;
+}
+
+/** How an instruction accesses one of its operands. */
+enum class Access : uint8_t {
+    Read,     ///< operand is read
+    Write,    ///< operand is written
+    Modify,   ///< operand is read then written
+    Address,  ///< address of operand is computed, no data access
+    Field,    ///< variable-bit-field base (address-like, register ok)
+    Branch,   ///< branch displacement in the I-stream (not a specifier)
+};
+
+/** Instruction groups of the paper's Table 1. */
+enum class Group : uint8_t {
+    Simple,     ///< moves, simple arith/boolean, branches, subroutine
+    Field,      ///< bit-field ops and bit branches
+    Float,      ///< floating point and integer multiply/divide
+    CallRet,    ///< procedure call/return, multi-register push/pop
+    System,     ///< privileged, context switch, services, queues, probes
+    Character,  ///< character string instructions
+    Decimal,    ///< packed decimal instructions
+    NumGroups,
+};
+
+/** Printable name of an instruction group. */
+const char *groupName(Group g);
+
+/** PC-changing instruction classes of the paper's Table 2. */
+enum class PcChangeKind : uint8_t {
+    None,         ///< not a PC-changing instruction
+    SimpleCond,   ///< simple conditional branches plus BRB/BRW (shared
+                  ///< microcode, as in the paper)
+    LoopBranch,   ///< SOBxxx/AOBxxx/ACBx
+    LowBitTest,   ///< BLBS/BLBC
+    SubrCallRet,  ///< BSBB/BSBW/JSB/RSB
+    Uncond,       ///< JMP
+    CaseBranch,   ///< CASEB/W/L
+    BitBranch,    ///< BBS/BBC and set/clear variants (FIELD group)
+    ProcCallRet,  ///< CALLG/CALLS/RET (CALL/RET group)
+    SystemBr,     ///< REI, CHMx (SYSTEM group)
+    NumKinds,
+};
+
+/** Printable name of a Table 2 class. */
+const char *pcChangeKindName(PcChangeKind k);
+
+/** Processor access modes (PSL current-mode values). */
+enum class CpuMode : uint8_t {
+    Kernel = 0,
+    Executive = 1,
+    Supervisor = 2,
+    User = 3,
+};
+
+/** Condition codes held in the PSL low bits. */
+struct CondCodes
+{
+    bool n = false; ///< negative
+    bool z = false; ///< zero
+    bool v = false; ///< overflow
+    bool c = false; ///< carry
+};
+
+} // namespace vax
+
+#endif // UPC780_ARCH_TYPES_HH

@@ -1,0 +1,45 @@
+#include "cpu/cpu.hh"
+
+#include "ucode/rom.hh"
+
+namespace vax
+{
+
+Cpu780::Cpu780(const SimConfig &cfg)
+    : cfg_(cfg), mem_(cfg.mem, cfg.seed), ib_(cfg.ibBytes),
+      ifetch_(ib_, mem_)
+{
+    buildMicrocodeRom(cs_);
+    ebox_ = std::make_unique<Ebox>(cs_, mem_, ib_, ifetch_, intc_,
+                                   timer_, hw_);
+}
+
+void
+Cpu780::reset(VirtAddr pc, CpuMode mode)
+{
+    ebox_->reset(pc, mode);
+}
+
+void
+Cpu780::tick()
+{
+    ebox_->cycle();
+    ifetch_.cycle(ebox_->psl().cur);
+    mem_.tick();
+    if (timer_.tick())
+        intc_.postDevice(cfg_.timerIpl);
+    ++hw_.cycles;
+}
+
+bool
+Cpu780::run(uint64_t max_cycles)
+{
+    for (uint64_t i = 0; i < max_cycles; ++i) {
+        if (ebox_->halted())
+            return true;
+        tick();
+    }
+    return ebox_->halted();
+}
+
+} // namespace vax

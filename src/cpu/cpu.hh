@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cpu780: the assembled machine.
+ *
+ * Owns the control store (filled by the microcode ROM builder), the
+ * memory subsystem, the CPU pipeline (IB, I-Fetch, I-Decode-in-EBOX,
+ * EBOX), the interrupt controller and the interval clock, and drives
+ * them cycle by cycle.
+ */
+
+#ifndef UPC780_CPU_CPU_HH
+#define UPC780_CPU_CPU_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "cpu/ebox.hh"
+#include "cpu/hw_counters.hh"
+#include "cpu/ib.hh"
+#include "cpu/ifetch.hh"
+#include "cpu/interrupts.hh"
+#include "mem/mem_system.hh"
+#include "ucode/control_store.hh"
+
+namespace vax
+{
+
+/** Whole-machine configuration. */
+struct SimConfig
+{
+    MemConfig mem;
+    uint64_t seed = 0x780;
+    /** Instruction-buffer size in bytes (8 on the 11/780). */
+    unsigned ibBytes = 8;
+    /** Interrupt level of the interval clock. */
+    unsigned timerIpl = 22;
+    /** Interrupt level of the terminal multiplexer. */
+    unsigned terminalIpl = 21;
+};
+
+class Cpu780
+{
+  public:
+    explicit Cpu780(const SimConfig &cfg = SimConfig());
+
+    /** Begin execution at pc (kernel mode, mapping per MemSystem). */
+    void reset(VirtAddr pc, CpuMode mode = CpuMode::Kernel);
+
+    /** Advance the whole machine one 200 ns cycle. */
+    void tick();
+
+    /**
+     * Run until HALT or the cycle limit.
+     * @return True if the machine halted.
+     */
+    bool run(uint64_t max_cycles);
+
+    bool halted() const { return ebox_->halted(); }
+    uint64_t cycles() const { return hw_.cycles; }
+
+    /** Attach the UPC monitor (or any cycle sink). */
+    void setCycleSink(CycleSink *sink) { ebox_->setCycleSink(sink); }
+
+    /** Post a device interrupt (terminals, disks...). */
+    void
+    postDeviceInterrupt(unsigned level)
+    {
+        intc_.postDevice(level);
+    }
+
+    /** @{ Component access. */
+    Ebox &ebox() { return *ebox_; }
+    MemSystem &mem() { return mem_; }
+    InterruptController &intc() { return intc_; }
+    IntervalTimer &timer() { return timer_; }
+    HwCounters &hw() { return hw_; }
+    const HwCounters &hw() const { return hw_; }
+    ControlStore &controlStore() { return cs_; }
+    const ControlStore &controlStore() const { return cs_; }
+    InstructionBuffer &ib() { return ib_; }
+    IFetch &ifetch() { return ifetch_; }
+    const SimConfig &config() const { return cfg_; }
+    /** @} */
+
+  private:
+    SimConfig cfg_;
+    ControlStore cs_;
+    MemSystem mem_;
+    InstructionBuffer ib_;
+    IFetch ifetch_;
+    InterruptController intc_;
+    IntervalTimer timer_;
+    HwCounters hw_;
+    std::unique_ptr<Ebox> ebox_;
+};
+
+} // namespace vax
+
+#endif // UPC780_CPU_CPU_HH

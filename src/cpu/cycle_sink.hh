@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Interface through which the EBOX exposes its micro-PC stream.
+ *
+ * The UPC histogram monitor implements this.  The interface carries
+ * exactly what the hardware monitor could see: the control-store
+ * address driving the machine this cycle and whether the cycle was a
+ * stall -- nothing else.
+ */
+
+#ifndef UPC780_CPU_CYCLE_SINK_HH
+#define UPC780_CPU_CYCLE_SINK_HH
+
+#include "ucode/annotations.hh"
+
+namespace vax
+{
+
+class CycleSink
+{
+  public:
+    virtual ~CycleSink() = default;
+
+    /**
+     * One machine cycle elapsed.
+     *
+     * @param upc     Control-store address of the microinstruction.
+     * @param stalled True if this was a stalled cycle (read, write or
+     *                IB stall -- the monitor does not distinguish; the
+     *                analysis does, from the annotations).
+     */
+    virtual void count(UAddr upc, bool stalled) = 0;
+};
+
+} // namespace vax
+
+#endif // UPC780_CPU_CYCLE_SINK_HH

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * The EBOX: the 11/780's microcoded execution engine.
+ *
+ * Each machine cycle either executes the microinstruction at the
+ * current micro-PC or is a stall (read, write or IB).  Every cycle is
+ * reported to the attached CycleSink with its micro-address -- the
+ * measurement surface of the UPC histogram monitor.
+ *
+ * Microcode conventions (enforced by the services below):
+ *  - IB requests (decodeOpcode / decodeSpec / ibGet) must be the first
+ *    action of a microword's semantic lambda, and the lambda must
+ *    return immediately if they fail; a stalled lambda is re-run.
+ *  - A microword issues at most one memory operation, as its last
+ *    action.  On a TB miss or unaligned reference, the machine takes a
+ *    one-cycle abort (counted at the dedicated abort micro-address,
+ *    the paper's Abort row), runs the service microcode, and then
+ *    re-issues the recorded operation without re-running the lambda,
+ *    so earlier register side effects are not repeated.
+ */
+
+#ifndef UPC780_CPU_EBOX_HH
+#define UPC780_CPU_EBOX_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/opcodes.hh"
+#include "arch/specifiers.hh"
+#include "arch/types.hh"
+#include "cpu/cycle_sink.hh"
+#include "cpu/hw_counters.hh"
+#include "cpu/ib.hh"
+#include "cpu/ifetch.hh"
+#include "cpu/interrupts.hh"
+#include "cpu/psl.hh"
+#include "mem/mem_system.hh"
+#include "ucode/control_store.hh"
+
+namespace vax
+{
+
+class IntervalTimer;
+
+/** Simulator-fatal architectural faults (workloads must avoid these). */
+enum class FaultKind : uint8_t {
+    ReservedInstruction,
+    ReservedOperand,
+    ReservedAddressingMode,
+    AccessViolation,
+    TranslationNotValid,
+    PrivilegedInstruction,
+    Breakpoint,
+    ArithmeticTrap,
+};
+
+/** Destination latch: where an instruction's result goes. */
+struct DstLatch
+{
+    enum class Kind : uint8_t { None, Reg, Mem } kind = Kind::None;
+    uint8_t reg = 0;
+    VirtAddr addr = 0;
+    DataType type = DataType::Long;
+};
+
+/**
+ * Decode and operand latches visible to microcode.
+ *
+ * These model the 11/780's internal latches loaded by the I-Decode
+ * hardware and the specifier microcode.
+ */
+struct Latches
+{
+    uint8_t opcode = 0;
+    const OpcodeInfo *info = nullptr;
+    VirtAddr instrPc = 0;     ///< address of the current instruction
+    uint8_t specIndex = 0;    ///< number of specifiers decoded so far
+
+    // Current specifier (set by decodeSpec).
+    AddrMode specMode = AddrMode::Register;
+    uint8_t specReg = 0;
+    uint8_t specLiteral = 0;
+    Access specAccess = Access::Read;
+    DataType specType = DataType::Long;
+    uint8_t specOpIndex = 0;
+    bool specIndexed = false;
+    uint8_t specIndexReg = 0;
+    uint32_t idxVal = 0;      ///< scaled index value
+
+    // Operand value latches (opHi holds the high half of quads).
+    uint32_t op[6] = {};
+    uint32_t opHi[6] = {};
+
+    // Result destinations (two for EDIV-style double writes).
+    uint8_t dstCount = 0;
+    DstLatch dst[2];
+
+    // Field (access type V) operand.
+    bool vIsReg = false;
+    uint8_t vReg = 0;
+    VirtAddr vAddr = 0;
+
+    // Working registers.
+    uint32_t va = 0;          ///< virtual address latch
+    uint32_t q = 0;           ///< IB data latch (ibGet result)
+    uint32_t t[8] = {};       ///< temporaries
+    uint32_t sc = 0;          ///< shift/loop counter
+    uint8_t strBuf[64] = {};  ///< string datapath buffer (decimal ops)
+    int64_t wide[2] = {};     ///< 64-bit scratch (decimal arithmetic)
+
+    /**
+     * Scratch registers reserved for the microtrap service routines.
+     * They interrupt instruction flows mid-stream, so the services
+     * must not touch t[]/sc/va; and because an alignment service's
+     * partial reference can itself TB-miss (nesting the fill routine
+     * inside), the two services use disjoint banks.
+     */
+    uint32_t mm[6] = {};   ///< TB-fill scratch
+    uint32_t alg[4] = {};  ///< alignment scratch
+};
+
+class Ebox
+{
+  public:
+    Ebox(const ControlStore &cs, MemSystem &mem, InstructionBuffer &ib,
+         IFetch &ifetch, InterruptController &intc, IntervalTimer &timer,
+         HwCounters &hw);
+
+    /** Attach/detach the UPC monitor. */
+    void setCycleSink(CycleSink *sink) { sink_ = sink; }
+
+    /** Optional per-instruction hook, fired at the decode cycle. */
+    void
+    setInstructionHook(std::function<void(VirtAddr, uint8_t)> hook)
+    {
+        instrHook_ = std::move(hook);
+    }
+
+    /** Start execution at pc in the given mode (PSL reset). */
+    void reset(VirtAddr pc, CpuMode mode = CpuMode::Kernel);
+
+    /** Execute one machine cycle. */
+    void cycle();
+
+    bool halted() const { return halted_; }
+
+    /** @{ Architectural state (for the OS builder and tests). */
+    uint32_t gpr(unsigned r) const { return gpr_[r]; }
+    void setGpr(unsigned r, uint32_t v);
+    Psl &psl() { return psl_; }
+    const Psl &psl() const { return psl_; }
+    uint32_t prRaw(unsigned idx) const { return pr_[idx]; }
+    void setPrRaw(unsigned idx, uint32_t v) { pr_[idx] = v; }
+    VirtAddr decodePc() const { return decodePc_; }
+    /** @} */
+
+    // ================= microcode services =================
+
+    /** @{ Sequencing. */
+    void uJump(ULabel l);
+    void uJumpAddr(UAddr a);
+    void uIf(bool cond, ULabel l);
+    void uCall(ULabel l);
+    void uRet();
+    void endInstruction();
+    void nextSpecOrExec();
+    void uTrapRet();           ///< return from MM/align service ucode
+    void uTrapRetSatisfied();  ///< same, but the op was serviced inline
+    /** @} */
+
+    /** @{ I-Decode and IB requests (first action of a lambda). */
+    bool decodeOpcode();
+    bool decodeSpec();
+    bool ibGet(unsigned bytes, bool sign_extend);
+    void ibSkip(unsigned bytes);
+    /** @} */
+
+    /** @{ Memory operations (last action of a lambda). */
+    void memRead(VirtAddr va, unsigned bytes);
+    void memReadPhys(PhysAddr pa);
+    void memWrite(VirtAddr va, uint32_t data, unsigned bytes);
+    void memWritePhys(PhysAddr pa, uint32_t data, unsigned bytes);
+    /** @} */
+
+    /** Memory data register (result of the last completed read). */
+    uint32_t md() const { return md_; }
+    void setMd(uint32_t v) { md_ = v; }
+
+    /** @{ TB services used by the fill microcode. */
+    void tbInsert(VirtAddr va, uint32_t pte_value);
+    bool tbProbeSystem(VirtAddr va, PhysAddr *pa);
+    /** Faulting VA of the trap being serviced. */
+    VirtAddr trapVaTop() const;
+    /** Kind (as raw enum value) of the trap being serviced. */
+    uint8_t trapKindTop() const;
+    bool trapIsWrite() const;
+    /** Details of the trapped op for the alignment microcode. */
+    void trappedOp(VirtAddr *va, uint32_t *data, unsigned *bytes) const;
+    void clearItbMissFlag() { ifetch_.clearItbMiss(); }
+    /** @} */
+
+    /** Expand a 6-bit short literal for the given data type. */
+    uint32_t expandLiteral(uint8_t literal, DataType type) const;
+
+    /** SPEC2-6 routine entry (used by the index-prefix microcode). */
+    UAddr
+    spec26Entry(AddrMode mode, SpecAccClass acc) const
+    {
+        return cs_.entries.spec[static_cast<size_t>(mode)][1]
+            [static_cast<size_t>(acc)];
+    }
+
+    /** Hardware counters (microcode increments a few cross-checks). */
+    HwCounters &hw() { return hw_; }
+
+    /** Redirect the I-stream (branch taken). */
+    void redirect(VirtAddr target);
+
+    /** Raise a simulator-fatal architectural fault. */
+    [[noreturn]] void fault(FaultKind kind, const char *detail = "");
+
+    /** @{ Processor registers with side effects (MTPR/MFPR flows). */
+    void mtpr(uint32_t regnum, uint32_t value);
+    uint32_t mfpr(uint32_t regnum);
+    /** @} */
+
+    /** Switch current mode, banking stack pointers. */
+    void switchMode(CpuMode m);
+
+    /** LDPCTX: invalidate the process half of the TB. */
+    void tbInvalidateProcess() { mem_.tb().invalidateProcess(); }
+
+    /** PROBE: true if the access would be allowed in the given mode. */
+    bool
+    probeAccess(VirtAddr va, bool is_write, CpuMode mode)
+    {
+        PhysAddr pa;
+        return mem_.probe(va, is_write, mode, &pa) !=
+            TbResult::AccessViolation;
+    }
+
+    /** Level of the interrupt being dispatched (interrupt microcode). */
+    unsigned pendingIntLevel() const { return pendingIntLevel_; }
+
+    /** Condition-code helpers for the execute flows. */
+    void setCcNz(uint32_t value, DataType type);
+    void setCcFromF(double value);
+
+    /** Decode latches. */
+    Latches lat;
+
+    /** General registers, directly visible to microcode. */
+    uint32_t &
+    r(unsigned n)
+    {
+        return gpr_[n];
+    }
+
+    /** Architectural PC as specifier microcode sees it. */
+    VirtAddr pcForSpec() const { return decodePc_; }
+
+    /** The halted flag (HALT instruction in kernel mode). */
+    void setHalted() { halted_ = true; }
+
+  private:
+    enum class State : uint8_t {
+        Running,
+        ReadStall,
+        WriteStall,
+        Reissue,    ///< re-issue a trapped memory op
+        Halted,
+    };
+
+    enum class TrapKind : uint8_t {
+        TbMissD, TbMissI, AlignRead, AlignWrite,
+    };
+
+    struct PendingMemOp
+    {
+        enum class Kind : uint8_t { None, Read, PhysRead, Write } kind =
+            Kind::None;
+        VirtAddr va = 0;
+        uint32_t data = 0;
+        unsigned bytes = 0;
+    };
+
+    struct TrapFrame
+    {
+        TrapKind kind;
+        UAddr trapUpc;      ///< microword that trapped
+        UAddr resumeUpc;    ///< where to continue after re-issue
+        bool resumeIsEnd;   ///< resume is an end-of-instruction
+        PendingMemOp op;    ///< op to re-issue (Kind::None: re-run)
+        VirtAddr va;        ///< faulting virtual address
+    };
+
+    void runMicroword();
+    UAddr resolveNext();
+    UAddr endTarget();
+    UAddr handlerFor(TrapKind kind) const;
+    bool trySpecDispatch(UAddr *target);
+    void takeTrap(TrapKind kind, VirtAddr va, const PendingMemOp &op);
+    void issueResult(const MemResult &res, const PendingMemOp &op);
+    void emitCycle(UAddr upc, bool stalled);
+
+    const ControlStore &cs_;
+    MemSystem &mem_;
+    InstructionBuffer &ib_;
+    IFetch &ifetch_;
+    InterruptController &intc_;
+    IntervalTimer &timer_;
+    HwCounters &hw_;
+    CycleSink *sink_ = nullptr;
+    std::function<void(VirtAddr, uint8_t)> instrHook_;
+
+    State state_ = State::Halted;
+    bool halted_ = true;
+    UAddr upc_ = 0;          ///< microword being executed / retried
+    UAddr afterMem_ = 0;     ///< resume address once a stall resolves
+    bool afterMemIsEnd_ = false;
+    uint32_t gpr_[NumGpr] = {};
+    Psl psl_;
+    uint32_t spBank_[4] = {};  ///< per-mode stack pointers (inactive)
+    uint32_t pr_[64] = {};
+    VirtAddr decodePc_ = 0;
+    uint32_t md_ = 0;
+
+    // Per-lambda transient flags.
+    bool seqSet_ = false;
+    UAddr nextUpc_ = 0;
+    bool pendingEnd_ = false;
+    bool ibFailed_ = false;
+    bool memIssued_ = false;
+    bool memTrapped_ = false;
+    bool reissuePending_ = false;
+    bool trapRetSatisfied_ = false;
+    MemStatus memStatus_ = MemStatus::Ok;
+    PendingMemOp curOp_;
+    VirtAddr curTrapVa_ = 0;
+    TrapKind curTrapKind_ = TrapKind::TbMissD;
+
+    // Reissue bookkeeping.
+    TrapFrame reissueFrame_;
+
+    std::vector<TrapFrame> trapStack_;
+    std::vector<UAddr> microStack_; ///< uCall/uRet
+    unsigned pendingIntLevel_ = 0;
+};
+
+} // namespace vax
+
+#endif // UPC780_CPU_EBOX_HH

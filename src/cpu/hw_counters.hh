@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Hardware event counters.
+ *
+ * These model the events the paper says are NOT visible to the UPC
+ * technique (and which Emer & Clark took from separate studies, e.g.
+ * the cache measurements of [2]): they are used for the Section 4
+ * implementation-events report and as cross-checks in the test suite.
+ * The analysis for Tables 1-9 uses only the histogram + annotations.
+ */
+
+#ifndef UPC780_CPU_HW_COUNTERS_HH
+#define UPC780_CPU_HW_COUNTERS_HH
+
+#include <cstdint>
+
+namespace vax
+{
+
+struct HwCounters
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;       ///< retired (decode-complete)
+    uint64_t specifiers = 0;         ///< all operand specifiers decoded
+    uint64_t firstSpecifiers = 0;
+    uint64_t indexedSpecifiers = 0;
+    uint64_t bdispBytes = 0;         ///< total branch-displacement bytes
+    uint64_t bdispCount = 0;         ///< instructions with a bdisp field
+    uint64_t immediateBytes = 0;     ///< immediate/absolute spec bytes
+    uint64_t dispBytes = 0;          ///< displacement bytes in specifiers
+    uint64_t unalignedRefs = 0;      ///< alignment microtraps
+    uint64_t microTraps = 0;         ///< all microtraps (abort cycles)
+    uint64_t interrupts = 0;         ///< interrupt microcode entries
+    uint64_t contextSwitches = 0;    ///< LDPCTX executions
+    uint64_t chmkCalls = 0;
+};
+
+} // namespace vax
+
+#endif // UPC780_CPU_HW_COUNTERS_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The instruction buffer.
+ *
+ * A byte FIFO between the I-Fetch unit and I-Decode; 8 bytes on the
+ * 11/780, configurable here for what-if studies.  The front byte
+ * always corresponds to the EBOX's decode PC.  Skips (displacement
+ * bytes of untaken branches) drop bytes as they become available
+ * without stalling the EBOX.
+ */
+
+#ifndef UPC780_CPU_IB_HH
+#define UPC780_CPU_IB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+class InstructionBuffer
+{
+  public:
+    explicit InstructionBuffer(unsigned capacity = 8)
+        : bytes_(capacity, 0)
+    {
+        upc_assert(capacity >= 4);
+    }
+
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(bytes_.size());
+    }
+
+    unsigned avail() const { return count_; }
+    unsigned freeBytes() const { return capacity() - count_; }
+    unsigned pendingSkip() const { return pendingSkip_; }
+
+    /** Look at the i-th buffered byte (i < avail()). */
+    uint8_t
+    peek(unsigned i) const
+    {
+        upc_assert(i < count_);
+        return bytes_[(head_ + i) % capacity()];
+    }
+
+    /** Remove n bytes from the front. */
+    void
+    consume(unsigned n)
+    {
+        upc_assert(n <= count_);
+        head_ = (head_ + n) % capacity();
+        count_ -= n;
+    }
+
+    /**
+     * Drop n upcoming bytes: available ones now, the rest as they
+     * arrive.  Never stalls.
+     */
+    void
+    skip(unsigned n)
+    {
+        unsigned now = n < count_ ? n : count_;
+        consume(now);
+        pendingSkip_ += n - now;
+    }
+
+    /** Append a fetched byte (skipped bytes are dropped here). */
+    void
+    push(uint8_t b)
+    {
+        if (pendingSkip_ > 0) {
+            --pendingSkip_;
+            return;
+        }
+        upc_assert(count_ < capacity());
+        bytes_[(head_ + count_) % capacity()] = b;
+        ++count_;
+    }
+
+    /** Room for another fetched byte (skips absorb without room). */
+    bool
+    canAccept() const
+    {
+        return pendingSkip_ > 0 || count_ < capacity();
+    }
+
+    void
+    flush()
+    {
+        head_ = 0;
+        count_ = 0;
+        pendingSkip_ = 0;
+    }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    unsigned head_ = 0;
+    unsigned count_ = 0;
+    unsigned pendingSkip_ = 0;
+};
+
+} // namespace vax
+
+#endif // UPC780_CPU_IB_HH

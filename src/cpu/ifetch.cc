@@ -1,0 +1,78 @@
+#include "cpu/ifetch.hh"
+
+namespace vax
+{
+
+void
+IFetch::acceptLongword(uint32_t data)
+{
+    unsigned offset = viba_ & 3;
+    for (unsigned i = offset; i < 4; ++i) {
+        if (!ib_.canAccept())
+            break;
+        ib_.push(static_cast<uint8_t>(data >> (8 * i)));
+        ++viba_;
+    }
+}
+
+void
+IFetch::cycle(CpuMode mode)
+{
+    // Collect a completed fill first.
+    if (mem_.ibFillDone()) {
+        uint32_t data = mem_.takeIbFillData();
+        bool discard = discardFill_;
+        discardFill_ = false;
+        awaitingFill_ = false;
+        if (!discard)
+            acceptLongword(data);
+    }
+
+    if (redirectDelay_ > 0) {
+        // The EBOX redirected the stream last cycle; address setup
+        // takes a cycle before the first target fetch can issue.
+        --redirectDelay_;
+        return;
+    }
+    if (awaitingFill_ || itbMiss_)
+        return;
+    if (!ib_.canAccept() && ib_.pendingSkip() == 0)
+        return;
+    if (ib_.freeBytes() == 0 && ib_.pendingSkip() == 0)
+        return;
+    if (mem_.eboxPortUsed())
+        return; // the EBOX had the cache this cycle
+
+    IbResult res = mem_.ibFetch(viba_ & ~3u, mode);
+    switch (res.status) {
+      case IbStatus::Data:
+        acceptLongword(res.data);
+        break;
+      case IbStatus::Wait:
+        awaitingFill_ = true;
+        break;
+      case IbStatus::TbMiss:
+        itbMiss_ = true;
+        itbMissVa_ = viba_;
+        break;
+      case IbStatus::AccessViolation:
+        // Treated like a TB miss; the fill microcode will discover the
+        // violation when it examines the PTE.
+        itbMiss_ = true;
+        itbMissVa_ = viba_;
+        break;
+    }
+}
+
+void
+IFetch::redirect(VirtAddr pc)
+{
+    ib_.flush();
+    viba_ = pc;
+    itbMiss_ = false;
+    redirectDelay_ = 2;
+    if (awaitingFill_)
+        discardFill_ = true;
+}
+
+} // namespace vax

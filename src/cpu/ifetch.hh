@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The autonomous I-Fetch unit.
+ *
+ * Fetches the instruction stream into the IB whenever at least one
+ * byte of the buffer is empty, the EBOX did not use the cache port
+ * this cycle, and no I-stream TB miss is outstanding.  Fetches are
+ * aligned longwords; the unit accepts as many bytes as fit, so it can
+ * re-reference the same longword (an implementation property the paper
+ * calls out).  An I-stream TB miss sets a flag; the EBOX notices when
+ * decode starves and runs the fill microcode.
+ */
+
+#ifndef UPC780_CPU_IFETCH_HH
+#define UPC780_CPU_IFETCH_HH
+
+#include "arch/types.hh"
+#include "cpu/ib.hh"
+#include "mem/mem_system.hh"
+
+namespace vax
+{
+
+class IFetch
+{
+  public:
+    IFetch(InstructionBuffer &ib, MemSystem &mem) : ib_(ib), mem_(mem) {}
+
+    /** Attempt one fetch step; call once per machine cycle. */
+    void cycle(CpuMode mode);
+
+    /** Restart fetching at a new PC (branch taken, REI, ...). */
+    void redirect(VirtAddr pc);
+
+    bool itbMiss() const { return itbMiss_; }
+    VirtAddr itbMissVa() const { return itbMissVa_; }
+
+    /** Clear the miss flag (TB-fill microcode completed). */
+    void clearItbMiss() { itbMiss_ = false; }
+
+    VirtAddr viba() const { return viba_; }
+
+  private:
+    void acceptLongword(uint32_t data);
+
+    InstructionBuffer &ib_;
+    MemSystem &mem_;
+    VirtAddr viba_ = 0;       ///< VA of next I-stream byte to fetch
+    unsigned redirectDelay_ = 0; ///< dead cycles after a redirect
+    bool itbMiss_ = false;
+    VirtAddr itbMissVa_ = 0;
+    bool awaitingFill_ = false;
+    bool discardFill_ = false;
+};
+
+} // namespace vax
+
+#endif // UPC780_CPU_IFETCH_HH

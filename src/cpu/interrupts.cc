@@ -1,0 +1,72 @@
+#include "cpu/interrupts.hh"
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+void
+InterruptController::postDevice(unsigned level)
+{
+    upc_assert(level >= 16 && level < 32);
+    deviceLines_ |= 1u << level;
+    ++devicePosts_;
+}
+
+void
+InterruptController::requestSoftware(unsigned level)
+{
+    upc_assert(level >= 1 && level < 16);
+    sisr_ |= static_cast<uint16_t>(1u << level);
+    ++swRequests_;
+}
+
+int
+InterruptController::pendingAbove(unsigned ipl) const
+{
+    for (int level = 31; level > static_cast<int>(ipl); --level) {
+        if (level >= 16) {
+            if (deviceLines_ & (1u << level))
+                return level;
+        } else if (level >= 1) {
+            if (sisr_ & (1u << level))
+                return level;
+        }
+    }
+    return -1;
+}
+
+void
+InterruptController::acknowledge(unsigned level)
+{
+    if (level >= 16)
+        deviceLines_ &= ~(1u << level);
+    else
+        sisr_ &= static_cast<uint16_t>(~(1u << level));
+}
+
+bool
+IntervalTimer::tick()
+{
+    if (!(iccs_ & runBit))
+        return false;
+    if (icr_ == 0)
+        icr_ = nicr_;
+    if (icr_ == 0)
+        return false;
+    if (--icr_ == 0) {
+        icr_ = nicr_;
+        return (iccs_ & intEnableBit) != 0;
+    }
+    return false;
+}
+
+void
+IntervalTimer::setIccs(uint32_t v)
+{
+    iccs_ = v;
+    if (v & runBit && icr_ == 0)
+        icr_ = nicr_;
+}
+
+} // namespace vax

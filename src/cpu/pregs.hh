@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Internal processor register numbers (MTPR/MFPR operands).
+ *
+ * Values follow the VAX architecture where they fit in our 64-entry
+ * file; registers the simulator does not model read as zero.
+ */
+
+#ifndef UPC780_CPU_PREGS_HH
+#define UPC780_CPU_PREGS_HH
+
+#include <cstdint>
+
+namespace vax
+{
+namespace pr
+{
+
+constexpr uint32_t KSP = 0;     ///< kernel stack pointer
+constexpr uint32_t USP = 3;     ///< user stack pointer
+constexpr uint32_t P0BR = 8;    ///< P0 base register (system VA)
+constexpr uint32_t P0LR = 9;    ///< P0 length (pages)
+constexpr uint32_t P1BR = 10;
+constexpr uint32_t P1LR = 11;
+constexpr uint32_t SBR = 12;    ///< system page table base (physical)
+constexpr uint32_t SLR = 13;    ///< system page table length
+constexpr uint32_t PCBB = 16;   ///< process control block base (physical)
+constexpr uint32_t SCBB = 17;   ///< system control block base (physical)
+constexpr uint32_t IPL = 18;
+constexpr uint32_t SIRR = 20;   ///< software interrupt request (write)
+constexpr uint32_t SISR = 21;   ///< software interrupt summary
+constexpr uint32_t ICCS = 24;   ///< interval clock control/status
+constexpr uint32_t NICR = 25;   ///< next interval count (cycles)
+constexpr uint32_t ICR = 26;    ///< interval count (read)
+constexpr uint32_t MAPEN = 56;  ///< memory mapping enable
+constexpr uint32_t TBIA = 57;   ///< TB invalidate all (write)
+constexpr uint32_t TBIS = 58;   ///< TB invalidate single (write VA)
+
+constexpr uint32_t NumPr = 64;
+
+} // namespace pr
+} // namespace vax
+
+#endif // UPC780_CPU_PREGS_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Processor status longword.
+ *
+ * Layout (subset of the VAX PSL): condition codes in bits 3:0
+ * (C, V, Z, N), IPL in bits 20:16, previous mode in bits 23:22,
+ * current mode in bits 25:24.
+ */
+
+#ifndef UPC780_CPU_PSL_HH
+#define UPC780_CPU_PSL_HH
+
+#include <cstdint>
+
+#include "arch/types.hh"
+
+namespace vax
+{
+
+struct Psl
+{
+    CondCodes cc;
+    uint8_t ipl = 0;                   ///< interrupt priority, 0-31
+    CpuMode cur = CpuMode::Kernel;
+    CpuMode prev = CpuMode::Kernel;
+
+    uint32_t
+    pack() const
+    {
+        uint32_t v = 0;
+        v |= cc.c ? 1u : 0;
+        v |= cc.v ? 2u : 0;
+        v |= cc.z ? 4u : 0;
+        v |= cc.n ? 8u : 0;
+        v |= static_cast<uint32_t>(ipl & 0x1F) << 16;
+        v |= static_cast<uint32_t>(prev) << 22;
+        v |= static_cast<uint32_t>(cur) << 24;
+        return v;
+    }
+
+    static Psl
+    unpack(uint32_t v)
+    {
+        Psl p;
+        p.cc.c = v & 1;
+        p.cc.v = v & 2;
+        p.cc.z = v & 4;
+        p.cc.n = v & 8;
+        p.ipl = (v >> 16) & 0x1F;
+        p.prev = static_cast<CpuMode>((v >> 22) & 3);
+        p.cur = static_cast<CpuMode>((v >> 24) & 3);
+        return p;
+    }
+};
+
+} // namespace vax
+
+#endif // UPC780_CPU_PSL_HH

@@ -1,0 +1,36 @@
+#include "cpu/tracer.hh"
+
+#include <cstdio>
+
+#include "cpu/cpu.hh"
+
+namespace vax
+{
+
+void
+InstructionTracer::attach(Cpu780 &cpu)
+{
+    cpu.ebox().setInstructionHook(
+        [this, &cpu](VirtAddr pc, uint8_t opcode) {
+            record(cpu.cycles(), pc, opcode, cpu.ebox().psl().cur);
+        });
+}
+
+std::vector<std::string>
+InstructionTracer::format(const ByteReader &read) const
+{
+    std::vector<std::string> out;
+    out.reserve(ring_.size());
+    for (const auto &r : ring_) {
+        auto d = disassemble(r.pc, read);
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "%10llu %c %08x  %s",
+                      static_cast<unsigned long long>(r.cycle),
+                      r.mode == CpuMode::Kernel ? 'K' : 'U', r.pc,
+                      d.text.c_str());
+        out.emplace_back(buf);
+    }
+    return out;
+}
+
+} // namespace vax

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Instruction tracing.
+ *
+ * The EBOX exposes an optional per-instruction hook (fired at decode,
+ * i.e. at the IID cycle).  InstructionTracer implements it with a
+ * bounded ring of disassembled records -- the tool the 1984 authors
+ * did NOT have (trace-driven studies are what the paper contrasts its
+ * method against), provided here for debugging and for validating the
+ * histogram against an exact instruction stream.
+ */
+
+#ifndef UPC780_CPU_TRACER_HH
+#define UPC780_CPU_TRACER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "arch/disasm.hh"
+#include "arch/types.hh"
+
+namespace vax
+{
+
+class Cpu780;
+
+/** One traced instruction. */
+struct TraceRecord
+{
+    uint64_t cycle = 0;
+    VirtAddr pc = 0;
+    uint8_t opcode = 0;
+    CpuMode mode = CpuMode::Kernel;
+};
+
+/**
+ * Bounded instruction-trace ring.
+ *
+ * Attach with attach(); the records of the most recent instructions
+ * are available afterwards, optionally disassembled through the
+ * current address mapping.
+ */
+class InstructionTracer
+{
+  public:
+    explicit InstructionTracer(size_t capacity = 64)
+        : capacity_(capacity)
+    {
+    }
+
+    /** Install the hook on a CPU (replaces any previous hook). */
+    void attach(Cpu780 &cpu);
+
+    /** Record one instruction (the hook target). */
+    void
+    record(uint64_t cycle, VirtAddr pc, uint8_t opcode, CpuMode mode)
+    {
+        if (ring_.size() == capacity_)
+            ring_.pop_front();
+        ring_.push_back({cycle, pc, opcode, mode});
+        ++total_;
+    }
+
+    /** Instructions seen since attach. */
+    uint64_t total() const { return total_; }
+
+    const std::deque<TraceRecord> &records() const { return ring_; }
+
+    /**
+     * Render the ring as disassembled text lines using the given
+     * byte reader (e.g. a physical reader for unmapped machines).
+     */
+    std::vector<std::string> format(const ByteReader &read) const;
+
+    void
+    clear()
+    {
+        ring_.clear();
+        total_ = 0;
+    }
+
+  private:
+    size_t capacity_;
+    std::deque<TraceRecord> ring_;
+    uint64_t total_ = 0;
+};
+
+} // namespace vax
+
+#endif // UPC780_CPU_TRACER_HH

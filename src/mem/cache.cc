@@ -1,0 +1,105 @@
+#include "mem/cache.hh"
+
+#include "support/bitutil.hh"
+#include "support/logging.hh"
+
+namespace vax
+{
+
+Cache::Cache(const MemConfig &cfg, uint64_t seed)
+    : blockBytes_(cfg.cacheBlockBytes),
+      ways_(cfg.cacheWays),
+      sets_(cfg.cacheBytes / (cfg.cacheBlockBytes * cfg.cacheWays)),
+      lines_(sets_ * ways_),
+      rng_(seed)
+{
+    upc_assert(isPowerOf2(blockBytes_));
+    upc_assert(isPowerOf2(sets_));
+    upc_assert(ways_ >= 1);
+}
+
+uint32_t
+Cache::setIndex(PhysAddr pa) const
+{
+    return (pa / blockBytes_) & (sets_ - 1);
+}
+
+uint32_t
+Cache::tagOf(PhysAddr pa) const
+{
+    return (pa / blockBytes_) / sets_;
+}
+
+bool
+Cache::probe(PhysAddr pa) const
+{
+    uint32_t set = setIndex(pa);
+    uint32_t tag = tagOf(pa);
+    for (uint32_t w = 0; w < ways_; ++w) {
+        const Line &l = lines_[set * ways_ + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::readRef(PhysAddr pa, bool istream)
+{
+    bool hit = probe(pa);
+    if (istream) {
+        ++stats_.readRefsI;
+        if (!hit)
+            ++stats_.readMissesI;
+    } else {
+        ++stats_.readRefsD;
+        if (!hit)
+            ++stats_.readMissesD;
+    }
+    return hit;
+}
+
+void
+Cache::writeRef(PhysAddr pa)
+{
+    ++stats_.writeRefs;
+    if (probe(pa))
+        ++stats_.writeHits;
+    // Write-through, no allocate: tags unchanged either way.
+}
+
+void
+Cache::fill(PhysAddr pa)
+{
+    uint32_t set = setIndex(pa);
+    uint32_t tag = tagOf(pa);
+    // If it's already present (e.g. racing I/D fills of one block),
+    // nothing to do.
+    for (uint32_t w = 0; w < ways_; ++w) {
+        Line &l = lines_[set * ways_ + w];
+        if (l.valid && l.tag == tag)
+            return;
+    }
+    // Prefer an invalid way; otherwise random replacement (as on the
+    // real 780).
+    for (uint32_t w = 0; w < ways_; ++w) {
+        Line &l = lines_[set * ways_ + w];
+        if (!l.valid) {
+            l.valid = true;
+            l.tag = tag;
+            return;
+        }
+    }
+    Line &victim = lines_[set * ways_ + rng_.below(ways_)];
+    victim.tag = tag;
+    victim.valid = true;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &l : lines_)
+        l.valid = false;
+}
+
+} // namespace vax

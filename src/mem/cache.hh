@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The 11/780 data/instruction cache model.
+ *
+ * Write-through with no write-allocate, physically addressed, shared
+ * by the EBOX D-stream and the instruction buffer's I-stream.  Because
+ * writes go straight through, memory is always current and the cache
+ * is modelled tag-only: hits and misses are timing events, data comes
+ * from physical memory.
+ *
+ * The real 780 cache is 8 KB, two-way set-associative with 8-byte
+ * blocks and random replacement; all of that is configurable here.
+ */
+
+#ifndef UPC780_MEM_CACHE_HH
+#define UPC780_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/types.hh"
+#include "mem/mem_config.hh"
+#include "support/random.hh"
+
+namespace vax
+{
+
+/** Per-stream cache statistics (the paper's separate cache study). */
+struct CacheStats
+{
+    uint64_t readRefsI = 0;    ///< I-stream read references
+    uint64_t readMissesI = 0;
+    uint64_t readRefsD = 0;    ///< D-stream read references
+    uint64_t readMissesD = 0;
+    uint64_t writeRefs = 0;
+    uint64_t writeHits = 0;
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const MemConfig &cfg, uint64_t seed = 0xcac4e);
+
+    /**
+     * Look up a read reference.
+     *
+     * @param pa Physical address of the (aligned) reference.
+     * @param istream True for IB fetches, false for EBOX D-stream.
+     * @return True on hit.  A miss does NOT fill; call fill() when the
+     *         SBI transaction completes.
+     */
+    bool readRef(PhysAddr pa, bool istream);
+
+    /**
+     * Look up a write reference (write-through, no allocate).
+     *
+     * A hit would update the stored data on a real machine; with a
+     * tag-only model the call just records the hit.
+     */
+    void writeRef(PhysAddr pa);
+
+    /** Install the block containing pa (end of a miss fill). */
+    void fill(PhysAddr pa);
+
+    /** Invalidate everything (power-up or explicit flush). */
+    void invalidateAll();
+
+    const CacheStats &stats() const { return stats_; }
+
+    uint32_t numSets() const { return sets_; }
+    uint32_t numWays() const { return ways_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+    };
+
+    uint32_t setIndex(PhysAddr pa) const;
+    uint32_t tagOf(PhysAddr pa) const;
+    bool probe(PhysAddr pa) const;
+
+    uint32_t blockBytes_;
+    uint32_t ways_;
+    uint32_t sets_;
+    std::vector<Line> lines_; ///< sets_ * ways_, way-major within set
+    CacheStats stats_;
+    Rng rng_;
+};
+
+} // namespace vax
+
+#endif // UPC780_MEM_CACHE_HH

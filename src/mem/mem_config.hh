@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Memory-subsystem configuration.
+ *
+ * Defaults model the VAX-11/780: 8 KB two-way write-through cache with
+ * 8-byte blocks, a 128-entry translation buffer split into 64-entry
+ * system and process halves, a one-longword write buffer that drains
+ * in 6 cycles, and a 6-cycle read-miss penalty in the simplest case.
+ */
+
+#ifndef UPC780_MEM_MEM_CONFIG_HH
+#define UPC780_MEM_MEM_CONFIG_HH
+
+#include <cstdint>
+
+namespace vax
+{
+
+struct MemConfig
+{
+    uint32_t memBytes = 8u << 20;        ///< 8 MB, as in the paper
+    uint32_t cacheBytes = 8u << 10;      ///< data/instruction cache size
+    uint32_t cacheWays = 2;
+    uint32_t cacheBlockBytes = 8;
+    uint32_t tbProcessEntries = 64;      ///< process-half TB entries
+    uint32_t tbSystemEntries = 64;       ///< system-half TB entries
+    uint32_t readMissPenalty = 6;        ///< stall cycles, simplest case
+    uint32_t writeDrainCycles = 6;       ///< write-buffer busy per write
+    uint32_t ibFillPenalty = 6;          ///< SBI cycles for an IB fill
+};
+
+} // namespace vax
+
+#endif // UPC780_MEM_MEM_CONFIG_HH

@@ -1,0 +1,264 @@
+#include "mem/mem_system.hh"
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+MemSystem::MemSystem(const MemConfig &cfg, uint64_t seed)
+    : cfg_(cfg), phys_(cfg.memBytes), cache_(cfg, seed), tb_(cfg)
+{
+}
+
+bool
+MemSystem::crossesLongword(VirtAddr va, unsigned bytes)
+{
+    return (va & 3) + bytes > 4;
+}
+
+TbResult
+MemSystem::translate(VirtAddr va, bool is_write, CpuMode mode,
+                     bool istream, PhysAddr *pa_out)
+{
+    if (!mapEnable_) {
+        *pa_out = va;
+        return TbResult::Hit;
+    }
+    return tb_.lookup(va, is_write, mode, istream, pa_out);
+}
+
+MemResult
+MemSystem::dataRead(VirtAddr va, unsigned bytes, CpuMode mode)
+{
+    upc_assert(!eboxReadActive_ && !eboxReadQueued_ && !eboxReadReady_);
+    upc_assert(bytes >= 1 && bytes <= 4);
+
+    if (crossesLongword(va, bytes))
+        return {MemStatus::Unaligned};
+
+    PhysAddr pa;
+    TbResult tr = translate(va, false, mode, false, &pa);
+    if (tr == TbResult::Miss)
+        return {MemStatus::TbMiss};
+    if (tr == TbResult::AccessViolation)
+        return {MemStatus::AccessViolation};
+
+    eboxPortUsed_ = true;
+    ++dataReads_;
+    if (cache_.readRef(pa, false))
+        return {MemStatus::Ok, phys_.read(pa, bytes)};
+
+    startOrQueueEboxFill(pa, bytes);
+    return {MemStatus::Stall};
+}
+
+MemResult
+MemSystem::physRead(PhysAddr pa)
+{
+    upc_assert(!eboxReadActive_ && !eboxReadQueued_ && !eboxReadReady_);
+    eboxPortUsed_ = true;
+    ++dataReads_;
+    if (cache_.readRef(pa, false))
+        return {MemStatus::Ok, phys_.read(pa, 4)};
+    startOrQueueEboxFill(pa, 4);
+    return {MemStatus::Stall};
+}
+
+void
+MemSystem::startOrQueueEboxFill(PhysAddr pa, unsigned bytes)
+{
+    eboxReadPa_ = pa;
+    eboxReadBytes_ = bytes;
+    if (fill_ == FillKind::None) {
+        fill_ = FillKind::Ebox;
+        fillPa_ = pa;
+        // +1 so that after this cycle's tick() the requester stalls for
+        // exactly readMissPenalty cycles in the simplest case.
+        sbi_.start(cfg_.readMissPenalty + 1);
+        eboxReadActive_ = true;
+    } else {
+        eboxReadQueued_ = true;
+    }
+}
+
+uint32_t
+MemSystem::takeEboxReadData()
+{
+    upc_assert(eboxReadReady_);
+    eboxReadReady_ = false;
+    return eboxReadData_;
+}
+
+MemResult
+MemSystem::dataWrite(VirtAddr va, uint32_t data, unsigned bytes,
+                     CpuMode mode)
+{
+    upc_assert(bytes >= 1 && bytes <= 4);
+    upc_assert(!eboxWritePending_ && !eboxWriteDone_);
+
+    if (crossesLongword(va, bytes))
+        return {MemStatus::Unaligned};
+
+    PhysAddr pa;
+    TbResult tr = translate(va, true, mode, false, &pa);
+    if (tr == TbResult::Miss)
+        return {MemStatus::TbMiss};
+    if (tr == TbResult::AccessViolation)
+        return {MemStatus::AccessViolation};
+
+    eboxPortUsed_ = true;
+    ++dataWrites_;
+    if (!wb_.busy()) {
+        applyWrite(pa, data, bytes);
+        return {MemStatus::Ok};
+    }
+    eboxWritePending_ = true;
+    eboxWritePa_ = pa;
+    eboxWriteData_ = data;
+    eboxWriteBytes_ = bytes;
+    return {MemStatus::Stall};
+}
+
+MemResult
+MemSystem::physWrite(PhysAddr pa, uint32_t data, unsigned bytes)
+{
+    upc_assert(bytes >= 1 && bytes <= 4);
+    upc_assert(!eboxWritePending_ && !eboxWriteDone_);
+    upc_assert(!crossesLongword(pa, bytes));
+
+    eboxPortUsed_ = true;
+    ++dataWrites_;
+    if (!wb_.busy()) {
+        applyWrite(pa, data, bytes);
+        return {MemStatus::Ok};
+    }
+    eboxWritePending_ = true;
+    eboxWritePa_ = pa;
+    eboxWriteData_ = data;
+    eboxWriteBytes_ = bytes;
+    return {MemStatus::Stall};
+}
+
+void
+MemSystem::applyWrite(PhysAddr pa, uint32_t data, unsigned bytes)
+{
+    phys_.write(pa, data, bytes);
+    cache_.writeRef(pa);
+    wb_.accept(cfg_.writeDrainCycles);
+    for (const auto &h : ioHooks_)
+        if (pa >= h.lo && pa <= h.hi)
+            h.fn(pa, data);
+}
+
+void
+MemSystem::addIoWriteHook(PhysAddr lo, PhysAddr hi,
+                          std::function<void(PhysAddr, uint32_t)> fn)
+{
+    ioHooks_.push_back({lo, hi, std::move(fn)});
+}
+
+IbResult
+MemSystem::ibFetch(VirtAddr va, CpuMode mode)
+{
+    upc_assert((va & 3) == 0);
+
+    if (ibFillActive_ || ibFillQueued_ || ibFillReady_)
+        return {IbStatus::Wait};
+
+    PhysAddr pa;
+    TbResult tr = translate(va, false, mode, true, &pa);
+    if (tr == TbResult::Miss)
+        return {IbStatus::TbMiss};
+    if (tr == TbResult::AccessViolation)
+        return {IbStatus::AccessViolation};
+
+    ++ibFetches_;
+    if (cache_.readRef(pa, true))
+        return {IbStatus::Data, phys_.read(pa, 4)};
+
+    ibFillPa_ = pa;
+    if (fill_ == FillKind::None) {
+        fill_ = FillKind::Ib;
+        fillPa_ = pa;
+        sbi_.start(cfg_.ibFillPenalty + 1);
+        ibFillActive_ = true;
+    } else {
+        ibFillQueued_ = true;
+    }
+    return {IbStatus::Wait};
+}
+
+uint32_t
+MemSystem::takeIbFillData()
+{
+    upc_assert(ibFillReady_);
+    ibFillReady_ = false;
+    return ibFillData_;
+}
+
+TbResult
+MemSystem::probe(VirtAddr va, bool is_write, CpuMode mode,
+                 PhysAddr *pa_out)
+{
+    if (!mapEnable_) {
+        *pa_out = va;
+        return TbResult::Hit;
+    }
+    return tb_.lookup(va, is_write, mode, false, pa_out, false);
+}
+
+void
+MemSystem::maybeStartQueuedFill()
+{
+    if (fill_ != FillKind::None)
+        return;
+    // EBOX has priority over the instruction buffer.
+    if (eboxReadQueued_) {
+        eboxReadQueued_ = false;
+        eboxReadActive_ = true;
+        fill_ = FillKind::Ebox;
+        fillPa_ = eboxReadPa_;
+        sbi_.start(cfg_.readMissPenalty + 1);
+    } else if (ibFillQueued_) {
+        ibFillQueued_ = false;
+        ibFillActive_ = true;
+        fill_ = FillKind::Ib;
+        fillPa_ = ibFillPa_;
+        sbi_.start(cfg_.ibFillPenalty + 1);
+    }
+}
+
+void
+MemSystem::tick()
+{
+    eboxPortUsed_ = false;
+    wb_.tick();
+
+    if (sbi_.tick()) {
+        // Fill transaction completed: install the block, hand data to
+        // the requester.
+        cache_.fill(fillPa_);
+        if (fill_ == FillKind::Ebox) {
+            upc_assert(eboxReadActive_);
+            eboxReadActive_ = false;
+            eboxReadReady_ = true;
+            eboxReadData_ = phys_.read(eboxReadPa_, eboxReadBytes_);
+        } else if (fill_ == FillKind::Ib) {
+            upc_assert(ibFillActive_);
+            ibFillActive_ = false;
+            ibFillReady_ = true;
+            ibFillData_ = phys_.read(ibFillPa_, 4);
+        }
+        fill_ = FillKind::None;
+        maybeStartQueuedFill();
+    }
+
+    // Apply a queued write once the buffer frees.
+    if (eboxWritePending_ && !wb_.busy()) {
+        applyWrite(eboxWritePa_, eboxWriteData_, eboxWriteBytes_);
+        eboxWritePending_ = false;
+        eboxWriteDone_ = true;
+    }
+}
+
+} // namespace vax

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * VAX page-table entry format and virtual-address fields.
+ *
+ * We use a simplified PTE: bit 31 valid, bit 30 user-read, bit 29
+ * user-write, bits 20:0 the page frame number.  Kernel mode always has
+ * full access to valid pages.  Virtual addresses follow the VAX:
+ * bits 31:30 select the region (P0, P1, S0), bits 29:9 are the VPN,
+ * bits 8:0 the byte within the 512-byte page.
+ */
+
+#ifndef UPC780_MEM_PAGE_TABLE_HH
+#define UPC780_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+
+#include "arch/types.hh"
+
+namespace vax
+{
+
+/** Virtual address regions. */
+enum class VaRegion : uint8_t { P0 = 0, P1 = 1, S0 = 2, Reserved = 3 };
+
+constexpr VaRegion
+vaRegion(VirtAddr va)
+{
+    return static_cast<VaRegion>(va >> 30);
+}
+
+/** Virtual page number within the region (21 bits). */
+constexpr uint32_t
+vaVpn(VirtAddr va)
+{
+    return (va >> pageShift) & 0x1FFFFF;
+}
+
+constexpr uint32_t
+vaOffset(VirtAddr va)
+{
+    return va & (pageBytes - 1);
+}
+
+/** Start of VAX system space. */
+constexpr VirtAddr systemBase = 0x80000000u;
+
+namespace pte
+{
+
+constexpr uint32_t validBit = 1u << 31;
+constexpr uint32_t userReadBit = 1u << 30;
+constexpr uint32_t userWriteBit = 1u << 29;
+constexpr uint32_t pfnMask = 0x1FFFFF;
+
+/** Build a PTE for the given frame with the given user rights. */
+constexpr uint32_t
+make(uint32_t pfn, bool user_read, bool user_write)
+{
+    return validBit | (user_read ? userReadBit : 0) |
+        (user_write ? userWriteBit : 0) | (pfn & pfnMask);
+}
+
+constexpr bool valid(uint32_t e) { return e & validBit; }
+constexpr bool userRead(uint32_t e) { return e & userReadBit; }
+constexpr bool userWrite(uint32_t e) { return e & userWriteBit; }
+constexpr uint32_t pfn(uint32_t e) { return e & pfnMask; }
+
+} // namespace pte
+
+} // namespace vax
+
+#endif // UPC780_MEM_PAGE_TABLE_HH

@@ -1,0 +1,55 @@
+#include "mem/phys_mem.hh"
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+PhysicalMemory::PhysicalMemory(uint32_t size_bytes)
+    : data_(size_bytes, 0)
+{
+}
+
+uint8_t
+PhysicalMemory::readByte(PhysAddr pa) const
+{
+    upc_assert(pa < data_.size());
+    return data_[pa];
+}
+
+uint32_t
+PhysicalMemory::read(PhysAddr pa, unsigned bytes) const
+{
+    upc_assert(bytes >= 1 && bytes <= 4);
+    upc_assert(static_cast<uint64_t>(pa) + bytes <= data_.size());
+    uint32_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= static_cast<uint32_t>(data_[pa + i]) << (8 * i);
+    return v;
+}
+
+void
+PhysicalMemory::writeByte(PhysAddr pa, uint8_t v)
+{
+    upc_assert(pa < data_.size());
+    data_[pa] = v;
+}
+
+void
+PhysicalMemory::write(PhysAddr pa, uint32_t v, unsigned bytes)
+{
+    upc_assert(bytes >= 1 && bytes <= 4);
+    upc_assert(static_cast<uint64_t>(pa) + bytes <= data_.size());
+    for (unsigned i = 0; i < bytes; ++i)
+        data_[pa + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void
+PhysicalMemory::load(PhysAddr pa, const std::vector<uint8_t> &image)
+{
+    upc_assert(static_cast<uint64_t>(pa) + image.size() <= data_.size());
+    for (size_t i = 0; i < image.size(); ++i)
+        data_[pa + i] = image[i];
+}
+
+} // namespace vax

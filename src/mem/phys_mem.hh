@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Flat physical memory backing store.
+ */
+
+#ifndef UPC780_MEM_PHYS_MEM_HH
+#define UPC780_MEM_PHYS_MEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/types.hh"
+
+namespace vax
+{
+
+/**
+ * The machine's physical memory.
+ *
+ * With a write-through cache, memory is always current, so the cache
+ * model can be tag-only and all data comes from here.
+ */
+class PhysicalMemory
+{
+  public:
+    explicit PhysicalMemory(uint32_t size_bytes);
+
+    /** Total size in bytes. */
+    uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+
+    /** @{ Little-endian accessors; out-of-range addresses panic. */
+    uint8_t readByte(PhysAddr pa) const;
+    uint32_t read(PhysAddr pa, unsigned bytes) const;
+    void writeByte(PhysAddr pa, uint8_t v);
+    void write(PhysAddr pa, uint32_t v, unsigned bytes);
+    /** @} */
+
+    /** Bulk-load an image (used by the OS loader). */
+    void load(PhysAddr pa, const std::vector<uint8_t> &image);
+
+  private:
+    std::vector<uint8_t> data_;
+};
+
+} // namespace vax
+
+#endif // UPC780_MEM_PHYS_MEM_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synchronous Backplane Interconnect timing model.
+ *
+ * One cache-fill transaction (EBOX read miss or IB fill) may be in
+ * flight at a time; a second requester waits for the bus.  Write
+ * drains are tracked by the write buffer and, per DESIGN.md, do not
+ * contend with fills in this model.
+ */
+
+#ifndef UPC780_MEM_SBI_HH
+#define UPC780_MEM_SBI_HH
+
+#include <cstdint>
+
+namespace vax
+{
+
+class Sbi
+{
+  public:
+    bool busy() const { return remaining_ > 0; }
+    uint32_t remaining() const { return remaining_; }
+
+    /** Claim the bus for the given number of cycles. */
+    void
+    start(uint32_t cycles)
+    {
+        remaining_ = cycles;
+        ++transactions_;
+    }
+
+    /** Advance one cycle; returns true if a transaction just ended. */
+    bool
+    tick()
+    {
+        if (remaining_ == 0)
+            return false;
+        --remaining_;
+        return remaining_ == 0;
+    }
+
+    uint64_t transactions() const { return transactions_; }
+
+  private:
+    uint32_t remaining_ = 0;
+    uint64_t transactions_ = 0;
+};
+
+} // namespace vax
+
+#endif // UPC780_MEM_SBI_HH

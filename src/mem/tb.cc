@@ -1,0 +1,99 @@
+#include "mem/tb.hh"
+
+#include "support/bitutil.hh"
+#include "support/logging.hh"
+
+namespace vax
+{
+
+TranslationBuffer::TranslationBuffer(const MemConfig &cfg)
+    : process_(cfg.tbProcessEntries), system_(cfg.tbSystemEntries)
+{
+    upc_assert(isPowerOf2(cfg.tbProcessEntries));
+    upc_assert(isPowerOf2(cfg.tbSystemEntries));
+}
+
+uint32_t
+TranslationBuffer::keyOf(VirtAddr va)
+{
+    return (static_cast<uint32_t>(vaRegion(va)) << 21) | vaVpn(va);
+}
+
+TranslationBuffer::Entry *
+TranslationBuffer::entryFor(VirtAddr va)
+{
+    uint32_t vpn = vaVpn(va);
+    if (vaRegion(va) == VaRegion::S0)
+        return &system_[vpn & (system_.size() - 1)];
+    return &process_[vpn & (process_.size() - 1)];
+}
+
+TbResult
+TranslationBuffer::lookup(VirtAddr va, bool is_write, CpuMode mode,
+                          bool istream, PhysAddr *pa_out,
+                          bool count_stats)
+{
+    if (count_stats) {
+        if (istream)
+            ++stats_.lookupsI;
+        else
+            ++stats_.lookupsD;
+    }
+
+    Entry *e = entryFor(va);
+    if (!e->valid || e->key != keyOf(va)) {
+        if (count_stats) {
+            if (istream)
+                ++stats_.missesI;
+            else
+                ++stats_.missesD;
+        }
+        return TbResult::Miss;
+    }
+
+    if (mode != CpuMode::Kernel) {
+        bool allowed = is_write ? pte::userWrite(e->pte)
+                                : pte::userRead(e->pte);
+        if (!allowed)
+            return TbResult::AccessViolation;
+    }
+
+    *pa_out = (pte::pfn(e->pte) << pageShift) | vaOffset(va);
+    return TbResult::Hit;
+}
+
+void
+TranslationBuffer::insert(VirtAddr va, uint32_t pte_value)
+{
+    Entry *e = entryFor(va);
+    e->valid = true;
+    e->key = keyOf(va);
+    e->pte = pte_value;
+}
+
+void
+TranslationBuffer::invalidateAll()
+{
+    for (auto &e : process_)
+        e.valid = false;
+    for (auto &e : system_)
+        e.valid = false;
+}
+
+void
+TranslationBuffer::invalidateProcess()
+{
+    ++stats_.processFlushes;
+    for (auto &e : process_)
+        e.valid = false;
+}
+
+void
+TranslationBuffer::invalidateSingle(VirtAddr va)
+{
+    Entry *e = entryFor(va);
+    if (e->valid && e->key == keyOf(va))
+        e->valid = false;
+}
+
+} // namespace vax

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The VMS-lite system-call and device ABI shared by the kernel
+ * builder, the workload generator and the RTE.
+ */
+
+#ifndef UPC780_OS_ABI_HH
+#define UPC780_OS_ABI_HH
+
+#include <cstdint>
+
+namespace vax
+{
+namespace abi
+{
+
+/** CHMK system-service codes (dispatch by CASEL in the kernel). */
+constexpr uint32_t sysExit = 0;     ///< restart the process image
+constexpr uint32_t sysWaitTerm = 1; ///< block until terminal input
+constexpr uint32_t sysPuts = 2;     ///< write string (R1=buf, R2=len)
+constexpr uint32_t sysGets = 3;     ///< read canned line into (R1)
+constexpr uint32_t sysGetTime = 4;  ///< R0 = tick count
+constexpr uint32_t sysDiskRead = 5; ///< block until a disk transfer
+
+/** Interrupt levels used by the machine configuration. */
+constexpr unsigned iplTimer = 22;
+constexpr unsigned iplTerminal = 21;
+constexpr unsigned iplDisk = 20;
+constexpr unsigned iplResched = 3;  ///< software, requested via SIRR
+constexpr unsigned iplFork = 2;     ///< software fork-level work
+
+/** Bytes copied by sysGets. */
+constexpr uint32_t getsLineBytes = 16;
+
+/** Process states in the kernel process table. */
+constexpr uint32_t stateRunnable = 0;
+constexpr uint32_t stateWaiting = 1;
+constexpr uint32_t stateNull = 2;
+constexpr uint32_t stateWaitingDisk = 3;
+
+/** Process-table entry layout (32 bytes). */
+constexpr uint32_t ptQnode = 0;   ///< queue node (flink, blink)
+constexpr uint32_t ptPcb = 8;     ///< PCB physical address
+constexpr uint32_t ptState = 12;
+constexpr uint32_t ptTermId = 16;
+constexpr uint32_t ptEntry = 20;  ///< user entry point (restart)
+constexpr uint32_t ptStride = 32;
+
+/** Device mailbox (physical memory, written by the host side):
+ *  +0 head (host), +4 tail (kernel), +8.. 64 ring entries of 8 bytes
+ *  {id, kind}.  Kind 0 = terminal line (id = terminal), kind 1 =
+ *  disk completion (id = process index). */
+constexpr uint32_t mbxHead = 0;
+constexpr uint32_t mbxTail = 4;
+constexpr uint32_t mbxRing = 8;
+constexpr uint32_t mbxEntries = 64;
+constexpr uint32_t mbxEntryBytes = 8;
+constexpr uint32_t mbxKindTerminal = 0;
+constexpr uint32_t mbxKindDisk = 1;
+
+} // namespace abi
+} // namespace vax
+
+#endif // UPC780_OS_ABI_HH

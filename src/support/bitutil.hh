@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ */
+
+#ifndef UPC780_SUPPORT_BITUTIL_HH
+#define UPC780_SUPPORT_BITUTIL_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace vax
+{
+
+/** Extract bits [first, last] (inclusive, last >= first) of val. */
+constexpr uint32_t
+bits(uint32_t val, unsigned last, unsigned first)
+{
+    uint32_t mask = (last - first >= 31)
+        ? ~0u : ((1u << (last - first + 1)) - 1);
+    return (val >> first) & mask;
+}
+
+/** Sign-extend the low n bits of val to 32 bits. */
+constexpr int32_t
+sext(uint32_t val, unsigned n)
+{
+    uint32_t m = 1u << (n - 1);
+    uint32_t x = val & ((n >= 32) ? ~0u : ((1u << n) - 1));
+    return static_cast<int32_t>((x ^ m) - m);
+}
+
+/** Round addr down to a multiple of align (align must be a power of 2). */
+constexpr uint32_t
+alignDown(uint32_t addr, uint32_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Round addr up to a multiple of align (align must be a power of 2). */
+constexpr uint32_t
+alignUp(uint32_t addr, uint32_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** True if addr is a multiple of align (align must be a power of 2). */
+constexpr bool
+isAligned(uint32_t addr, uint32_t align)
+{
+    return (addr & (align - 1)) == 0;
+}
+
+/** Floor of log2(x); x must be > 0. */
+constexpr unsigned
+floorLog2(uint32_t x)
+{
+    unsigned r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** True if x is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(uint32_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace vax
+
+#endif // UPC780_SUPPORT_BITUTIL_HH

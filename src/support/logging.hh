@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Status and error reporting for the upc780 simulator.
+ *
+ * Follows the gem5 convention: panic() is for simulator bugs (things
+ * that should never happen regardless of user input) and aborts;
+ * fatal() is for user errors (bad configuration, bad workload) and
+ * exits cleanly; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef UPC780_SUPPORT_LOGGING_HH
+#define UPC780_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace vax
+{
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Internal formatting and dispatch for all log messages.
+ *
+ * @param level Severity; Fatal exits, Panic aborts.
+ * @param fmt printf-style format string.
+ */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Report a condition the user should know about but not worry about. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report possibly-incorrect behaviour that may still work well enough. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Terminate due to a user error (bad config, bad input); exits(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Terminate due to a simulator bug; aborts (core dump possible). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a simulator invariant; panics with location info on failure.
+ */
+#define upc_assert(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::vax::panic("assertion '%s' failed at %s:%d",              \
+                         #cond, __FILE__, __LINE__);                    \
+        }                                                               \
+    } while (0)
+
+} // namespace vax
+
+#endif // UPC780_SUPPORT_LOGGING_HH

@@ -1,0 +1,93 @@
+#include "support/random.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+Rng::Rng(uint64_t seed)
+    : state_(seed ? seed : 0x9e3779b97f4a7c15ULL)
+{
+    // Warm the state so that small seeds diverge quickly.
+    for (int i = 0; i < 4; ++i)
+        next();
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dULL;
+}
+
+uint32_t
+Rng::below(uint32_t bound)
+{
+    upc_assert(bound > 0);
+    return static_cast<uint32_t>(next() % bound);
+}
+
+int32_t
+Rng::range(int32_t lo, int32_t hi)
+{
+    upc_assert(lo <= hi);
+    uint32_t span = static_cast<uint32_t>(hi - lo) + 1;
+    return lo + static_cast<int32_t>(span == 0 ? next() : below(span));
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * (1.0 / 9007199254740992.0); // 2^53
+}
+
+uint32_t
+Rng::geometric(double mean)
+{
+    upc_assert(mean >= 1.0);
+    // Geometric on {1, 2, ...} with the requested mean has success
+    // probability 1/mean.
+    double p = 1.0 / mean;
+    double u = uniform();
+    // Inverse CDF; guard the log against u == 0.
+    double v = std::log(1.0 - u) / std::log(1.0 - p);
+    uint32_t n = 1 + static_cast<uint32_t>(v);
+    uint32_t cap = static_cast<uint32_t>(64.0 * mean);
+    return n > cap ? cap : n;
+}
+
+size_t
+Rng::pickWeighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        upc_assert(w >= 0.0);
+        total += w;
+    }
+    upc_assert(total > 0.0);
+    double r = uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace vax

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of randomness in the simulator and workload generator
+ * draws from a seeded Xorshift64* stream so that all experiments are
+ * reproducible bit-for-bit.
+ */
+
+#ifndef UPC780_SUPPORT_RANDOM_HH
+#define UPC780_SUPPORT_RANDOM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace vax
+{
+
+/**
+ * Xorshift64* generator.
+ *
+ * Small, fast, and deterministic; quality is more than adequate for
+ * workload synthesis.
+ */
+class Rng
+{
+  public:
+    /** Construct from a nonzero seed (0 is remapped internally). */
+    explicit Rng(uint64_t seed = 0x780aceULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint32_t below(uint32_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int32_t range(int32_t lo, int32_t hi);
+
+    /** Bernoulli trial: true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /**
+     * Geometric-ish positive count with the given mean (>= 1).
+     *
+     * Used for loop trip counts and string lengths; truncated at
+     * 64 * mean to bound workload run time.
+     */
+    uint32_t geometric(double mean);
+
+    /**
+     * Pick an index according to a weight table.
+     *
+     * @param weights Non-negative weights; at least one must be > 0.
+     * @return Index in [0, weights.size()).
+     */
+    size_t pickWeighted(const std::vector<double> &weights);
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace vax
+
+#endif // UPC780_SUPPORT_RANDOM_HH

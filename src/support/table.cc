@@ -1,0 +1,128 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace vax
+{
+
+TextTable::TextTable(std::string caption)
+    : caption_(std::move(caption))
+{
+}
+
+void
+TextTable::addRow(const std::vector<std::string> &cells)
+{
+    rows_.push_back(cells);
+}
+
+void
+TextTable::rule()
+{
+    rulesBefore_.push_back(rows_.size());
+}
+
+namespace
+{
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) &&
+            c != '.' && c != '-' && c != '+' && c != '%' && c != ',' &&
+            c != 'e' && c != 'x')
+            return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+std::string
+TextTable::str() const
+{
+    size_t ncols = 0;
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<size_t> width(ncols, 0);
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 2;
+
+    std::ostringstream out;
+    if (!caption_.empty())
+        out << caption_ << "\n";
+
+    auto hrule = [&]() {
+        out << std::string(total, '-') << "\n";
+    };
+
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        for (size_t k : rulesBefore_)
+            if (k == i)
+                hrule();
+        const auto &r = rows_[i];
+        for (size_t c = 0; c < ncols; ++c) {
+            std::string cell = c < r.size() ? r[c] : "";
+            bool right = i > 0 && looksNumeric(cell);
+            if (right)
+                out << std::string(width[c] - cell.size(), ' ') << cell;
+            else
+                out << cell << std::string(width[c] - cell.size(), ' ');
+            out << "  ";
+        }
+        out << "\n";
+        if (i == 0)
+            hrule();
+    }
+    for (size_t k : rulesBefore_)
+        if (k == rows_.size())
+            hrule();
+    return out.str();
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::count(uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int n = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (n && n % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++n;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace vax

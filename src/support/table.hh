@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table formatter used by the bench harness to print the
+ * paper's tables next to the measured values.
+ */
+
+#ifndef UPC780_SUPPORT_TABLE_HH
+#define UPC780_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace vax
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * The first added row is treated as the header.  Numeric cells are
+ * right-aligned, text cells left-aligned.  A separator line is drawn
+ * under the header and wherever rule() is called.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with an optional caption printed above it. */
+    explicit TextTable(std::string caption = "");
+
+    /** Add a row of preformatted cells. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Add a horizontal rule before the next row. */
+    void rule();
+
+    /** Render the whole table. */
+    std::string str() const;
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 3);
+
+    /** Format a percentage with the given number of decimals. */
+    static std::string pct(double v, int decimals = 1);
+
+    /** Format an integer with thousands separators. */
+    static std::string count(uint64_t v);
+
+  private:
+    std::string caption_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> rulesBefore_;
+};
+
+} // namespace vax
+
+#endif // UPC780_SUPPORT_TABLE_HH

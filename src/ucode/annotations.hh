@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Static per-address annotations of the control store.
+ *
+ * The UPC monitor records only (micro-address, stalled?) counts.  To
+ * turn those counts into the paper's tables, the analyst needs to know
+ * what each control-store location *is*: which activity row of Table 8
+ * it belongs to, whether the microinstruction issues a read or a write
+ * (stall classification), whether it requests bytes from the IB, and
+ * whether it marks a countable event (instruction decode, specifier
+ * entry, execute-flow entry, taken branch, TB-miss service entry...).
+ *
+ * This mirrors what Emer & Clark did by hand with DEC's microcode
+ * listings; here the annotations are emitted together with the
+ * microcode itself.
+ */
+
+#ifndef UPC780_UCODE_ANNOTATIONS_HH
+#define UPC780_UCODE_ANNOTATIONS_HH
+
+#include <cstdint>
+
+#include "arch/opcodes.hh"
+#include "arch/specifiers.hh"
+#include "arch/types.hh"
+
+namespace vax
+{
+
+/** Micro-address. */
+using UAddr = uint16_t;
+
+/** Activity rows of Table 8. */
+enum class Row : uint8_t {
+    Decode,      ///< the one non-overlapped I-Decode cycle (IID)
+    Spec1,       ///< first-specifier processing
+    Spec26,      ///< specifiers 2-6 (and shared/indexed flows)
+    Bdisp,       ///< branch displacement processing
+    ExecSimple,
+    ExecField,
+    ExecFloat,
+    ExecCallRet,
+    ExecSystem,
+    ExecCharacter,
+    ExecDecimal,
+    IntExcept,   ///< interrupt and exception microcode
+    MemMgmt,     ///< TB miss service and alignment microcode
+    Abort,       ///< abort cycles (one per microcode trap)
+    NumRows,
+};
+
+/** Printable name of a Table 8 row. */
+const char *rowName(Row r);
+
+/** Map an instruction group to its execute row. */
+Row execRowFor(Group g);
+
+/** Memory behaviour of a microinstruction (stall classification). */
+enum class UMemKind : uint8_t { None, Read, Write };
+
+/** Countable-event markers attached to specific micro-addresses. */
+enum class UMark : uint8_t {
+    None,
+    Iid,           ///< instruction decode: count = instructions
+    Spec1Decode,   ///< first-specifier decode request
+    Spec26Decode,  ///< subsequent-specifier decode request
+    SpecModeEntry, ///< entry of a specifier-mode routine
+    SpecIndexed,   ///< entry of the shared index-prefix routine
+    ExecEntry,     ///< entry of an execute flow
+    BranchTaken,   ///< PC actually changed (redirect cycle)
+    BdispFetch,    ///< branch displacement fetched and target computed
+    TbMissD,       ///< D-stream TB miss service entry
+    TbMissI,       ///< I-stream TB miss service entry
+    InterruptEntry,
+    SwIntRequest,  ///< software interrupt requested (MTPR SIRR)
+    CtxSwitch,     ///< LDPCTX entry: one per context switch
+    UnalignedEntry,
+    ExceptionEntry,
+};
+
+/**
+ * Full annotation of one control-store location.
+ */
+struct UAnnotation
+{
+    Row row = Row::ExecSimple;
+    UMemKind mem = UMemKind::None;
+    bool ibRequest = false;       ///< may consume IB bytes (IB stall)
+    UMark mark = UMark::None;
+    // Mark parameters (valid depending on mark):
+    AddrMode specMode = AddrMode::Register; ///< for SpecModeEntry
+    bool spec1 = false;                     ///< for SpecModeEntry
+    ExecFlow flow = ExecFlow::None;         ///< for ExecEntry
+    PcChangeKind pck = PcChangeKind::None;  ///< for BranchTaken
+    const char *name = "";                  ///< routine/uword label
+};
+
+} // namespace vax
+
+#endif // UPC780_UCODE_ANNOTATIONS_HH

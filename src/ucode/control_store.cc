@@ -1,0 +1,100 @@
+#include "ucode/control_store.hh"
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+const char *
+rowName(Row r)
+{
+    switch (r) {
+      case Row::Decode:        return "Decode";
+      case Row::Spec1:         return "SPEC1";
+      case Row::Spec26:        return "SPEC2-6";
+      case Row::Bdisp:         return "B-DISP";
+      case Row::ExecSimple:    return "Simple";
+      case Row::ExecField:     return "Field";
+      case Row::ExecFloat:     return "Float";
+      case Row::ExecCallRet:   return "Call/Ret";
+      case Row::ExecSystem:    return "System";
+      case Row::ExecCharacter: return "Character";
+      case Row::ExecDecimal:   return "Decimal";
+      case Row::IntExcept:     return "Int/Except";
+      case Row::MemMgmt:       return "Mem Mgmt";
+      case Row::Abort:         return "Abort";
+      default:                 return "?";
+    }
+}
+
+Row
+execRowFor(Group g)
+{
+    switch (g) {
+      case Group::Simple:    return Row::ExecSimple;
+      case Group::Field:     return Row::ExecField;
+      case Group::Float:     return Row::ExecFloat;
+      case Group::CallRet:   return Row::ExecCallRet;
+      case Group::System:    return Row::ExecSystem;
+      case Group::Character: return Row::ExecCharacter;
+      case Group::Decimal:   return Row::ExecDecimal;
+      default: panic("bad group");
+    }
+}
+
+SpecAccClass
+specAccClass(Access a)
+{
+    switch (a) {
+      case Access::Read:    return SpecAccClass::Read;
+      case Access::Write:   return SpecAccClass::Write;
+      case Access::Modify:  return SpecAccClass::Modify;
+      case Access::Address:
+      case Access::Field:   return SpecAccClass::Addr;
+      case Access::Branch:  break;
+    }
+    panic("branch operand has no specifier class");
+}
+
+UAddr
+ControlStore::labelAddr(ULabel l) const
+{
+    upc_assert(l < labels_.size());
+    int32_t a = labels_[l];
+    if (a < 0)
+        panic("microcode label %u used but never bound", l);
+    return static_cast<UAddr>(a);
+}
+
+UAddr
+MicroAssembler::emit(const UAnnotation &ann, USem sem)
+{
+    if (cs_.words_.size() >= ControlStore::capacity)
+        panic("control store exceeds the %u-location histogram board",
+              ControlStore::capacity);
+    cs_.words_.push_back(MicroWord{std::move(sem), ann});
+    return static_cast<UAddr>(cs_.words_.size() - 1);
+}
+
+ULabel
+MicroAssembler::newLabel()
+{
+    cs_.labels_.push_back(-1);
+    return static_cast<ULabel>(cs_.labels_.size() - 1);
+}
+
+void
+MicroAssembler::bind(ULabel l)
+{
+    bindAt(l, here());
+}
+
+void
+MicroAssembler::bindAt(ULabel l, UAddr a)
+{
+    upc_assert(l < cs_.labels_.size());
+    upc_assert(cs_.labels_[l] < 0);
+    cs_.labels_[l] = a;
+}
+
+} // namespace vax

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The EBOX control store and its assembler.
+ *
+ * Each control-store location holds one microinstruction: a semantic
+ * action (the register-transfer work, expressed as a callable on the
+ * EBOX) plus the static annotation the UPC analysis needs.  The
+ * 11/780's control store held 4K-6K 99-bit words; the histogram board
+ * had 16K buckets, which bounds our store too.
+ *
+ * Micro-branch targets are label ids resolved through the store's
+ * label table, so forward references inside a routine are cheap.
+ */
+
+#ifndef UPC780_UCODE_CONTROL_STORE_HH
+#define UPC780_UCODE_CONTROL_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/opcodes.hh"
+#include "arch/specifiers.hh"
+#include "ucode/annotations.hh"
+
+namespace vax
+{
+
+class Ebox;
+
+/** Semantic action of one microinstruction. */
+using USem = std::function<void(Ebox &)>;
+
+/** A micro-branch label (index into the store's label table). */
+using ULabel = uint32_t;
+
+struct MicroWord
+{
+    USem sem;
+    UAnnotation ann;
+};
+
+/**
+ * Well-known dispatch targets, filled in by the microcode ROM builder
+ * and consulted by the EBOX's hardware-decode services.
+ */
+/** Access classes used to select a specifier routine variant. */
+enum class SpecAccClass : uint8_t { Read, Write, Modify, Addr, NumClasses };
+
+/** Map an operand access type to its routine class. */
+SpecAccClass specAccClass(Access a);
+
+struct EntryPoints
+{
+    UAddr iid = 0;             ///< instruction decode microinstruction
+    /**
+     * The "insufficient bytes in the IB" dispatch locations for
+     * specifier decode, one per position class.  Executions here are
+     * IB-stall cycles, exactly as the paper describes the counting.
+     */
+    std::array<UAddr, 2> specWait{};
+    UAddr abort = 0;           ///< counting location for abort cycles
+    UAddr tbMissD = 0;         ///< D-stream TB miss service
+    UAddr tbMissI = 0;         ///< I-stream TB miss service
+    UAddr alignRead = 0;       ///< unaligned read service
+    UAddr alignWrite = 0;      ///< unaligned write service
+    UAddr interrupt = 0;       ///< interrupt dispatch microcode
+    UAddr exception = 0;       ///< exception dispatch microcode
+    /** Execute-flow entries, indexed by ExecFlow. */
+    std::array<UAddr, static_cast<size_t>(ExecFlow::NumFlows)> exec{};
+    /**
+     * Specifier-mode routine entries: [mode][0=spec1,1=spec2-6][class].
+     * The decode hardware dispatches directly here (zero cycles), as
+     * the real machine's decode ROM did.
+     */
+    UAddr spec[static_cast<size_t>(AddrMode::NumModes)][2]
+              [static_cast<size_t>(SpecAccClass::NumClasses)] = {};
+    /**
+     * Index-prefix routines (per position class).  Both fall into the
+     * SPEC2-6 copy of the base-mode routine -- the microcode sharing
+     * that makes the paper report indexed first-specifier base
+     * calculation under SPEC2-6.
+     */
+    std::array<UAddr, 2> indexPrefix{};
+};
+
+class ControlStore
+{
+  public:
+    /** Histogram-board capacity: 16K count locations. */
+    static constexpr unsigned capacity = 16384;
+
+    UAddr size() const { return static_cast<UAddr>(words_.size()); }
+
+    const MicroWord &
+    word(UAddr a) const
+    {
+        return words_[a];
+    }
+
+    const UAnnotation &
+    annotation(UAddr a) const
+    {
+        return words_[a].ann;
+    }
+
+    /** Resolve a label to its bound address (panics if unbound). */
+    UAddr labelAddr(ULabel l) const;
+
+    EntryPoints entries;
+
+  private:
+    friend class MicroAssembler;
+    std::vector<MicroWord> words_;
+    std::vector<int32_t> labels_; ///< -1 = unbound
+};
+
+/**
+ * Emits microinstructions into a ControlStore.
+ *
+ * The ROM builder functions (rom_*.cc) use this to lay down routines
+ * and record entry points and annotations.
+ */
+class MicroAssembler
+{
+  public:
+    explicit MicroAssembler(ControlStore &cs) : cs_(cs) {}
+
+    /** Next address to be emitted. */
+    UAddr here() const { return cs_.size(); }
+
+    /** Emit one microinstruction; returns its address. */
+    UAddr emit(const UAnnotation &ann, USem sem);
+
+    /** Allocate an unbound label. */
+    ULabel newLabel();
+
+    /** Bind a label to the current address. */
+    void bind(ULabel l);
+
+    /** Bind a label to a specific address. */
+    void bindAt(ULabel l, UAddr a);
+
+    ControlStore &store() { return cs_; }
+
+  private:
+    ControlStore &cs_;
+};
+
+} // namespace vax
+
+#endif // UPC780_UCODE_CONTROL_STORE_HH

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Microcode ROM builder.
+ *
+ * Fills a ControlStore with the complete 11/780 microcode of this
+ * implementation: the decode framework, all specifier routines, the
+ * memory-management and interrupt microcode, and the execute flows of
+ * every instruction group.
+ */
+
+#ifndef UPC780_UCODE_ROM_HH
+#define UPC780_UCODE_ROM_HH
+
+#include "ucode/control_store.hh"
+
+namespace vax
+{
+
+/** Build the full microcode ROM into cs (must be empty). */
+void buildMicrocodeRom(ControlStore &cs);
+
+} // namespace vax
+
+#endif // UPC780_UCODE_ROM_HH

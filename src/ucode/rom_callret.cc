@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Execute flows of the CALL/RET group: CALLG/CALLS/RET and the
+ * multi-register push/pop instructions.
+ *
+ * These flows generate the register-save traffic that makes CALL/RET
+ * the dominant row of the paper's Table 8 (large write counts through
+ * the one-longword write buffer produce the group's write stalls).
+ */
+
+#include "ucode/rom_ctx.hh"
+
+namespace vax
+{
+
+namespace
+{
+
+constexpr Group G = Group::CallRet;
+constexpr Row R = Row::ExecCallRet;
+
+/** Highest set bit index <= limit, or -1. */
+int
+highestBit(uint32_t mask, int limit)
+{
+    for (int i = limit; i >= 0; --i)
+        if (mask & (1u << i))
+            return i;
+    return -1;
+}
+
+/** Lowest set bit index, or -1. */
+int
+lowestBit(uint32_t mask)
+{
+    for (int i = 0; i < 16; ++i)
+        if (mask & (1u << i))
+            return i;
+    return -1;
+}
+
+void
+buildCall(RomCtx &c)
+{
+    // Shared CALL body: t0 = register-save mask, t1 = entry address,
+    // t2 = new AP, t5 = S flag (CALLS).
+    ULabel shared = c.lbl();
+    ULabel scan = c.lbl(), pushr = c.lbl(), pushpc = c.lbl();
+
+    // CALLS numarg.rl, dst.ab
+    execEntry(c, ExecFlow::CallS, G, "CALLS", [](Ebox &e) {
+        e.memRead(e.lat.op[1], 2); // entry mask
+    }, UMemKind::Read);
+    c.emitWrite(R, "CALLS.pushn", [](Ebox &e) {
+        e.lat.t[0] = e.md() & 0x0FFF;
+        e.lat.t[1] = e.lat.op[1];
+        e.lat.t[5] = 1; // S flag
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), e.lat.op[0], 4);
+    });
+    c.emit(R, "CALLS.setap", [shared](Ebox &e) {
+        e.lat.t[2] = e.r(SP);
+        e.uJump(shared);
+    });
+
+    // CALLG arglist.ab, dst.ab
+    execEntry(c, ExecFlow::CallG, G, "CALLG", [](Ebox &e) {
+        e.memRead(e.lat.op[1], 2);
+    }, UMemKind::Read);
+    c.emit(R, "CALLG.setup", [shared](Ebox &e) {
+        e.lat.t[0] = e.md() & 0x0FFF;
+        e.lat.t[1] = e.lat.op[1];
+        e.lat.t[2] = e.lat.op[0]; // AP = arglist
+        e.lat.t[5] = 0;
+        e.uJump(shared);
+    });
+
+    // Shared: push registers per mask (descending), then the frame.
+    c.bind(shared);
+    c.emit(R, "CALL.init", [](Ebox &e) {
+        e.lat.t[3] = e.lat.t[0]; // working mask
+        e.lat.t[6] = e.md();     // keep the raw mask word
+    });
+    c.bind(scan);
+    c.emit(R, "CALL.scan", [pushr, pushpc](Ebox &e) {
+        int bit = highestBit(e.lat.t[3], 11);
+        if (bit < 0) {
+            e.uJump(pushpc);
+        } else {
+            e.lat.sc = static_cast<uint32_t>(bit);
+            e.uJump(pushr);
+        }
+    });
+    c.bind(pushr);
+    c.emitWrite(R, "CALL.pushr", [scan](Ebox &e) {
+        e.lat.t[3] &= ~(1u << e.lat.sc);
+        e.r(SP) -= 4;
+        e.uJump(scan);
+        e.memWrite(e.r(SP), e.r(e.lat.sc), 4);
+    });
+    c.bind(pushpc);
+    // Stack alignment and probe cycles of the real CALL microcode.
+    c.emit(R, "CALL.salign", [](Ebox &e) { (void)e; });
+    c.emit(R, "CALL.sprobe", [](Ebox &e) { (void)e; });
+    c.emitWrite(R, "CALL.pushpc", [](Ebox &e) {
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), e.decodePc(), 4);
+    });
+    c.emitWrite(R, "CALL.pushfp", [](Ebox &e) {
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), e.r(FP), 4);
+    });
+    c.emitWrite(R, "CALL.pushap", [](Ebox &e) {
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), e.r(AP), 4);
+    });
+    c.emitWrite(R, "CALL.pushmsk", [](Ebox &e) {
+        uint32_t w = e.lat.t[0] | (e.lat.t[5] << 29);
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), w, 4);
+    });
+    c.emitWrite(R, "CALL.pushhnd", [](Ebox &e) {
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), 0, 4);
+    });
+    c.emit(R, "CALL.fin", [](Ebox &e) {
+        e.r(FP) = e.r(SP);
+        e.r(AP) = e.lat.t[2];
+        e.psl().cc = CondCodes();
+        e.redirect(e.lat.t[1] + 2); // skip the entry mask
+        e.endInstruction();
+    });
+}
+
+void
+buildRet(RomCtx &c)
+{
+    ULabel popscan = c.lbl(), popr = c.lbl(), popdone = c.lbl();
+    ULabel popargs = c.lbl(), fin = c.lbl();
+
+    execEntry(c, ExecFlow::Ret, G, "RET", [](Ebox &e) {
+        e.memRead(e.r(FP) + 4, 4); // mask/flags longword
+    }, UMemKind::Read);
+    c.emit(R, "RET.mask", [](Ebox &e) {
+        e.lat.t[0] = e.md() & 0x0FFF;
+        e.lat.t[5] = (e.md() >> 29) & 1;
+        e.r(SP) = e.r(FP) + 8;
+    });
+    // Frame consistency checks and PSW restore of the real microcode.
+    c.emit(R, "RET.chk1", [](Ebox &e) { (void)e; });
+    c.emit(R, "RET.chk2", [](Ebox &e) { (void)e; });
+    c.emit(R, "RET.psw", [](Ebox &e) { (void)e; });
+    c.emitRead(R, "RET.rdap", [](Ebox &e) {
+        e.memRead(e.r(SP), 4);
+        e.r(SP) += 4;
+    });
+    c.emitRead(R, "RET.rdfp", [](Ebox &e) {
+        e.r(AP) = e.md();
+        e.memRead(e.r(SP), 4);
+        e.r(SP) += 4;
+    });
+    c.emitRead(R, "RET.rdpc", [](Ebox &e) {
+        e.r(FP) = e.md();
+        e.memRead(e.r(SP), 4);
+        e.r(SP) += 4;
+    });
+    c.emit(R, "RET.savepc", [popscan](Ebox &e) {
+        e.lat.t[4] = e.md();
+        e.uJump(popscan);
+    });
+    c.bind(popscan);
+    c.emit(R, "RET.scan", [popr, popdone](Ebox &e) {
+        int bit = lowestBit(e.lat.t[0]);
+        if (bit < 0) {
+            e.uJump(popdone);
+        } else {
+            e.lat.sc = static_cast<uint32_t>(bit);
+            e.uJump(popr);
+        }
+    });
+    c.bind(popr);
+    c.emitRead(R, "RET.popr", [](Ebox &e) {
+        e.memRead(e.r(SP), 4);
+        e.r(SP) += 4;
+    });
+    c.emit(R, "RET.wreg", [popscan](Ebox &e) {
+        e.r(e.lat.sc) = e.md();
+        e.lat.t[0] &= ~(1u << e.lat.sc);
+        e.uJump(popscan);
+    });
+    c.bind(popdone);
+    c.emit(R, "RET.sflag", [popargs, fin](Ebox &e) {
+        e.uJump(e.lat.t[5] ? popargs : fin);
+    });
+    c.bind(popargs);
+    c.emitRead(R, "RET.rdn", [](Ebox &e) { e.memRead(e.r(SP), 4); });
+    c.emit(R, "RET.popn", [fin](Ebox &e) {
+        e.r(SP) += 4 + 4 * (e.md() & 0xFF);
+        e.uJump(fin);
+    });
+    c.bind(fin);
+    c.emit(R, "RET.go", [](Ebox &e) {
+        e.redirect(e.lat.t[4]);
+        e.endInstruction();
+    });
+}
+
+void
+buildPushPopR(RomCtx &c)
+{
+    // PUSHR mask.rw: push registers per mask, descending.
+    {
+        ULabel scan = c.lbl(), push = c.lbl(), done = c.lbl();
+        execEntry(c, ExecFlow::PushR, G, "PUSHR", [scan](Ebox &e) {
+            e.lat.t[0] = e.lat.op[0] & 0x7FFF;
+            e.uJump(scan);
+        });
+        c.bind(scan);
+        c.emit(R, "PUSHR.scan", [push, done](Ebox &e) {
+            int bit = highestBit(e.lat.t[0], 14);
+            if (bit < 0) {
+                e.uJump(done);
+            } else {
+                e.lat.sc = static_cast<uint32_t>(bit);
+                e.uJump(push);
+            }
+        });
+        c.bind(push);
+        c.emitWrite(R, "PUSHR.push", [scan](Ebox &e) {
+            e.lat.t[0] &= ~(1u << e.lat.sc);
+            e.r(SP) -= 4;
+            e.uJump(scan);
+            e.memWrite(e.r(SP), e.r(e.lat.sc), 4);
+        });
+        c.bind(done);
+        c.emit(R, "PUSHR.fin", [](Ebox &e) { e.endInstruction(); });
+    }
+
+    // POPR mask.rw: pop registers per mask, ascending.
+    {
+        ULabel scan = c.lbl(), pop = c.lbl(), done = c.lbl();
+        execEntry(c, ExecFlow::PopR, G, "POPR", [scan](Ebox &e) {
+            e.lat.t[0] = e.lat.op[0] & 0x7FFF;
+            e.uJump(scan);
+        });
+        c.bind(scan);
+        c.emit(R, "POPR.scan", [pop, done](Ebox &e) {
+            int bit = lowestBit(e.lat.t[0]);
+            if (bit < 0) {
+                e.uJump(done);
+            } else {
+                e.lat.sc = static_cast<uint32_t>(bit);
+                e.uJump(pop);
+            }
+        });
+        c.bind(pop);
+        c.emitRead(R, "POPR.pop", [](Ebox &e) {
+            e.memRead(e.r(SP), 4);
+            e.r(SP) += 4;
+        });
+        c.emit(R, "POPR.wreg", [scan](Ebox &e) {
+            e.r(e.lat.sc) = e.md();
+            e.lat.t[0] &= ~(1u << e.lat.sc);
+            e.uJump(scan);
+        });
+        c.bind(done);
+        c.emit(R, "POPR.fin", [](Ebox &e) { e.endInstruction(); });
+    }
+}
+
+} // anonymous namespace
+
+void
+buildCallRetFlows(RomCtx &c)
+{
+    buildCall(c);
+    buildRet(c);
+    buildPushPopR(c);
+}
+
+} // namespace vax

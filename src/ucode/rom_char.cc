@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Execute flows of the CHARACTER group.
+ *
+ * The MOVC inner loop is deliberately six cycles per transfer unit:
+ * the real microcode was written to issue writes no more often than
+ * every sixth cycle so the one-longword write buffer never stalls it
+ * (the paper points this out when explaining why CHARACTER shows so
+ * little write stall).
+ */
+
+#include "ucode/rom_ctx.hh"
+
+namespace vax
+{
+
+namespace
+{
+
+constexpr Group G = Group::Character;
+constexpr Row R = Row::ExecCharacter;
+
+/** Transfer unit: 4 when both pointers are aligned and len >= 4. */
+uint32_t
+moveUnit(uint32_t len, uint32_t src, uint32_t dst)
+{
+    return (len >= 4 && (src & 3) == 0 && (dst & 3) == 0) ? 4 : 1;
+}
+
+void
+buildMovc(RomCtx &c)
+{
+    // MOVC3 len.rw, srcaddr.ab, dstaddr.ab.
+    // R0 = remaining length, R1 = src, R3 = dst (per the architecture).
+    {
+        ULabel loop = c.lbl(), done = c.lbl();
+        execEntry(c, ExecFlow::MovC3, G, "MOVC3", [loop, done](Ebox &e) {
+            e.r(R0) = e.lat.op[0] & 0xFFFF;
+            e.r(R1) = e.lat.op[1];
+            e.r(R3) = e.lat.op[2];
+            e.uJump(e.r(R0) ? loop : done);
+        });
+        c.bind(loop);
+        c.emit(R, "MOVC3.l0", [](Ebox &e) {
+            e.lat.sc = moveUnit(e.r(R0), e.r(R1), e.r(R3));
+        });
+        c.emitRead(R, "MOVC3.read", [](Ebox &e) {
+            e.memRead(e.r(R1), e.lat.sc);
+        });
+        c.emit(R, "MOVC3.hold", [](Ebox &e) { e.lat.t[1] = e.md(); });
+        c.emit(R, "MOVC3.pad", [](Ebox &e) {
+            // Pointer update bookkeeping; spaces the writes six cycles
+            // apart so they never stall on the write buffer.
+            e.r(R1) += e.lat.sc;
+        });
+        c.emitWrite(R, "MOVC3.write", [](Ebox &e) {
+            e.memWrite(e.r(R3), e.lat.t[1], e.lat.sc);
+        });
+        c.emit(R, "MOVC3.next", [loop, done](Ebox &e) {
+            e.r(R3) += e.lat.sc;
+            e.r(R0) -= e.lat.sc;
+            e.uJump(e.r(R0) ? loop : done);
+        });
+        c.bind(done);
+        c.emit(R, "MOVC3.fin", [](Ebox &e) {
+            e.r(R2) = 0;
+            e.r(R4) = 0;
+            e.r(R5) = 0;
+            e.psl().cc = CondCodes();
+            e.psl().cc.z = true;
+            e.endInstruction();
+        });
+    }
+
+    // MOVC5 srclen.rw, srcaddr.ab, fill.rb, dstlen.rw, dstaddr.ab.
+    {
+        ULabel loop = c.lbl(), fill = c.lbl(), done = c.lbl();
+        execEntry(c, ExecFlow::MovC5, G, "MOVC5",
+                  [loop, fill, done](Ebox &e) {
+                      uint32_t srclen = e.lat.op[0] & 0xFFFF;
+                      uint32_t dstlen = e.lat.op[3] & 0xFFFF;
+                      e.r(R1) = e.lat.op[1];
+                      e.r(R3) = e.lat.op[4];
+                      uint32_t n = srclen < dstlen ? srclen : dstlen;
+                      e.r(R0) = srclen - n;   // unmoved source bytes
+                      e.lat.t[0] = n;         // bytes to move
+                      e.lat.t[2] = dstlen - n; // bytes to fill
+                      // Condition codes per srclen vs dstlen.
+                      cmpCc(srclen, dstlen, DataType::Word, &e.psl());
+                      if (n)
+                          e.uJump(loop);
+                      else if (e.lat.t[2])
+                          e.uJump(fill);
+                      else
+                          e.uJump(done);
+                  });
+        c.bind(loop);
+        c.emit(R, "MOVC5.l0", [](Ebox &e) {
+            e.lat.sc = moveUnit(e.lat.t[0], e.r(R1), e.r(R3));
+        });
+        c.emitRead(R, "MOVC5.read", [](Ebox &e) {
+            e.memRead(e.r(R1), e.lat.sc);
+        });
+        c.emit(R, "MOVC5.hold", [](Ebox &e) { e.lat.t[1] = e.md(); });
+        c.emit(R, "MOVC5.pad", [](Ebox &e) { e.r(R1) += e.lat.sc; });
+        c.emitWrite(R, "MOVC5.write", [](Ebox &e) {
+            e.memWrite(e.r(R3), e.lat.t[1], e.lat.sc);
+        });
+        c.emit(R, "MOVC5.next", [loop, fill, done](Ebox &e) {
+            e.r(R3) += e.lat.sc;
+            e.lat.t[0] -= e.lat.sc;
+            if (e.lat.t[0])
+                e.uJump(loop);
+            else if (e.lat.t[2])
+                e.uJump(fill);
+            else
+                e.uJump(done);
+        });
+        c.bind(fill);
+        c.emit(R, "MOVC5.f0", [](Ebox &e) {
+            uint32_t u = (e.lat.t[2] >= 4 && (e.r(R3) & 3) == 0) ? 4
+                                                                 : 1;
+            e.lat.sc = u;
+            uint32_t f = e.lat.op[2] & 0xFF;
+            e.lat.t[1] = f | (f << 8) | (f << 16) | (f << 24);
+        });
+        c.emit(R, "MOVC5.fpad", [](Ebox &e) { (void)e; });
+        c.emitWrite(R, "MOVC5.fwrite", [](Ebox &e) {
+            e.memWrite(e.r(R3), e.lat.t[1], e.lat.sc);
+        });
+        c.emit(R, "MOVC5.fnext", [fill, done](Ebox &e) {
+            e.r(R3) += e.lat.sc;
+            e.lat.t[2] -= e.lat.sc;
+            e.uJump(e.lat.t[2] ? fill : done);
+        });
+        c.bind(done);
+        c.emit(R, "MOVC5.fin", [](Ebox &e) {
+            e.r(R2) = 0;
+            e.r(R4) = 0;
+            e.r(R5) = 0;
+            e.endInstruction();
+        });
+    }
+}
+
+void
+buildCmpc(RomCtx &c)
+{
+    // CMPC3 len.rw, src1addr.ab, src2addr.ab (CMPC5 shares the flow;
+    // its extra operands make the lengths differ and add a fill
+    // comparison, which we fold into the same loop semantics).
+    ULabel loop = c.lbl(), done = c.lbl(), neq = c.lbl();
+    execEntry(c, ExecFlow::CmpC, G, "CMPC", [loop, done](Ebox &e) {
+        bool five = e.lat.opcode == op::CMPC5;
+        uint32_t len1 = e.lat.op[0] & 0xFFFF;
+        e.r(R1) = e.lat.op[1];
+        if (five) {
+            e.lat.t[3] = e.lat.op[2] & 0xFF; // fill
+            e.lat.t[4] = e.lat.op[3] & 0xFFFF; // len2
+            e.r(R3) = e.lat.op[4];
+        } else {
+            e.lat.t[4] = len1;
+            e.r(R3) = e.lat.op[2];
+        }
+        e.r(R0) = len1;
+        e.r(R2) = e.lat.t[4];
+        e.psl().cc = CondCodes();
+        e.psl().cc.z = true;
+        e.uJump((e.r(R0) || e.r(R2)) ? loop : done);
+    });
+    c.bind(loop);
+    c.emitRead(R, "CMPC.read1", [](Ebox &e) {
+        // Reading past a string's end compares against the fill byte;
+        // model the read only when bytes remain.
+        if (e.r(R0))
+            e.memRead(e.r(R1), 1);
+        else
+            e.setMd(e.lat.t[3]);
+    });
+    c.emit(R, "CMPC.hold", [](Ebox &e) { e.lat.t[1] = e.md() & 0xFF; });
+    c.emitRead(R, "CMPC.read2", [](Ebox &e) {
+        if (e.r(R2))
+            e.memRead(e.r(R3), 1);
+        else
+            e.setMd(e.lat.t[3]);
+    });
+    c.emit(R, "CMPC.cmp", [loop, done, neq](Ebox &e) {
+        uint32_t b2 = e.md() & 0xFF;
+        if (e.lat.t[1] != b2) {
+            e.uJump(neq);
+            return;
+        }
+        if (e.r(R0)) {
+            --e.r(R0);
+            ++e.r(R1);
+        }
+        if (e.r(R2)) {
+            --e.r(R2);
+            ++e.r(R3);
+        }
+        e.uJump((e.r(R0) || e.r(R2)) ? loop : done);
+    });
+    c.bind(neq);
+    c.emit(R, "CMPC.neq", [](Ebox &e) {
+        cmpCc(e.lat.t[1], e.md() & 0xFF, DataType::Byte, &e.psl());
+        e.endInstruction();
+    });
+    c.bind(done);
+    c.emit(R, "CMPC.fin", [](Ebox &e) { e.endInstruction(); });
+}
+
+void
+buildScan(RomCtx &c)
+{
+    // LOCC/SKPC char.rb, len.rw, addr.ab: find the (first byte ==
+    // char) / (first byte != char).  R0 = remaining, R1 = location.
+    {
+        ULabel loop = c.lbl(), found = c.lbl(), done = c.lbl();
+        execEntry(c, ExecFlow::Locc, G, "LOCC", [loop, done](Ebox &e) {
+            e.r(R0) = e.lat.op[1] & 0xFFFF;
+            e.r(R1) = e.lat.op[2];
+            e.lat.t[0] = e.lat.op[0] & 0xFF;
+            e.uJump(e.r(R0) ? loop : done);
+        });
+        c.bind(loop);
+        c.emit(R, "LOCC.l0", [](Ebox &e) {
+            e.lat.sc = (e.r(R0) >= 4 && (e.r(R1) & 3) == 0) ? 4 : 1;
+        });
+        c.emitRead(R, "LOCC.read", [](Ebox &e) {
+            e.memRead(e.r(R1), e.lat.sc);
+        });
+        c.emit(R, "LOCC.scan", [loop, found, done](Ebox &e) {
+            bool want_eq = e.lat.opcode == op::LOCC;
+            for (uint32_t i = 0; i < e.lat.sc; ++i) {
+                uint32_t b = (e.md() >> (8 * i)) & 0xFF;
+                if ((b == e.lat.t[0]) == want_eq) {
+                    e.r(R0) -= i;
+                    e.r(R1) += i;
+                    e.uJump(found);
+                    return;
+                }
+            }
+            e.r(R0) -= e.lat.sc;
+            e.r(R1) += e.lat.sc;
+            e.uJump(e.r(R0) ? loop : done);
+        });
+        c.bind(found);
+        c.emit(R, "LOCC.found", [](Ebox &e) {
+            e.psl().cc = CondCodes();
+            e.psl().cc.z = false;
+            e.endInstruction();
+        });
+        c.bind(done);
+        c.emit(R, "LOCC.done", [](Ebox &e) {
+            e.psl().cc = CondCodes();
+            e.psl().cc.z = true; // not found: R0 == 0
+            e.endInstruction();
+        });
+    }
+
+    // SCANC/SPANC len.rw, addr.ab, tbladdr.ab, mask.rb: per-byte
+    // table lookup (two reads per byte, as on the real machine).
+    {
+        ULabel loop = c.lbl(), found = c.lbl(), done = c.lbl();
+        execEntry(c, ExecFlow::Scanc, G, "SCANC", [loop, done](Ebox &e) {
+            e.r(R0) = e.lat.op[0] & 0xFFFF;
+            e.r(R1) = e.lat.op[1];
+            e.r(R3) = e.lat.op[2];         // table
+            e.lat.t[0] = e.lat.op[3] & 0xFF; // mask
+            e.uJump(e.r(R0) ? loop : done);
+        });
+        c.bind(loop);
+        c.emitRead(R, "SCANC.rbyte", [](Ebox &e) {
+            e.memRead(e.r(R1), 1);
+        });
+        c.emitRead(R, "SCANC.rtbl", [](Ebox &e) {
+            e.memRead(e.r(R3) + (e.md() & 0xFF), 1);
+        });
+        c.emit(R, "SCANC.test", [loop, found, done](Ebox &e) {
+            bool hit = (e.md() & e.lat.t[0]) != 0;
+            if (e.lat.opcode == op::SPANC)
+                hit = !hit;
+            if (hit) {
+                e.uJump(found);
+                return;
+            }
+            --e.r(R0);
+            ++e.r(R1);
+            e.uJump(e.r(R0) ? loop : done);
+        });
+        c.bind(found);
+        c.emit(R, "SCANC.found", [](Ebox &e) {
+            e.psl().cc = CondCodes();
+            e.psl().cc.z = false;
+            e.endInstruction();
+        });
+        c.bind(done);
+        c.emit(R, "SCANC.done", [](Ebox &e) {
+            e.psl().cc = CondCodes();
+            e.psl().cc.z = true;
+            e.endInstruction();
+        });
+    }
+}
+
+} // anonymous namespace
+
+void
+buildCharacterFlows(RomCtx &c)
+{
+    buildMovc(c);
+    buildCmpc(c);
+    buildScan(c);
+}
+
+} // namespace vax

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Execute flows of the FIELD group: variable bit-field operations and
+ * bit branches.
+ *
+ * Field extraction is a micro-subroutine shared by EXTV/EXTZV, CMPV/
+ * CMPZV and FFS/FFC (microcode sharing as on the real machine).
+ */
+
+#include "ucode/rom_ctx.hh"
+
+namespace vax
+{
+
+namespace
+{
+
+constexpr Group G = Group::Field;
+constexpr Row R = Row::ExecField;
+
+/** Mask of the low n bits (n <= 32). */
+uint32_t
+fieldMask(uint32_t n)
+{
+    return n >= 32 ? ~0u : ((1u << n) - 1);
+}
+
+/**
+ * Emit the field-extract micro-subroutine.
+ *
+ * Inputs: op[0] = position, op[1] = size (<= 32), v latches = base.
+ * Output: t5 = zero-extended field.  Clobbers t2-t4.
+ * Call with uCall; ends with uRet.
+ */
+ULabel
+emitFieldExtract(RomCtx &c)
+{
+    ULabel entry = c.lbl();
+    ULabel reg = c.lbl(), two = c.lbl(), done = c.lbl();
+
+    c.bind(entry);
+    c.emit(R, "FLD.x0", [reg, two](Ebox &e) {
+        e.lat.t[4] = e.lat.op[1] & 63; // size
+        upc_assert(e.lat.t[4] <= 32);
+        if (e.lat.vIsReg) {
+            e.uJump(reg);
+            return;
+        }
+        uint32_t pos = e.lat.op[0];
+        uint32_t ba = e.lat.vAddr + (pos >> 3);
+        uint32_t shift = (ba & 3) * 8 + (pos & 7);
+        e.lat.t[2] = ba & ~3u;          // aligned longword
+        e.lat.t[3] = shift;
+        if (shift + e.lat.t[4] > 32)
+            e.uJump(two);
+    });
+    c.emitRead(R, "FLD.x1", [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
+    c.emit(R, "FLD.x2", [done](Ebox &e) {
+        e.lat.t[5] = (e.md() >> e.lat.t[3]) & fieldMask(e.lat.t[4]);
+        e.uJump(done);
+    });
+
+    c.bind(two);
+    c.emitRead(R, "FLD.x2a", [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
+    c.emitRead(R, "FLD.x2b", [](Ebox &e) {
+        e.lat.t[6] = e.md();
+        e.memRead(e.lat.t[2] + 4, 4);
+    });
+    c.emit(R, "FLD.x2c", [done](Ebox &e) {
+        uint64_t window = (static_cast<uint64_t>(e.md()) << 32) |
+            e.lat.t[6];
+        e.lat.t[5] = static_cast<uint32_t>(window >> e.lat.t[3]) &
+            fieldMask(e.lat.t[4]);
+        e.uJump(done);
+    });
+
+    c.bind(reg);
+    c.emit(R, "FLD.xreg", [](Ebox &e) {
+        uint32_t pos = e.lat.op[0];
+        upc_assert(pos < 32 && pos + e.lat.t[4] <= 32);
+        e.lat.t[5] = (e.r(e.lat.vReg) >> pos) & fieldMask(e.lat.t[4]);
+    });
+
+    c.bind(done);
+    c.emit(R, "FLD.xret", [](Ebox &e) { e.uRet(); });
+    return entry;
+}
+
+void
+buildExtract(RomCtx &c, ULabel extract)
+{
+    // EXTV / EXTZV.
+    StoreTail st = makeStoreTail(c, R, "EXT");
+    ULabel fin = c.lbl();
+    execEntry(c, ExecFlow::Ext, G, "EXT", [extract](Ebox &e) {
+        e.uCall(extract);
+    });
+    c.bind(fin);
+    // (uCall returns to the word after the entry, which is this one.)
+    c.emit(R, "EXT.fin", [st](Ebox &e) {
+        uint32_t v = e.lat.t[5];
+        if (e.lat.opcode == op::EXTV && e.lat.t[4] > 0 &&
+            e.lat.t[4] < 32 && (v >> (e.lat.t[4] - 1)) & 1) {
+            v |= ~fieldMask(e.lat.t[4]);
+        }
+        e.lat.t[0] = v;
+        e.setCcNz(v, DataType::Long);
+        jumpStore(e, st);
+    });
+
+    // CMPV / CMPZV.
+    execEntry(c, ExecFlow::CmpV, G, "CMPV", [extract](Ebox &e) {
+        e.uCall(extract);
+    });
+    c.emit(R, "CMPV.fin", [](Ebox &e) {
+        uint32_t v = e.lat.t[5];
+        if (e.lat.opcode == op::CMPV && e.lat.t[4] > 0 &&
+            e.lat.t[4] < 32 && (v >> (e.lat.t[4] - 1)) & 1) {
+            v |= ~fieldMask(e.lat.t[4]);
+        }
+        cmpCc(v, e.lat.op[3], DataType::Long, &e.psl());
+        e.endInstruction();
+    });
+
+    // FFS / FFC.
+    StoreTail ffs_st = makeStoreTail(c, R, "FFS");
+    execEntry(c, ExecFlow::Ffs, G, "FFS", [extract](Ebox &e) {
+        e.uCall(extract);
+    });
+    c.emit(R, "FFS.scan", [](Ebox &e) {
+        uint32_t v = e.lat.t[5];
+        if (e.lat.opcode == op::FFC)
+            v = ~v & fieldMask(e.lat.t[4]);
+        e.lat.t[6] = 0;
+        e.psl().cc.z = true;
+        for (uint32_t i = 0; i < e.lat.t[4]; ++i) {
+            if ((v >> i) & 1) {
+                e.lat.t[6] = i;
+                e.psl().cc.z = false;
+                break;
+            }
+        }
+    });
+    c.emit(R, "FFS.fin", [ffs_st](Ebox &e) {
+        e.lat.t[0] = e.lat.op[0] +
+            (e.psl().cc.z ? e.lat.t[4] : e.lat.t[6]);
+        e.psl().cc.n = false;
+        e.psl().cc.v = false;
+        e.psl().cc.c = false;
+        jumpStore(e, ffs_st);
+    });
+}
+
+void
+buildInsv(RomCtx &c)
+{
+    ULabel reg = c.lbl(), two = c.lbl();
+    // INSV src.rl, pos.rl, size.rb, base.vb
+    execEntry(c, ExecFlow::Insv, G, "INSV", [reg, two](Ebox &e) {
+        e.lat.t[4] = e.lat.op[2] & 63; // size
+        upc_assert(e.lat.t[4] <= 32);
+        if (e.lat.vIsReg) {
+            e.uJump(reg);
+            return;
+        }
+        uint32_t pos = e.lat.op[1];
+        uint32_t ba = e.lat.vAddr + (pos >> 3);
+        e.lat.t[2] = ba & ~3u;
+        e.lat.t[3] = (ba & 3) * 8 + (pos & 7);
+        if (e.lat.t[3] + e.lat.t[4] > 32)
+            e.uJump(two);
+    });
+    // Single-longword case.
+    c.emitRead(R, "INSV.r1", [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
+    c.emit(R, "INSV.m1", [](Ebox &e) {
+        uint32_t m = fieldMask(e.lat.t[4]) << e.lat.t[3];
+        e.lat.t[5] = (e.md() & ~m) |
+            ((e.lat.op[0] << e.lat.t[3]) & m);
+    });
+    c.emitWrite(R, "INSV.w1", [](Ebox &e) {
+        e.memWrite(e.lat.t[2], e.lat.t[5], 4);
+        e.endInstruction();
+    });
+
+    // Two-longword case.
+    c.bind(two);
+    c.emitRead(R, "INSV.r2a", [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
+    c.emitRead(R, "INSV.r2b", [](Ebox &e) {
+        e.lat.t[6] = e.md();
+        e.memRead(e.lat.t[2] + 4, 4);
+    });
+    c.emit(R, "INSV.m2", [](Ebox &e) {
+        uint64_t window = (static_cast<uint64_t>(e.md()) << 32) |
+            e.lat.t[6];
+        uint64_t m = static_cast<uint64_t>(fieldMask(e.lat.t[4]))
+            << e.lat.t[3];
+        window = (window & ~m) |
+            ((static_cast<uint64_t>(e.lat.op[0]) << e.lat.t[3]) & m);
+        e.lat.t[5] = static_cast<uint32_t>(window);
+        e.lat.t[6] = static_cast<uint32_t>(window >> 32);
+    });
+    c.emitWrite(R, "INSV.w2a", [](Ebox &e) {
+        e.memWrite(e.lat.t[2], e.lat.t[5], 4);
+    });
+    c.emitWrite(R, "INSV.w2b", [](Ebox &e) {
+        e.memWrite(e.lat.t[2] + 4, e.lat.t[6], 4);
+        e.endInstruction();
+    });
+
+    // Register case.
+    c.bind(reg);
+    c.emit(R, "INSV.mreg", [](Ebox &e) {
+        uint32_t pos = e.lat.op[1];
+        upc_assert(pos < 32 && pos + e.lat.t[4] <= 32);
+        uint32_t m = fieldMask(e.lat.t[4]) << pos;
+        uint32_t &reg_val = e.r(e.lat.vReg);
+        reg_val = (reg_val & ~m) | ((e.lat.op[0] << pos) & m);
+        e.endInstruction();
+    });
+}
+
+void
+buildBitBranches(RomCtx &c)
+{
+    // Shared bit-test + branch tails.  op[0] = position, v latches =
+    // base, then the branch displacement.
+    ULabel taken = makeTakenTail(c, R, PcChangeKind::BitBranch, "BB");
+
+    auto cond_word = [&c, taken](const char *name, bool modify) {
+        // t5 = old bit value; decide branch (and for the modify forms
+        // the write already happened).
+        (void)modify;
+        return c.emit(R, name, [taken](Ebox &e) {
+            bool on_set = e.lat.opcode == op::BBS ||
+                e.lat.opcode == op::BBSS || e.lat.opcode == op::BBSC;
+            if ((e.lat.t[5] != 0) == on_set)
+                e.uJump(taken);
+            else
+                branchNotTaken(e);
+        });
+    };
+
+    // BBS / BBC (test only).
+    {
+        ULabel regc = c.lbl(), decide = c.lbl();
+        execEntry(c, ExecFlow::BitBr, G, "BB", [regc](Ebox &e) {
+            if (e.lat.vIsReg) {
+                e.uJump(regc);
+                return;
+            }
+            e.lat.t[2] = e.lat.vAddr + (e.lat.op[0] >> 3);
+            e.lat.t[3] = e.lat.op[0] & 7;
+        }, UMemKind::None);
+        c.emitRead(R, "BB.read", [](Ebox &e) {
+            e.memRead(e.lat.t[2], 1);
+        });
+        c.emit(R, "BB.test", [decide](Ebox &e) {
+            e.lat.t[5] = (e.md() >> e.lat.t[3]) & 1;
+            e.uJump(decide);
+        });
+        c.bind(regc);
+        c.emit(R, "BB.treg", [decide](Ebox &e) {
+            upc_assert(e.lat.op[0] < 32);
+            e.lat.t[5] = (e.r(e.lat.vReg) >> e.lat.op[0]) & 1;
+            e.uJump(decide);
+        });
+        c.bind(decide);
+        cond_word("BB.cond", false);
+    }
+
+    // BBSS/BBCS/BBSC/BBCC (test and modify).
+    {
+        ULabel regc = c.lbl(), decide = c.lbl();
+        execEntry(c, ExecFlow::BitBrMod, G, "BBM", [regc](Ebox &e) {
+            if (e.lat.vIsReg) {
+                e.uJump(regc);
+                return;
+            }
+            e.lat.t[2] = e.lat.vAddr + (e.lat.op[0] >> 3);
+            e.lat.t[3] = e.lat.op[0] & 7;
+        });
+        c.emitRead(R, "BBM.read", [](Ebox &e) {
+            e.memRead(e.lat.t[2], 1);
+        });
+        c.emit(R, "BBM.mod", [](Ebox &e) {
+            e.lat.t[5] = (e.md() >> e.lat.t[3]) & 1;
+            bool set = e.lat.opcode == op::BBSS ||
+                e.lat.opcode == op::BBCS;
+            uint32_t b = e.md();
+            if (set)
+                b |= 1u << e.lat.t[3];
+            else
+                b &= ~(1u << e.lat.t[3]);
+            e.lat.t[6] = b;
+        });
+        c.emitWrite(R, "BBM.write", [decide](Ebox &e) {
+            e.uJump(decide);
+            e.memWrite(e.lat.t[2], e.lat.t[6] & 0xFF, 1);
+        });
+        c.bind(regc);
+        c.emit(R, "BBM.treg", [decide](Ebox &e) {
+            upc_assert(e.lat.op[0] < 32);
+            uint32_t &reg_val = e.r(e.lat.vReg);
+            e.lat.t[5] = (reg_val >> e.lat.op[0]) & 1;
+            bool set = e.lat.opcode == op::BBSS ||
+                e.lat.opcode == op::BBCS;
+            if (set)
+                reg_val |= 1u << e.lat.op[0];
+            else
+                reg_val &= ~(1u << e.lat.op[0]);
+            e.uJump(decide);
+        });
+        c.bind(decide);
+        cond_word("BBM.cond", true);
+    }
+}
+
+} // anonymous namespace
+
+void
+buildFieldFlows(RomCtx &c)
+{
+    ULabel extract = emitFieldExtract(c);
+    buildExtract(c, extract);
+    buildInsv(c);
+    buildBitBranches(c);
+}
+
+} // namespace vax

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Execute flows of the FLOAT group: F_floating arithmetic (with
+ * FPA-class timing) and integer multiply/divide, which the paper's
+ * Table 1 places in this group.
+ *
+ * Multi-cycle arithmetic is modelled the way real microcode looped:
+ * a step microinstruction that re-executes itself, so the histogram
+ * shows the iteration count at one control-store location.
+ */
+
+#include "arch/ffloat.hh"
+#include "ucode/rom_ctx.hh"
+
+namespace vax
+{
+
+namespace
+{
+
+constexpr Group G = Group::Float;
+constexpr Row R = Row::ExecFloat;
+
+/** Emit a self-looping step word burning lat.sc cycles. */
+ULabel
+emitStepLoop(RomCtx &c, const char *name)
+{
+    ULabel step = c.lbl();
+    c.bind(step);
+    c.emit(R, name, [step](Ebox &e) {
+        if (e.lat.sc > 1) {
+            --e.lat.sc;
+            e.uJump(step);
+        }
+    });
+    return step;
+}
+
+void
+buildFFlows(RomCtx &c)
+{
+    // ADDF/SUBF (shared; FPA does the work in a couple of passes).
+    StoreTail st = makeStoreTail(c, R, "FADD");
+    execEntry(c, ExecFlow::FAddSub, G, "FADD", [](Ebox &e) {
+        double a = fToDouble(e.lat.op[0]);
+        double b = fToDouble(e.lat.op[1]);
+        bool sub = e.lat.opcode == op::SUBF2 ||
+            e.lat.opcode == op::SUBF3;
+        double r = sub ? b - a : a + b;
+        e.lat.t[0] = doubleToF(r);
+        e.setCcFromF(r);
+    });
+    c.emit(R, "FADD.align", [](Ebox &e) { (void)e; });
+    c.emit(R, "FADD.add", [](Ebox &e) { (void)e; });
+    c.emit(R, "FADD.norm", [st](Ebox &e) {
+        // Normalization / round pass.
+        jumpStore(e, st);
+    });
+
+    // MULF: three FPA multiply passes.
+    StoreTail mul_st = makeStoreTail(c, R, "FMUL");
+    ULabel mul_step = c.lbl();
+    execEntry(c, ExecFlow::FMul, G, "FMUL", [mul_step](Ebox &e) {
+        double r = fToDouble(e.lat.op[0]) * fToDouble(e.lat.op[1]);
+        e.lat.t[0] = doubleToF(r);
+        e.setCcFromF(r);
+        e.lat.sc = 5;
+        e.uJump(mul_step);
+    });
+    c.ua.bindAt(mul_step, c.ua.here());
+    {
+        ULabel self = c.lbl();
+        c.ua.bindAt(self, c.ua.here());
+        c.emit(R, "FMUL.step", [self](Ebox &e) {
+            if (e.lat.sc > 1) {
+                --e.lat.sc;
+                e.uJump(self);
+            }
+        });
+    }
+    c.emit(R, "FMUL.fin", [mul_st](Ebox &e) { jumpStore(e, mul_st); });
+
+    // DIVF: six divide passes.
+    StoreTail div_st = makeStoreTail(c, R, "FDIV");
+    execEntry(c, ExecFlow::FDiv, G, "FDIV", [](Ebox &e) {
+        double a = fToDouble(e.lat.op[0]);
+        double b = fToDouble(e.lat.op[1]);
+        double r;
+        if (a == 0.0) {
+            // Divide by zero: set V, deliver the dividend (workloads
+            // avoid this; semantics kept non-trapping).
+            e.psl().cc.v = true;
+            r = b;
+        } else {
+            r = b / a;
+        }
+        e.lat.t[0] = doubleToF(r);
+        e.setCcFromF(r);
+        e.lat.sc = 9;
+    });
+    emitStepLoop(c, "FDIV.step");
+    c.emit(R, "FDIV.fin", [div_st](Ebox &e) { jumpStore(e, div_st); });
+
+    // MOVF / MNEGF.
+    StoreTail fmov_st = makeStoreTail(c, R, "FMOV");
+    execEntry(c, ExecFlow::FMov, G, "FMOV", [fmov_st](Ebox &e) {
+        uint32_t v = e.lat.op[0];
+        if (e.lat.opcode == op::MNEGF && !(v == 0))
+            v ^= 0x8000u; // flip the F_floating sign bit
+        e.lat.t[0] = v;
+        e.setCcFromF(fToDouble(v));
+        jumpStore(e, fmov_st);
+    });
+
+    // CMPF / TSTF.
+    execEntry(c, ExecFlow::FCmp, G, "FCMP", [](Ebox &e) {
+        double a = fToDouble(e.lat.op[0]);
+        double b = e.lat.opcode == op::CMPF ? fToDouble(e.lat.op[1])
+                                            : 0.0;
+        e.psl().cc.n = a < b;
+        e.psl().cc.z = a == b;
+        e.psl().cc.v = false;
+        e.psl().cc.c = false;
+        e.endInstruction();
+    });
+
+    // CVTFL / CVTLF.
+    StoreTail cvt_st = makeStoreTail(c, R, "FCVT");
+    execEntry(c, ExecFlow::CvtFI, G, "CVTFL", [](Ebox &e) {
+        double d = fToDouble(e.lat.op[0]);
+        e.lat.t[0] = static_cast<uint32_t>(static_cast<int64_t>(d));
+        e.setCcNz(e.lat.t[0], DataType::Long);
+    });
+    c.emit(R, "CVTFL.fin", [cvt_st](Ebox &e) { jumpStore(e, cvt_st); });
+    execEntry(c, ExecFlow::CvtIF, G, "CVTLF", [](Ebox &e) {
+        double d = static_cast<int32_t>(e.lat.op[0]);
+        e.lat.t[0] = doubleToF(d);
+        e.setCcFromF(d);
+    });
+    c.emit(R, "CVTLF.fin", [cvt_st](Ebox &e) { jumpStore(e, cvt_st); });
+}
+
+void
+buildIntegerMulDiv(RomCtx &c)
+{
+    // MULL: eight 4-bit multiply steps.
+    StoreTail mull_st = makeStoreTail(c, R, "MULL");
+    execEntry(c, ExecFlow::MulL, G, "MULL", [](Ebox &e) {
+        int64_t p = static_cast<int64_t>(
+                        static_cast<int32_t>(e.lat.op[0])) *
+            static_cast<int32_t>(e.lat.op[1]);
+        e.lat.t[0] = static_cast<uint32_t>(p);
+        e.psl().cc.v = p != static_cast<int32_t>(p);
+        e.psl().cc.n = (e.lat.t[0] >> 31) & 1;
+        e.psl().cc.z = e.lat.t[0] == 0;
+        e.psl().cc.c = false;
+        e.lat.sc = 10;
+    });
+    emitStepLoop(c, "MULL.step");
+    c.emit(R, "MULL.fin", [mull_st](Ebox &e) { jumpStore(e, mull_st); });
+
+    // DIVL: sixteen divide steps.
+    StoreTail divl_st = makeStoreTail(c, R, "DIVL");
+    execEntry(c, ExecFlow::DivL, G, "DIVL", [](Ebox &e) {
+        int32_t divisor = static_cast<int32_t>(e.lat.op[0]);
+        int32_t dividend = static_cast<int32_t>(e.lat.op[1]);
+        if (divisor == 0 ||
+            (divisor == -1 && dividend == INT32_MIN)) {
+            e.psl().cc.v = true;
+            e.lat.t[0] = static_cast<uint32_t>(dividend);
+        } else {
+            e.lat.t[0] = static_cast<uint32_t>(dividend / divisor);
+            e.psl().cc.v = false;
+        }
+        e.psl().cc.n = (e.lat.t[0] >> 31) & 1;
+        e.psl().cc.z = e.lat.t[0] == 0;
+        e.psl().cc.c = false;
+        e.lat.sc = 18;
+    });
+    emitStepLoop(c, "DIVL.step");
+    c.emit(R, "DIVL.fin", [divl_st](Ebox &e) { jumpStore(e, divl_st); });
+
+    // EMUL mulr.rl, muld.rl, add.rl, prod.wq.
+    ULabel emul_qreg = c.lbl(), emul_qmem = c.lbl();
+    execEntry(c, ExecFlow::Emul, G, "EMUL", [](Ebox &e) {
+        int64_t p = static_cast<int64_t>(
+                        static_cast<int32_t>(e.lat.op[0])) *
+            static_cast<int32_t>(e.lat.op[1]) +
+            static_cast<int32_t>(e.lat.op[2]);
+        e.lat.t[0] = static_cast<uint32_t>(p);
+        e.lat.t[1] = static_cast<uint32_t>(p >> 32);
+        e.psl().cc.n = p < 0;
+        e.psl().cc.z = p == 0;
+        e.psl().cc.v = false;
+        e.lat.sc = 8;
+    });
+    emitStepLoop(c, "EMUL.step");
+    c.emit(R, "EMUL.fin", [emul_qreg, emul_qmem](Ebox &e) {
+        e.uJump(e.lat.dst[0].kind == DstLatch::Kind::Reg ? emul_qreg
+                                                         : emul_qmem);
+    });
+    c.bind(emul_qreg);
+    c.emit(R, "EMUL.streg", [](Ebox &e) {
+        e.r(e.lat.dst[0].reg) = e.lat.t[0];
+        e.r((e.lat.dst[0].reg + 1) & 0xF) = e.lat.t[1];
+        e.endInstruction();
+    });
+    c.bind(emul_qmem);
+    c.emitWrite(R, "EMUL.stmem1", [](Ebox &e) {
+        e.memWrite(e.lat.dst[0].addr, e.lat.t[0], 4);
+    });
+    c.emitWrite(R, "EMUL.stmem2", [](Ebox &e) {
+        e.memWrite(e.lat.dst[0].addr + 4, e.lat.t[1], 4);
+        e.endInstruction();
+    });
+
+    // EDIV divr.rl, divd.rq, quo.wl, rem.wl (two destinations).
+    ULabel ediv_st0r = c.lbl(), ediv_st0m = c.lbl();
+    ULabel ediv_st1 = c.lbl(), ediv_st1r = c.lbl(), ediv_st1m = c.lbl();
+    execEntry(c, ExecFlow::Ediv, G, "EDIV", [](Ebox &e) {
+        int64_t dividend =
+            (static_cast<int64_t>(e.lat.opHi[1]) << 32) |
+            e.lat.op[1];
+        int32_t divisor = static_cast<int32_t>(e.lat.op[0]);
+        int64_t q, r;
+        if (divisor == 0) {
+            e.psl().cc.v = true;
+            q = static_cast<int32_t>(dividend);
+            r = 0;
+        } else {
+            q = dividend / divisor;
+            r = dividend % divisor;
+            e.psl().cc.v = q != static_cast<int32_t>(q);
+        }
+        e.lat.t[0] = static_cast<uint32_t>(q); // quotient
+        e.lat.t[1] = static_cast<uint32_t>(r); // remainder
+        e.psl().cc.n = q < 0;
+        e.psl().cc.z = q == 0;
+        e.psl().cc.c = false;
+        e.lat.sc = 16;
+    });
+    emitStepLoop(c, "EDIV.step");
+    c.emit(R, "EDIV.fin", [ediv_st0r, ediv_st0m](Ebox &e) {
+        e.uJump(e.lat.dst[0].kind == DstLatch::Kind::Reg ? ediv_st0r
+                                                         : ediv_st0m);
+    });
+    c.bind(ediv_st0r);
+    c.emit(R, "EDIV.st0r", [ediv_st1](Ebox &e) {
+        e.r(e.lat.dst[0].reg) = e.lat.t[0];
+        e.uJump(ediv_st1);
+    });
+    c.bind(ediv_st0m);
+    c.emitWrite(R, "EDIV.st0m", [ediv_st1](Ebox &e) {
+        e.uJump(ediv_st1);
+        e.memWrite(e.lat.dst[0].addr, e.lat.t[0], 4);
+    });
+    c.bind(ediv_st1);
+    c.emit(R, "EDIV.st1", [ediv_st1r, ediv_st1m](Ebox &e) {
+        e.uJump(e.lat.dst[1].kind == DstLatch::Kind::Reg ? ediv_st1r
+                                                         : ediv_st1m);
+    });
+    c.bind(ediv_st1r);
+    c.emit(R, "EDIV.st1r", [](Ebox &e) {
+        e.r(e.lat.dst[1].reg) = e.lat.t[1];
+        e.endInstruction();
+    });
+    c.bind(ediv_st1m);
+    c.emitWrite(R, "EDIV.st1m", [](Ebox &e) {
+        e.memWrite(e.lat.dst[1].addr, e.lat.t[1], 4);
+        e.endInstruction();
+    });
+}
+
+} // anonymous namespace
+
+void
+buildFloatFlows(RomCtx &c)
+{
+    buildFFlows(c);
+    buildIntegerMulDiv(c);
+}
+
+} // namespace vax

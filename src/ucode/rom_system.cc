@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Execute flows of the SYSTEM group: change-mode and REI, context
+ * switch (SVPCTX/LDPCTX), protection probes, interlocked queues, and
+ * processor-register access.
+ *
+ * PCB layout (physical memory at PCBB):
+ *   +0 KSP, +4 USP, +8..+60 R0-R13, +64 PC, +68 PSL,
+ *   +72 P0BR, +76 P0LR, +80 P1BR, +84 P1LR.
+ */
+
+#include "cpu/pregs.hh"
+#include "ucode/rom_ctx.hh"
+
+namespace vax
+{
+
+namespace
+{
+
+constexpr Group G = Group::System;
+constexpr Row R = Row::ExecSystem;
+
+constexpr uint32_t pcbKsp = 0;
+constexpr uint32_t pcbUsp = 4;
+constexpr uint32_t pcbGpr = 8;   // R0-R13
+constexpr uint32_t pcbPc = 64;
+constexpr uint32_t pcbPsl = 68;
+constexpr uint32_t pcbP0br = 72;
+constexpr uint32_t pcbP0lr = 76;
+constexpr uint32_t pcbP1br = 80;
+constexpr uint32_t pcbP1lr = 84;
+
+/** SCB vector index used by CHMK (interrupt levels use 0-31). */
+constexpr uint32_t scbChmk = 32;
+
+void
+buildChmRei(RomCtx &c)
+{
+    // CHMK code.rw: trap into the kernel through the SCB.
+    execEntry(c, ExecFlow::Chmk, G, "CHMK", [](Ebox &e) {
+        ++e.hw().chmkCalls;
+        e.lat.t[0] = e.psl().pack();
+        e.lat.t[1] = e.decodePc();
+        CpuMode old = e.psl().cur;
+        e.switchMode(CpuMode::Kernel);
+        e.psl().prev = old;
+    });
+    c.emitWrite(R, "CHMK.pushpsl", [](Ebox &e) {
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), e.lat.t[0], 4);
+    });
+    c.emitWrite(R, "CHMK.pushpc", [](Ebox &e) {
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), e.lat.t[1], 4);
+    });
+    c.emitWrite(R, "CHMK.pushcode", [](Ebox &e) {
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), e.lat.op[0], 4);
+    });
+    c.emitRead(R, "CHMK.vec", [](Ebox &e) {
+        e.memReadPhys(e.prRaw(pr::SCBB) + 4 * scbChmk);
+    });
+    c.emit(R, "CHMK.go", [](Ebox &e) {
+        e.redirect(e.md());
+        e.endInstruction();
+    });
+
+    // REI: pop PC and PSL, drop back to the interrupted context.
+    execEntry(c, ExecFlow::Rei, G, "REI", [](Ebox &e) {
+        e.memRead(e.r(SP), 4);
+        e.r(SP) += 4;
+    }, UMemKind::Read);
+    c.emitRead(R, "REI.rdpsl", [](Ebox &e) {
+        e.lat.t[1] = e.md();
+        e.memRead(e.r(SP), 4);
+        e.r(SP) += 4;
+    });
+    c.emit(R, "REI.chk", [](Ebox &e) {
+        e.lat.t[2] = e.md();
+        // Consistency checks of the restored PSL happen here.
+    });
+    c.emit(R, "REI.go", [](Ebox &e) {
+        Psl np = Psl::unpack(e.lat.t[2]);
+        e.switchMode(np.cur);
+        e.psl() = np;
+        e.redirect(e.lat.t[1]);
+        e.endInstruction();
+    });
+}
+
+void
+buildContextSwitch(RomCtx &c)
+{
+    // SVPCTX: pop PC/PSL from the kernel stack into the PCB and save
+    // the general state.
+    {
+        ULabel loop = c.lbl();
+        execEntry(c, ExecFlow::SvPctx, G, "SVPCTX", [](Ebox &e) {
+            if (e.psl().cur != CpuMode::Kernel)
+                e.fault(FaultKind::PrivilegedInstruction, "SVPCTX");
+            e.lat.t[0] = e.prRaw(pr::PCBB);
+        });
+        c.emitRead(R, "SVPCTX.poppc", [](Ebox &e) {
+            e.memRead(e.r(SP), 4);
+            e.r(SP) += 4;
+        });
+        c.emitRead(R, "SVPCTX.poppsl", [](Ebox &e) {
+            e.lat.t[1] = e.md();
+            e.memRead(e.r(SP), 4);
+            e.r(SP) += 4;
+        });
+        c.emitWrite(R, "SVPCTX.wpc", [](Ebox &e) {
+            e.lat.t[2] = e.md();
+            e.memWritePhys(e.lat.t[0] + pcbPc, e.lat.t[1], 4);
+        });
+        c.emitWrite(R, "SVPCTX.wpsl", [](Ebox &e) {
+            e.memWritePhys(e.lat.t[0] + pcbPsl, e.lat.t[2], 4);
+        });
+        c.emitWrite(R, "SVPCTX.wksp", [](Ebox &e) {
+            e.memWritePhys(e.lat.t[0] + pcbKsp, e.r(SP), 4);
+        });
+        c.emitWrite(R, "SVPCTX.wusp", [](Ebox &e) {
+            e.memWritePhys(e.lat.t[0] + pcbUsp, e.mfpr(pr::USP), 4);
+        });
+        c.emit(R, "SVPCTX.linit", [loop](Ebox &e) {
+            e.lat.sc = 0;
+            e.uJump(loop);
+        });
+        c.bind(loop);
+        c.emitWrite(R, "SVPCTX.wreg", [loop](Ebox &e) {
+            uint32_t r = e.lat.sc;
+            if (r + 1 < 14) {
+                e.lat.sc = r + 1;
+                e.uJump(loop);
+            } else {
+                e.endInstruction();
+            }
+            e.memWritePhys(e.lat.t[0] + pcbGpr + 4 * r, e.r(r), 4);
+        });
+    }
+
+    // LDPCTX: load the new process's state, flush the process TB,
+    // and push PC/PSL for the REI that follows.
+    {
+        ULabel rloop = c.lbl();
+        UAnnotation a = c.ann(R, "LDPCTX");
+        a.mark = UMark::CtxSwitch;
+        a.flow = ExecFlow::LdPctx;
+        // LDPCTX is both an execute entry and the context-switch
+        // event marker; register the entry by hand.
+        UAddr entry = c.emitFull(a, [](Ebox &e) {
+            if (e.psl().cur != CpuMode::Kernel)
+                e.fault(FaultKind::PrivilegedInstruction, "LDPCTX");
+            ++e.hw().contextSwitches;
+            e.lat.t[0] = e.prRaw(pr::PCBB);
+            e.lat.sc = 0;
+        });
+        c.ep.exec[static_cast<size_t>(ExecFlow::LdPctx)] = entry;
+        c.bind(rloop);
+        c.emitRead(R, "LDPCTX.rreg", [](Ebox &e) {
+            e.memReadPhys(e.lat.t[0] + pcbGpr + 4 * e.lat.sc);
+        });
+        c.emit(R, "LDPCTX.wreg", [rloop](Ebox &e) {
+            e.r(e.lat.sc) = e.md();
+            if (++e.lat.sc < 14)
+                e.uJump(rloop);
+        });
+        c.emitRead(R, "LDPCTX.rusp", [](Ebox &e) {
+            e.memReadPhys(e.lat.t[0] + pcbUsp);
+        });
+        c.emit(R, "LDPCTX.wusp", [](Ebox &e) {
+            e.mtpr(pr::USP, e.md());
+        });
+        c.emitRead(R, "LDPCTX.rp0br", [](Ebox &e) {
+            e.memReadPhys(e.lat.t[0] + pcbP0br);
+        });
+        c.emit(R, "LDPCTX.wp0br", [](Ebox &e) {
+            e.setPrRaw(pr::P0BR, e.md());
+        });
+        c.emitRead(R, "LDPCTX.rp0lr", [](Ebox &e) {
+            e.memReadPhys(e.lat.t[0] + pcbP0lr);
+        });
+        c.emit(R, "LDPCTX.wp0lr", [](Ebox &e) {
+            e.setPrRaw(pr::P0LR, e.md());
+        });
+        c.emitRead(R, "LDPCTX.rp1br", [](Ebox &e) {
+            e.memReadPhys(e.lat.t[0] + pcbP1br);
+        });
+        c.emit(R, "LDPCTX.wp1br", [](Ebox &e) {
+            e.setPrRaw(pr::P1BR, e.md());
+        });
+        c.emitRead(R, "LDPCTX.rp1lr", [](Ebox &e) {
+            e.memReadPhys(e.lat.t[0] + pcbP1lr);
+        });
+        c.emit(R, "LDPCTX.wp1lr", [](Ebox &e) {
+            e.setPrRaw(pr::P1LR, e.md());
+        });
+        c.emit(R, "LDPCTX.tbflush", [](Ebox &e) {
+            e.tbInvalidateProcess();
+        });
+        c.emitRead(R, "LDPCTX.rksp", [](Ebox &e) {
+            e.memReadPhys(e.lat.t[0] + pcbKsp);
+        });
+        c.emit(R, "LDPCTX.wksp", [](Ebox &e) { e.r(SP) = e.md(); });
+        c.emitRead(R, "LDPCTX.rpc", [](Ebox &e) {
+            e.memReadPhys(e.lat.t[0] + pcbPc);
+        });
+        c.emitRead(R, "LDPCTX.rpsl", [](Ebox &e) {
+            e.lat.t[1] = e.md();
+            e.memReadPhys(e.lat.t[0] + pcbPsl);
+        });
+        c.emitWrite(R, "LDPCTX.pushpsl", [](Ebox &e) {
+            e.lat.t[2] = e.md();
+            e.r(SP) -= 4;
+            e.memWrite(e.r(SP), e.lat.t[2], 4);
+        });
+        c.emitWrite(R, "LDPCTX.pushpc", [](Ebox &e) {
+            e.r(SP) -= 4;
+            e.memWrite(e.r(SP), e.lat.t[1], 4);
+            e.endInstruction();
+        });
+    }
+}
+
+void
+buildQueueProbeMisc(RomCtx &c)
+{
+    // PROBER/PROBEW mode.rb, len.rw, base.ab.
+    execEntry(c, ExecFlow::Probe, G, "PROBE", [](Ebox &e) {
+        CpuMode m = static_cast<CpuMode>(e.lat.op[0] & 3);
+        // Check against the less privileged of operand/previous mode.
+        if (static_cast<unsigned>(e.psl().prev) >
+            static_cast<unsigned>(m)) {
+            m = e.psl().prev;
+        }
+        bool is_write = e.lat.opcode == op::PROBEW;
+        e.lat.t[0] = e.probeAccess(e.lat.op[2], is_write, m);
+        e.lat.t[1] = static_cast<uint32_t>(m);
+    });
+    c.emit(R, "PROBE.fin", [](Ebox &e) {
+        bool last_ok = e.probeAccess(
+            e.lat.op[2] + (e.lat.op[1] & 0xFFFF) - 1,
+            e.lat.opcode == op::PROBEW,
+            static_cast<CpuMode>(e.lat.t[1]));
+        bool ok = e.lat.t[0] && last_ok;
+        e.psl().cc.z = !ok; // Z set when access NOT allowed
+        e.endInstruction();
+    });
+
+    // INSQUE entry.ab, pred.ab.
+    execEntry(c, ExecFlow::InsQue, G, "INSQUE", [](Ebox &e) {
+        e.memRead(e.lat.op[1], 4); // successor = pred.flink
+    }, UMemKind::Read);
+    c.emit(R, "INSQUE.t", [](Ebox &e) { e.lat.t[0] = e.md(); });
+    c.emitWrite(R, "INSQUE.w1", [](Ebox &e) {
+        e.memWrite(e.lat.op[0], e.lat.t[0], 4); // entry.flink
+    });
+    c.emitWrite(R, "INSQUE.w2", [](Ebox &e) {
+        e.memWrite(e.lat.op[0] + 4, e.lat.op[1], 4); // entry.blink
+    });
+    c.emitWrite(R, "INSQUE.w3", [](Ebox &e) {
+        e.memWrite(e.lat.op[1], e.lat.op[0], 4); // pred.flink
+    });
+    c.emitWrite(R, "INSQUE.w4", [](Ebox &e) {
+        e.memWrite(e.lat.t[0] + 4, e.lat.op[0], 4); // succ.blink
+        e.psl().cc.z = e.lat.t[0] == e.lat.op[1]; // queue was empty
+        e.endInstruction();
+    });
+
+    // REMQUE entry.ab, addr.wl.
+    StoreTail rq_st = makeStoreTail(c, R, "REMQUE");
+    execEntry(c, ExecFlow::RemQue, G, "REMQUE", [](Ebox &e) {
+        e.memRead(e.lat.op[0], 4); // flink
+    }, UMemKind::Read);
+    c.emitRead(R, "REMQUE.r2", [](Ebox &e) {
+        e.lat.t[1] = e.md();
+        e.memRead(e.lat.op[0] + 4, 4); // blink
+    });
+    c.emit(R, "REMQUE.t", [](Ebox &e) { e.lat.t[2] = e.md(); });
+    c.emitWrite(R, "REMQUE.w1", [](Ebox &e) {
+        e.memWrite(e.lat.t[2], e.lat.t[1], 4); // blink.flink = flink
+    });
+    c.emitWrite(R, "REMQUE.w2", [](Ebox &e) {
+        e.memWrite(e.lat.t[1] + 4, e.lat.t[2], 4); // flink.blink
+    });
+    c.emit(R, "REMQUE.fin", [rq_st](Ebox &e) {
+        e.lat.t[0] = e.lat.op[0];
+        e.psl().cc.z = e.lat.t[1] == e.lat.t[2]; // queue now empty
+        jumpStore(e, rq_st);
+    });
+
+    // MTPR src.rl, procreg.rl -- with the SIRR request marked so the
+    // analyzer can count software-interrupt requests (Table 7).
+    {
+        ULabel sirr = c.lbl();
+        execEntry(c, ExecFlow::Mtpr, G, "MTPR", [sirr](Ebox &e) {
+            if (e.lat.op[1] == pr::SIRR) {
+                e.uJump(sirr);
+                return;
+            }
+            e.mtpr(e.lat.op[1], e.lat.op[0]);
+            e.endInstruction();
+        });
+        c.bind(sirr);
+        UAnnotation a = c.ann(R, "MTPR.sirr");
+        a.mark = UMark::SwIntRequest;
+        c.emitFull(a, [](Ebox &e) {
+            e.mtpr(pr::SIRR, e.lat.op[0]);
+            e.endInstruction();
+        });
+    }
+
+    StoreTail mfpr_st = makeStoreTail(c, R, "MFPR");
+    execEntry(c, ExecFlow::Mfpr, G, "MFPR", [mfpr_st](Ebox &e) {
+        e.lat.t[0] = e.mfpr(e.lat.op[0]);
+        e.setCcNz(e.lat.t[0], DataType::Long);
+        jumpStore(e, mfpr_st);
+    });
+
+    // BISPSW/BICPSW: set/clear PSW condition-code and trap-enable
+    // bits (we model the condition codes).
+    execEntry(c, ExecFlow::Psw, G, "xxxPSW", [](Ebox &e) {
+        uint32_t mask = e.lat.op[0] & 0xF; // cc bits only
+        uint32_t cur = e.psl().pack() & 0xF;
+        uint32_t next = e.lat.opcode == op::BISPSW ? (cur | mask)
+                                                   : (cur & ~mask);
+        Psl p = e.psl();
+        p.cc.c = next & 1;
+        p.cc.v = next & 2;
+        p.cc.z = next & 4;
+        p.cc.n = next & 8;
+        e.psl() = p;
+        e.endInstruction();
+    });
+
+    execEntry(c, ExecFlow::Halt, G, "HALT", [](Ebox &e) {
+        if (e.psl().cur != CpuMode::Kernel)
+            e.fault(FaultKind::PrivilegedInstruction, "HALT");
+        e.setHalted();
+    });
+
+    execEntry(c, ExecFlow::Nop, G, "NOP", [](Ebox &e) {
+        e.endInstruction();
+    });
+
+    execEntry(c, ExecFlow::Bpt, G, "BPT", [](Ebox &e) {
+        e.fault(FaultKind::Breakpoint);
+    });
+}
+
+} // anonymous namespace
+
+void
+buildSystemFlows(RomCtx &c)
+{
+    buildChmRei(c);
+    buildContextSwitch(c);
+    buildQueueProbeMisc(c);
+}
+
+} // namespace vax

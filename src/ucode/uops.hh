@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pure datapath helpers used by microcode semantic lambdas: ALU
+ * operations with condition-code computation, branch-condition
+ * evaluation, sized register writeback.
+ *
+ * These model the EBOX ALU and condition-code logic; they are pure
+ * functions so the test suite can verify instruction semantics
+ * directly.
+ */
+
+#ifndef UPC780_UCODE_UOPS_HH
+#define UPC780_UCODE_UOPS_HH
+
+#include <cstdint>
+
+#include "arch/opcodes.hh"
+#include "arch/types.hh"
+#include "cpu/psl.hh"
+
+namespace vax
+{
+
+/** Truncate a value to its data-type width. */
+uint32_t truncTo(uint32_t v, DataType t);
+
+/** Sign-extend a value of the given width to 32 bits. */
+int32_t sextTo(uint32_t v, DataType t);
+
+/** Sign bit of a value of the given width. */
+bool signBit(uint32_t v, DataType t);
+
+/**
+ * Two-operand ALU for the shared ADD/SUB/BIS/BIC/XOR flow.
+ *
+ * Computes dst' for the given opcode (the hardware derives the ALU
+ * function from the opcode, which is why the flows can be shared) and
+ * sets all four condition codes.
+ *
+ * @param opcode The instruction opcode byte.
+ * @param src    The src operand.
+ * @param dst    The dst (2-operand) or second source (3-operand).
+ */
+uint32_t aluCompute(uint8_t opcode, uint32_t src, uint32_t dst,
+                    DataType t, Psl *psl);
+
+/** CMPx condition codes (src1 - src2 without storing). */
+void cmpCc(uint32_t src1, uint32_t src2, DataType t, Psl *psl);
+
+/** Add/subtract with full NZVC (INC/DEC, loop branches). */
+uint32_t addCc(uint32_t a, uint32_t b, bool subtract, DataType t,
+               Psl *psl);
+
+/** ASHL/ROTL. */
+uint32_t shiftCompute(uint8_t opcode, int8_t count, uint32_t src,
+                      Psl *psl);
+
+/** Evaluate a simple branch condition for the BCOND flow. */
+bool branchCond(uint8_t opcode, const Psl &psl);
+
+/** Write a value into a register honouring operand size. */
+void writeRegSized(uint32_t *reg, uint32_t v, DataType t);
+
+/** Convert for the CVT/MOVZ flow (sign- or zero-extends/truncates). */
+uint32_t cvtCompute(uint8_t opcode, uint32_t v, Psl *psl);
+
+} // namespace vax
+
+#endif // UPC780_UCODE_UOPS_HH

@@ -1,0 +1,96 @@
+#include "upc/hist_io.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+namespace
+{
+
+const char *
+memKindName(UMemKind m)
+{
+    switch (m) {
+      case UMemKind::None:  return "none";
+      case UMemKind::Read:  return "read";
+      case UMemKind::Write: return "write";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+bool
+saveHistogramCsv(const std::string &path, const Histogram &hist,
+                 const ControlStore &cs)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "upc,name,row,mem,ib,normal,stalled\n");
+    for (UAddr a = 0; a < cs.size(); ++a) {
+        uint64_t n = hist.normal[a];
+        uint64_t s = hist.stalled[a];
+        if (!n && !s)
+            continue;
+        const UAnnotation &ann = cs.annotation(a);
+        std::fprintf(f, "%u,%s,%s,%s,%d,%" PRIu64 ",%" PRIu64 "\n", a,
+                     ann.name, rowName(ann.row),
+                     memKindName(ann.mem), ann.ibRequest ? 1 : 0, n,
+                     s);
+    }
+    bool ok = std::fclose(f) == 0;
+    return ok;
+}
+
+bool
+loadHistogramCsv(const std::string &path, Histogram *hist)
+{
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (!f) {
+        warn("cannot open '%s' for reading", path.c_str());
+        return false;
+    }
+    *hist = Histogram();
+    char line[512];
+    bool header = true;
+    while (std::fgets(line, sizeof(line), f)) {
+        if (header) {
+            header = false;
+            continue;
+        }
+        unsigned upc = 0;
+        uint64_t normal = 0, stalled = 0;
+        // The name/row/mem/ib columns are informational; parse around
+        // them (name never contains a comma).
+        char name[128], row[64], mem[16];
+        int ib = 0;
+        int n = std::sscanf(line,
+                            "%u,%127[^,],%63[^,],%15[^,],%d,%" SCNu64
+                            ",%" SCNu64,
+                            &upc, name, row, mem, &ib, &normal,
+                            &stalled);
+        if (n != 7) {
+            warn("malformed histogram CSV line: %s", line);
+            std::fclose(f);
+            return false;
+        }
+        if (upc >= ControlStore::capacity) {
+            warn("histogram CSV upc %u out of range", upc);
+            std::fclose(f);
+            return false;
+        }
+        hist->normal[upc] = normal;
+        hist->stalled[upc] = stalled;
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace vax

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Histogram persistence.
+ *
+ * The paper's conclusion emphasizes that the raw UPC histogram is a
+ * reusable database: "the answers to many questions concerning the
+ * operation of the 11/780 running the same workload can be obtained
+ * simply by doing additional interpretation of the raw histogram
+ * data."  These helpers save a histogram (with the microcode
+ * annotations that make it interpretable) to CSV and load it back for
+ * offline analysis.
+ */
+
+#ifndef UPC780_UPC_HIST_IO_HH
+#define UPC780_UPC_HIST_IO_HH
+
+#include <string>
+
+#include "ucode/control_store.hh"
+#include "upc/monitor.hh"
+
+namespace vax
+{
+
+/**
+ * Write histogram counts to a CSV file.
+ *
+ * Columns: upc, name, row, mem, ib, normal, stalled.  Locations with
+ * no counts are omitted.  Returns false on I/O failure.
+ */
+bool saveHistogramCsv(const std::string &path, const Histogram &hist,
+                      const ControlStore &cs);
+
+/**
+ * Load histogram counts from a CSV produced by saveHistogramCsv.
+ *
+ * Only the upc/normal/stalled columns are consumed; annotations come
+ * from the (identical, deterministically built) control store.
+ * Returns false on I/O or format failure.
+ */
+bool loadHistogramCsv(const std::string &path, Histogram *hist);
+
+} // namespace vax
+
+#endif // UPC780_UPC_HIST_IO_HH

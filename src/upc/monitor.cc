@@ -1,0 +1,66 @@
+#include "upc/monitor.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+void
+Histogram::add(const Histogram &other)
+{
+    for (size_t i = 0; i < normal.size(); ++i) {
+        normal[i] += other.normal[i];
+        stalled[i] += other.stalled[i];
+    }
+}
+
+uint64_t
+Histogram::cycles() const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < normal.size(); ++i)
+        total += normal[i] + stalled[i];
+    return total;
+}
+
+void
+UpcMonitor::count(UAddr upc, bool stalled)
+{
+    if (!collecting_)
+        return;
+    upc_assert(upc < ControlStore::capacity);
+    if (stalled)
+        ++hist_.stalled[upc];
+    else
+        ++hist_.normal[upc];
+}
+
+void
+UpcMonitor::clear()
+{
+    std::fill(hist_.normal.begin(), hist_.normal.end(), 0);
+    std::fill(hist_.stalled.begin(), hist_.stalled.end(), 0);
+}
+
+void
+UpcMonitor::unibusWrite(uint32_t value)
+{
+    switch (value) {
+      case cmdStop:
+        stop();
+        break;
+      case cmdStart:
+        start();
+        break;
+      case cmdClear:
+        clear();
+        break;
+      default:
+        warn("UPC monitor: unknown CSR command %u", value);
+        break;
+    }
+}
+
+} // namespace vax

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The micro-PC histogram monitor -- the paper's measurement apparatus.
+ *
+ * A 16K-bucket histogram board with two count banks: one for normal
+ * cycles and one for stalled cycles, indexed by the control-store
+ * address driving the machine each cycle.  Completely passive: it
+ * observes the micro-PC stream through the CycleSink interface and
+ * never perturbs execution.
+ *
+ * As on the real machine, the board is a Unibus device: collection is
+ * started, stopped and cleared by writes to its CSR, which the OS maps
+ * into a device page (this is how VMS-lite gates measurement off while
+ * the Null process runs, reproducing the paper's exclusion of Null).
+ */
+
+#ifndef UPC780_UPC_MONITOR_HH
+#define UPC780_UPC_MONITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/cycle_sink.hh"
+#include "ucode/control_store.hh"
+
+namespace vax
+{
+
+/** Raw histogram data: two counter banks. */
+struct Histogram
+{
+    Histogram() : normal(ControlStore::capacity, 0),
+                  stalled(ControlStore::capacity, 0) {}
+
+    std::vector<uint64_t> normal;
+    std::vector<uint64_t> stalled;
+
+    /** Sum another histogram into this one (composite workloads). */
+    void add(const Histogram &other);
+
+    /** Total cycles recorded. */
+    uint64_t cycles() const;
+};
+
+class UpcMonitor : public CycleSink
+{
+  public:
+    /** CSR command values (written to the device register). */
+    static constexpr uint32_t cmdStop = 0;
+    static constexpr uint32_t cmdStart = 1;
+    static constexpr uint32_t cmdClear = 2;
+
+    void count(UAddr upc, bool stalled) override;
+
+    /** @{ Unibus command interface. */
+    void start() { collecting_ = true; }
+    void stop() { collecting_ = false; }
+    void clear();
+    bool collecting() const { return collecting_; }
+    /** CSR write decode (for the device-window hook). */
+    void unibusWrite(uint32_t value);
+    /** @} */
+
+    const Histogram &histogram() const { return hist_; }
+
+    uint64_t
+    normalCount(UAddr a) const
+    {
+        return hist_.normal[a];
+    }
+
+    uint64_t
+    stalledCount(UAddr a) const
+    {
+        return hist_.stalled[a];
+    }
+
+  private:
+    Histogram hist_;
+    bool collecting_ = true;
+};
+
+} // namespace vax
+
+#endif // UPC780_UPC_MONITOR_HH

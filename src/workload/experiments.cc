@@ -1,0 +1,183 @@
+#include "workload/experiments.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "cpu/cpu.hh"
+#include "os/vms.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "workload/codegen.hh"
+
+namespace vax
+{
+
+void
+HwTotals::add(const HwTotals &other)
+{
+    auto addc = [](uint64_t &a, uint64_t b) { a += b; };
+    addc(counters.cycles, other.counters.cycles);
+    addc(counters.instructions, other.counters.instructions);
+    addc(counters.specifiers, other.counters.specifiers);
+    addc(counters.firstSpecifiers, other.counters.firstSpecifiers);
+    addc(counters.indexedSpecifiers, other.counters.indexedSpecifiers);
+    addc(counters.bdispBytes, other.counters.bdispBytes);
+    addc(counters.bdispCount, other.counters.bdispCount);
+    addc(counters.immediateBytes, other.counters.immediateBytes);
+    addc(counters.dispBytes, other.counters.dispBytes);
+    addc(counters.unalignedRefs, other.counters.unalignedRefs);
+    addc(counters.microTraps, other.counters.microTraps);
+    addc(counters.interrupts, other.counters.interrupts);
+    addc(counters.contextSwitches, other.counters.contextSwitches);
+    addc(counters.chmkCalls, other.counters.chmkCalls);
+    addc(cache.readRefsI, other.cache.readRefsI);
+    addc(cache.readMissesI, other.cache.readMissesI);
+    addc(cache.readRefsD, other.cache.readRefsD);
+    addc(cache.readMissesD, other.cache.readMissesD);
+    addc(cache.writeRefs, other.cache.writeRefs);
+    addc(cache.writeHits, other.cache.writeHits);
+    addc(tb.lookupsI, other.tb.lookupsI);
+    addc(tb.missesI, other.tb.missesI);
+    addc(tb.lookupsD, other.tb.lookupsD);
+    addc(tb.missesD, other.tb.missesD);
+    addc(tb.processFlushes, other.tb.processFlushes);
+    addc(ibLongwordFetches, other.ibLongwordFetches);
+    addc(dataReads, other.dataReads);
+    addc(dataWrites, other.dataWrites);
+    addc(terminalLinesIn, other.terminalLinesIn);
+    addc(terminalLinesOut, other.terminalLinesOut);
+    addc(diskTransfers, other.diskTransfers);
+}
+
+ExperimentResult
+runExperiment(const WorkloadProfile &profile, uint64_t cycles)
+{
+    SimConfig sim;
+    sim.seed = profile.seed;
+    return runExperiment(profile, cycles, sim);
+}
+
+ExperimentResult
+runExperiment(const WorkloadProfile &profile, uint64_t cycles,
+              const SimConfig &sim)
+{
+    VmsConfig vcfg;
+    vcfg.timerIntervalCycles = 20000;
+    vcfg.quantumTicks = 4;
+    return runExperiment(profile, cycles, sim, vcfg);
+}
+
+ExperimentResult
+runExperiment(const WorkloadProfile &profile, uint64_t cycles,
+              const SimConfig &sim, const VmsConfig &vcfg)
+{
+    Cpu780 cpu(sim);
+    UpcMonitor monitor;
+    cpu.setCycleSink(&monitor);
+
+    VmsLite os(cpu, monitor, vcfg);
+
+    ExperimentResult result;
+    result.name = profile.name;
+
+    os.onTerminalOutput([&result](uint32_t) {
+        ++result.hw.terminalLinesOut;
+    });
+
+    // Disk controller model: completions arrive a (deterministic,
+    // exponential) seek+transfer latency after each request.
+    struct DiskOp
+    {
+        uint64_t due;
+        uint32_t proc;
+    };
+    std::vector<DiskOp> disk_queue;
+    Rng disk_rng(profile.seed ^ 0xD15C);
+
+    for (unsigned u = 0; u < profile.numUsers; ++u) {
+        CodeGenerator gen(profile,
+                          profile.seed * 0x9E3779B1ULL + 17 * u + 1);
+        os.addProcess(gen.generate(u));
+    }
+    os.onDiskRequest([&](uint32_t proc) {
+        double u = disk_rng.uniform();
+        uint64_t latency = 8000 +
+            static_cast<uint64_t>(-std::log(1.0 - u) * 25000.0);
+        disk_queue.push_back({cpu.cycles() + latency, proc});
+    });
+    os.boot();
+
+    // The RTE: independent think-time clocks per simulated user.
+    Rng rte(profile.seed ^ 0x57E57E);
+    auto think = [&rte, &profile]() -> uint64_t {
+        double u = rte.uniform();
+        double t = -std::log(1.0 - u) * profile.thinkCycles;
+        return static_cast<uint64_t>(t) + 500;
+    };
+    std::vector<uint64_t> next_line(profile.numUsers);
+    for (unsigned u = 0; u < profile.numUsers; ++u)
+        next_line[u] = think();
+
+    constexpr uint64_t rte_poll = 512;
+    uint64_t next_poll = rte_poll;
+    while (cpu.cycles() < cycles) {
+        cpu.tick();
+        if (cpu.cycles() >= next_poll) {
+            next_poll = cpu.cycles() + rte_poll;
+            for (unsigned u = 0; u < profile.numUsers; ++u) {
+                if (next_line[u] <= cpu.cycles()) {
+                    os.postTerminalLine(u);
+                    ++result.hw.terminalLinesIn;
+                    next_line[u] = cpu.cycles() + think();
+                }
+            }
+            for (size_t i = 0; i < disk_queue.size();) {
+                if (disk_queue[i].due <= cpu.cycles()) {
+                    os.postDiskCompletion(disk_queue[i].proc);
+                    ++result.hw.diskTransfers;
+                    disk_queue[i] = disk_queue.back();
+                    disk_queue.pop_back();
+                } else {
+                    ++i;
+                }
+            }
+        }
+        if (cpu.halted())
+            panic("machine halted during experiment '%s'",
+                  profile.name.c_str());
+    }
+
+    result.hist = monitor.histogram();
+    result.hw.counters = cpu.hw();
+    result.hw.cache = cpu.mem().cache().stats();
+    result.hw.tb = cpu.mem().tb().stats();
+    result.hw.ibLongwordFetches = cpu.mem().ibLongwordFetches();
+    result.hw.dataReads = cpu.mem().dataReads();
+    result.hw.dataWrites = cpu.mem().dataWrites();
+    return result;
+}
+
+CompositeResult
+runComposite(uint64_t cycles_per_experiment)
+{
+    CompositeResult comp;
+    for (const auto &prof : allProfiles()) {
+        ExperimentResult r = runExperiment(prof, cycles_per_experiment);
+        comp.hist.add(r.hist);
+        comp.hw.add(r.hw);
+        comp.parts.push_back(std::move(r));
+    }
+    return comp;
+}
+
+uint64_t
+benchCycles(uint64_t def)
+{
+    const char *env = std::getenv("UPC780_CYCLES");
+    if (!env)
+        return def;
+    uint64_t v = std::strtoull(env, nullptr, 0);
+    return v ? v : def;
+}
+
+} // namespace vax

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Measurement experiments: run one workload profile on a freshly
+ * booted machine with the UPC monitor attached and an RTE injecting
+ * terminal traffic, then collect the histogram; run all five and sum
+ * them into the composite, exactly as the paper reports its results.
+ */
+
+#ifndef UPC780_WORKLOAD_EXPERIMENTS_HH
+#define UPC780_WORKLOAD_EXPERIMENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/cpu.hh"
+#include "cpu/hw_counters.hh"
+#include "os/vms.hh"
+#include "mem/cache.hh"
+#include "mem/tb.hh"
+#include "upc/monitor.hh"
+#include "workload/profile.hh"
+
+namespace vax
+{
+
+/**
+ * Hardware-side measurements the UPC technique cannot see (the paper
+ * took these from the separate cache study [2]); collected from the
+ * simulator's event counters and reported separately.
+ */
+struct HwTotals
+{
+    HwCounters counters;
+    CacheStats cache;
+    TbStats tb;
+    uint64_t ibLongwordFetches = 0;
+    uint64_t dataReads = 0;
+    uint64_t dataWrites = 0;
+    uint64_t terminalLinesIn = 0;
+    uint64_t terminalLinesOut = 0;
+    uint64_t diskTransfers = 0;
+
+    void add(const HwTotals &other);
+};
+
+struct ExperimentResult
+{
+    std::string name;
+    Histogram hist;
+    HwTotals hw;
+};
+
+/**
+ * Run one experiment.
+ *
+ * @param profile The workload to run.
+ * @param cycles  Machine cycles to simulate (200 ns each).
+ */
+ExperimentResult runExperiment(const WorkloadProfile &profile,
+                               uint64_t cycles);
+
+/** Same, with an explicit machine configuration (what-if studies). */
+ExperimentResult runExperiment(const WorkloadProfile &profile,
+                               uint64_t cycles, const SimConfig &sim);
+
+/** Same, also overriding the OS configuration (quantum studies). */
+ExperimentResult runExperiment(const WorkloadProfile &profile,
+                               uint64_t cycles, const SimConfig &sim,
+                               const VmsConfig &vms);
+
+struct CompositeResult
+{
+    Histogram hist;   ///< sum of the five histograms
+    HwTotals hw;      ///< sum of the hardware counters
+    std::vector<ExperimentResult> parts;
+};
+
+/** Run all five experiments and composite them. */
+CompositeResult runComposite(uint64_t cycles_per_experiment);
+
+/**
+ * Cycles per experiment for the bench harness: the UPC780_CYCLES
+ * environment variable if set, else the given default.
+ */
+uint64_t benchCycles(uint64_t def = 2'000'000);
+
+} // namespace vax
+
+#endif // UPC780_WORKLOAD_EXPERIMENTS_HH

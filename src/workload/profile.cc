@@ -1,0 +1,144 @@
+#include "workload/profile.hh"
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+namespace
+{
+
+/** Base block mix tuned so the composite lands near Table 1. */
+std::vector<double>
+baseWeights()
+{
+    std::vector<double> w(static_cast<size_t>(BlockKind::NumKinds), 0.0);
+    w[static_cast<size_t>(BlockKind::Move)] = 20.0;
+    w[static_cast<size_t>(BlockKind::Arith)] = 16.0;
+    w[static_cast<size_t>(BlockKind::Boolean)] = 5.0;
+    w[static_cast<size_t>(BlockKind::CondBranch)] = 46.0;
+    w[static_cast<size_t>(BlockKind::Loop)] = 7.0;
+    w[static_cast<size_t>(BlockKind::Subroutine)] = 13.0;
+    w[static_cast<size_t>(BlockKind::ProcCall)] = 22.0;
+    w[static_cast<size_t>(BlockKind::Field)] = 26.0;
+    w[static_cast<size_t>(BlockKind::Float)] = 4.5;
+    w[static_cast<size_t>(BlockKind::Character)] = 0.9;
+    w[static_cast<size_t>(BlockKind::Decimal)] = 0.08;
+    w[static_cast<size_t>(BlockKind::Case)] = 2.5;
+    w[static_cast<size_t>(BlockKind::Queue)] = 3.2;
+    w[static_cast<size_t>(BlockKind::Syscall)] = 5.5;
+    return w;
+}
+
+void
+scale(std::vector<double> &w, BlockKind k, double f)
+{
+    w[static_cast<size_t>(k)] *= f;
+}
+
+} // anonymous namespace
+
+WorkloadProfile::WorkloadProfile()
+    : blockWeights(baseWeights())
+{
+}
+
+WorkloadProfile
+timesharingLightProfile()
+{
+    // General timesharing and some performance data analysis:
+    // text editing, program development, electronic mail; ~15 users,
+    // lightly loaded.
+    WorkloadProfile p;
+    p.name = "timesharing-light";
+    p.seed = 0x11780A;
+    p.numUsers = 15;
+    scale(p.blockWeights, BlockKind::Character, 2.0); // editing
+    scale(p.blockWeights, BlockKind::Syscall, 1.4);   // mail, editing
+    p.waitProb = 0.10;       // interactive: blocks regularly
+    p.thinkCycles = 370000.0; // lightly loaded
+    return p;
+}
+
+WorkloadProfile
+timesharingHeavyProfile()
+{
+    // Same general use plus circuit simulation and microcode
+    // development; ~30 users, heavier load.
+    WorkloadProfile p;
+    p.name = "timesharing-heavy";
+    p.seed = 0x11780B;
+    p.numUsers = 30;
+    scale(p.blockWeights, BlockKind::Float, 2.2);     // simulation
+    scale(p.blockWeights, BlockKind::Field, 1.3);     // bit fiddling
+    scale(p.blockWeights, BlockKind::Loop, 1.2);
+    p.waitProb = 0.06;       // more compute-bound
+    p.thinkCycles = 280000.0;
+    return p;
+}
+
+WorkloadProfile
+educationalProfile()
+{
+    // 40 simulated users doing program development in various
+    // languages and some file manipulation.
+    WorkloadProfile p;
+    p.name = "educational";
+    p.seed = 0x11780C;
+    p.numUsers = 40;
+    scale(p.blockWeights, BlockKind::ProcCall, 1.5);  // compilers
+    scale(p.blockWeights, BlockKind::Subroutine, 1.3);
+    scale(p.blockWeights, BlockKind::Character, 1.6); // file handling
+    scale(p.blockWeights, BlockKind::Case, 1.4);      // parsers
+    p.waitProb = 0.09;
+    p.thinkCycles = 370000.0;
+    return p;
+}
+
+WorkloadProfile
+scientificProfile()
+{
+    // 40 simulated users doing scientific computation and program
+    // development.
+    WorkloadProfile p;
+    p.name = "scientific";
+    p.seed = 0x11780D;
+    p.numUsers = 40;
+    scale(p.blockWeights, BlockKind::Float, 4.0);
+    scale(p.blockWeights, BlockKind::Loop, 1.6);
+    scale(p.blockWeights, BlockKind::Arith, 1.2);
+    scale(p.blockWeights, BlockKind::Character, 0.5);
+    p.loopMean = 12.0;
+    p.waitProb = 0.05;       // long computations
+    p.thinkCycles = 460000.0;
+    return p;
+}
+
+WorkloadProfile
+commercialProfile()
+{
+    // 32 simulated users doing transactional database inquiries and
+    // updates.
+    WorkloadProfile p;
+    p.name = "commercial";
+    p.seed = 0x11780E;
+    p.numUsers = 32;
+    scale(p.blockWeights, BlockKind::Decimal, 14.0);
+    scale(p.blockWeights, BlockKind::Character, 4.0);
+    scale(p.blockWeights, BlockKind::Queue, 2.0);
+    scale(p.blockWeights, BlockKind::Syscall, 1.8);   // transactions
+    scale(p.blockWeights, BlockKind::Float, 0.4);
+    p.waitProb = 0.12;       // transaction per terminal interaction
+    p.thinkCycles = 230000.0;
+    return p;
+}
+
+std::vector<WorkloadProfile>
+allProfiles()
+{
+    return {timesharingLightProfile(), timesharingHeavyProfile(),
+            educationalProfile(), scientificProfile(),
+            commercialProfile()};
+}
+
+} // namespace vax

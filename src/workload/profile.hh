@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Workload profiles: the tunable description of what a synthetic user
+ * population does.
+ *
+ * Five built-in profiles correspond to the paper's five experiments:
+ * two live-timesharing stand-ins (light: ~15 users of editing, mail
+ * and program development; heavy: ~30 users plus circuit simulation
+ * and microcode development) and three RTE script sets (educational,
+ * scientific/engineering, commercial transaction processing).  The
+ * composite is the sum of all five, as in the paper.
+ */
+
+#ifndef UPC780_WORKLOAD_PROFILE_HH
+#define UPC780_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vax
+{
+
+/** Activity-block kinds the generator can emit. */
+enum class BlockKind : uint8_t {
+    Move,       ///< MOVx/MOVA/PUSHL/CLR/MCOM/MOVZ chains
+    Arith,      ///< ADD/SUB/INC/DEC/CMP/TST (+ occasional ASH/CVT)
+    Boolean,    ///< BIS/BIC/XOR/BIT
+    CondBranch, ///< compare + conditional branch over a short block
+    Loop,       ///< SOB/AOB/ACB counted loops (incl. autoinc scans)
+    Subroutine, ///< BSB/JSB to a generated subroutine
+    ProcCall,   ///< CALLS to a generated procedure
+    Field,      ///< EXTV/INSV/FFS and bit branches
+    Float,      ///< F_floating ops and integer multiply/divide
+    Character,  ///< MOVC/CMPC/LOCC/SCANC on string buffers
+    Decimal,    ///< packed-decimal arithmetic
+    Case,       ///< CASEx dispatch
+    Queue,      ///< INSQUE/REMQUE pairs
+    Syscall,    ///< CHMK services (gettime/puts/gets)
+    NumKinds,
+};
+
+struct WorkloadProfile
+{
+    std::string name;
+    uint64_t seed = 1;
+    unsigned numUsers = 8;
+
+    /** Relative weight per BlockKind (indexed by the enum). */
+    std::vector<double> blockWeights;
+
+    /** @{ Operand-style weights for scalar operands. */
+    double wOpRegister = 2.8;
+    double wOpLiteral = 1.8;
+    double wOpImmediate = 0.25;
+    double wOpDisp = 5.5;
+    double wOpRegDef = 1.4;
+    double wOpAutoStack = 0.5;  ///< balanced -(SP)/(SP)+ pairs
+    double wOpDispDef = 0.9;
+    double wOpAbsolute = 0.3;
+    double pIndexed = 0.45;     ///< chance a disp operand is indexed
+    double unalignedProb = 0.12; ///< unaligned share of word/long refs
+    /** @} */
+
+    /** @{ Behavioural knobs. */
+    double loopMean = 10.0;          ///< mean loop trip count
+    double condTakenBias = 0.2;      ///< share of always-taken tests
+    unsigned procMaskBitsMean = 4;   ///< registers saved by CALLS
+    unsigned strLenMean = 40;        ///< string lengths (36-44 paper)
+    unsigned decDigitsMean = 12;     ///< packed-decimal digits
+    double coldFraction = 0.35;      ///< D-stream refs to the cold set
+    unsigned hotLongs = 192;         ///< hot data region (longwords)
+    unsigned coldLongs = 14336;      ///< cold data region (56 KB)
+    unsigned coldWindowLongs = 2048; ///< 8 KB working window that the
+                                     ///< outer loop slides across cold
+    unsigned numSubroutines = 10;
+    unsigned numProcedures = 4;
+    unsigned blocksPerIteration = 260;
+    double waitProb = 0.5;           ///< WAITTERM at end of iteration
+    double putsProb = 0.3;
+    double getsProb = 0.3;
+    /** @} */
+
+    /** Mean cycles of think time between terminal lines per user. */
+    double thinkCycles = 40000.0;
+
+    WorkloadProfile();
+};
+
+/** @{ The five experimental settings of the paper. */
+WorkloadProfile timesharingLightProfile();
+WorkloadProfile timesharingHeavyProfile();
+WorkloadProfile educationalProfile();
+WorkloadProfile scientificProfile();
+WorkloadProfile commercialProfile();
+/** @} */
+
+/** All five, in paper order. */
+std::vector<WorkloadProfile> allProfiles();
+
+} // namespace vax
+
+#endif // UPC780_WORKLOAD_PROFILE_HH

@@ -1,0 +1,90 @@
+// Debugging harness: run one experiment and print the key numbers.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cpu/cpu.hh"
+#include "upc/analyzer.hh"
+#include "workload/experiments.hh"
+
+using namespace vax;
+
+int
+main(int argc, char **argv)
+{
+    setvbuf(stdout, nullptr, _IONBF, 0);
+    uint64_t cycles = argc > 1 ? strtoull(argv[1], nullptr, 0)
+                               : 1'000'000;
+    int which = argc > 2 ? atoi(argv[2]) : -1;
+
+    Cpu780 ref; // for the control-store annotations
+    auto profiles = allProfiles();
+
+    Histogram total;
+    HwTotals hw_total;
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        if (which >= 0 && static_cast<size_t>(which) != i)
+            continue;
+        std::printf("--- running %s (%u users) ---\n",
+                    profiles[i].name.c_str(), profiles[i].numUsers);
+        auto r = runExperiment(profiles[i], cycles);
+        HistogramAnalyzer an(ref.controlStore(), r.hist);
+        std::printf("  instr=%llu cpi=%.2f ints/instr=1/%.0f "
+                    "ctxsw=1/%.0f tbmiss=%.4f\n",
+                    (unsigned long long)an.instructions(),
+                    an.cyclesPerInstruction(),
+                    an.headwayInterrupts(),
+                    an.headwayContextSwitches(),
+                    an.tbMissPerInstr());
+        total.add(r.hist);
+        hw_total.add(r.hw);
+    }
+
+    HistogramAnalyzer an(ref.controlStore(), total);
+    std::printf("\n=== composite ===\n");
+    std::printf("instructions: %llu, CPI: %.3f\n",
+                (unsigned long long)an.instructions(),
+                an.cyclesPerInstruction());
+    std::printf("groups: ");
+    for (unsigned g = 0; g < static_cast<unsigned>(Group::NumGroups);
+         ++g) {
+        std::printf("%s=%.2f%% ", groupName(static_cast<Group>(g)),
+                    100.0 * an.groupFraction(static_cast<Group>(g)));
+    }
+    std::printf("\nspecs: s1=%.3f s26=%.3f bdisp=%.3f idx=%.1f%%\n",
+                an.spec1PerInstr(), an.spec26PerInstr(),
+                an.bdispPerInstr(), 100.0 * an.indexedFraction(2));
+    std::printf("reads/instr=%.3f writes/instr=%.3f unaligned=%.4f\n",
+                an.totalReadsPerInstr(), an.totalWritesPerInstr(),
+                an.unalignedPerInstr());
+    std::printf("tbmiss/instr=%.4f (D %.4f, I %.4f) svc=%.1f cyc "
+                "(stall %.1f)\n",
+                an.tbMissPerInstr(), an.tbMissPerInstrD(),
+                an.tbMissPerInstrI(), an.tbServiceCyclesPerMiss(),
+                an.tbServiceStallPerMiss());
+    std::printf("headways: swreq=%.0f ints=%.0f ctxsw=%.0f\n",
+                an.headwaySwIntRequests(), an.headwayInterrupts(),
+                an.headwayContextSwitches());
+    std::printf("cols/instr: ");
+    for (unsigned c = 0; c < static_cast<unsigned>(TimeCol::NumCols);
+         ++c) {
+        std::printf("%s=%.3f ", timeColName(static_cast<TimeCol>(c)),
+                    an.colTotal(static_cast<TimeCol>(c)));
+    }
+    std::printf("\nrows/instr: ");
+    for (unsigned r = 0; r < static_cast<unsigned>(Row::NumRows);
+         ++r) {
+        std::printf("%s=%.3f ", rowName(static_cast<Row>(r)),
+                    an.rowTotal(static_cast<Row>(r)));
+    }
+    std::printf("\nhw: cache Imiss/instr=%.3f Dmiss/instr=%.3f "
+                "IBrefs/instr=%.2f taken(simple)=%.0f%%\n",
+                double(hw_total.cache.readMissesI) /
+                    an.instructions(),
+                double(hw_total.cache.readMissesD) /
+                    an.instructions(),
+                double(hw_total.ibLongwordFetches) /
+                    an.instructions(),
+                100.0 * an.takenFraction(PcChangeKind::SimpleCond));
+    return 0;
+}

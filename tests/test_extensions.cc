@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests of the extension features: histogram CSV persistence,
+ * configurable IB size, memory-geometry what-ifs, and the
+ * monotonicity properties the ablation benches rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "upc/analyzer.hh"
+#include "upc/hist_io.hh"
+#include "workload/experiments.hh"
+
+namespace vax::test
+{
+
+TEST(HistIo, RoundTripPreservesCounts)
+{
+    ExperimentResult r = runExperiment(timesharingLightProfile(),
+                                       60000);
+    Cpu780 ref;
+    std::string path = ::testing::TempDir() + "upc_hist_rt.csv";
+    ASSERT_TRUE(saveHistogramCsv(path, r.hist, ref.controlStore()));
+    Histogram back;
+    ASSERT_TRUE(loadHistogramCsv(path, &back));
+    EXPECT_EQ(back.cycles(), r.hist.cycles());
+    for (size_t i = 0; i < back.normal.size(); ++i) {
+        ASSERT_EQ(back.normal[i], r.hist.normal[i]) << i;
+        ASSERT_EQ(back.stalled[i], r.hist.stalled[i]) << i;
+    }
+    // Analyses of original and reloaded agree exactly.
+    HistogramAnalyzer a1(ref.controlStore(), r.hist);
+    HistogramAnalyzer a2(ref.controlStore(), back);
+    EXPECT_DOUBLE_EQ(a1.cyclesPerInstruction(),
+                     a2.cyclesPerInstruction());
+    EXPECT_EQ(a1.instructions(), a2.instructions());
+    std::remove(path.c_str());
+}
+
+TEST(HistIo, MissingFileFails)
+{
+    Histogram h;
+    EXPECT_FALSE(loadHistogramCsv("/nonexistent/path.csv", &h));
+}
+
+TEST(HistIo, MalformedLineFails)
+{
+    std::string path = ::testing::TempDir() + "upc_hist_bad.csv";
+    FILE *f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fprintf(f, "upc,name,row,mem,ib,normal,stalled\n");
+    fprintf(f, "not a valid line\n");
+    fclose(f);
+    Histogram h;
+    EXPECT_FALSE(loadHistogramCsv(path, &h));
+    std::remove(path.c_str());
+}
+
+TEST(Extensions, IbSizeIsConfigurable)
+{
+    SimConfig small, big;
+    small.ibBytes = 4;
+    big.ibBytes = 16;
+    Cpu780 a(small), b(big);
+    EXPECT_EQ(a.ib().capacity(), 4u);
+    EXPECT_EQ(b.ib().capacity(), 16u);
+}
+
+TEST(Extensions, SmallerIbStallsMore)
+{
+    WorkloadProfile prof = timesharingLightProfile();
+    prof.numUsers = 4;
+    SimConfig small, big;
+    small.ibBytes = 4;
+    big.ibBytes = 16;
+    small.seed = big.seed = prof.seed;
+    ExperimentResult rs = runExperiment(prof, 120000, small);
+    ExperimentResult rb = runExperiment(prof, 120000, big);
+    Cpu780 refs(small), refb(big);
+    HistogramAnalyzer as(refs.controlStore(), rs.hist);
+    HistogramAnalyzer ab(refb.controlStore(), rb.hist);
+    EXPECT_GT(as.colTotal(TimeCol::IbStall),
+              ab.colTotal(TimeCol::IbStall));
+}
+
+TEST(Extensions, LongerWriteDrainStallsMore)
+{
+    WorkloadProfile prof = educationalProfile();
+    prof.numUsers = 4;
+    SimConfig fast, slow;
+    fast.mem.writeDrainCycles = 2;
+    slow.mem.writeDrainCycles = 12;
+    fast.seed = slow.seed = prof.seed;
+    ExperimentResult rf = runExperiment(prof, 120000, fast);
+    ExperimentResult rl = runExperiment(prof, 120000, slow);
+    Cpu780 reff(fast), refl(slow);
+    HistogramAnalyzer af(reff.controlStore(), rf.hist);
+    HistogramAnalyzer al(refl.controlStore(), rl.hist);
+    EXPECT_GT(al.colTotal(TimeCol::WStall),
+              af.colTotal(TimeCol::WStall));
+    EXPECT_GT(al.cyclesPerInstruction(), af.cyclesPerInstruction());
+}
+
+TEST(Extensions, BiggerCacheStallsLess)
+{
+    WorkloadProfile prof = timesharingHeavyProfile();
+    prof.numUsers = 4;
+    SimConfig small, big;
+    small.mem.cacheBytes = 2 << 10;
+    big.mem.cacheBytes = 64 << 10;
+    small.seed = big.seed = prof.seed;
+    ExperimentResult rs = runExperiment(prof, 120000, small);
+    ExperimentResult rb = runExperiment(prof, 120000, big);
+    Cpu780 refs(small), refb(big);
+    HistogramAnalyzer as(refs.controlStore(), rs.hist);
+    HistogramAnalyzer ab(refb.controlStore(), rb.hist);
+    EXPECT_GT(as.colTotal(TimeCol::RStall),
+              ab.colTotal(TimeCol::RStall));
+    EXPECT_GT(as.cyclesPerInstruction(), ab.cyclesPerInstruction());
+    // More cache always means a better or equal hit rate.
+    EXPECT_LE(rb.hw.cache.readMissesD + rb.hw.cache.readMissesI,
+              rs.hw.cache.readMissesD + rs.hw.cache.readMissesI);
+}
+
+TEST(Extensions, BiggerTbMissesLess)
+{
+    WorkloadProfile prof = commercialProfile();
+    prof.numUsers = 4;
+    SimConfig small, big;
+    small.mem.tbProcessEntries = small.mem.tbSystemEntries = 16;
+    big.mem.tbProcessEntries = big.mem.tbSystemEntries = 256;
+    small.seed = big.seed = prof.seed;
+    ExperimentResult rs = runExperiment(prof, 120000, small);
+    ExperimentResult rb = runExperiment(prof, 120000, big);
+    Cpu780 refs(small), refb(big);
+    HistogramAnalyzer as(refs.controlStore(), rs.hist);
+    HistogramAnalyzer ab(refb.controlStore(), rb.hist);
+    EXPECT_GT(as.tbMissPerInstr(), ab.tbMissPerInstr());
+}
+
+} // namespace vax::test

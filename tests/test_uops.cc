@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Datapath-helper tests: ALU condition codes, comparisons, shifts,
+ * branch-condition evaluation (all simple-branch opcodes across all
+ * condition-code states), converts, sized register writeback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ucode/uops.hh"
+
+namespace vax::test
+{
+
+TEST(Alu, AddSetsCarryAndOverflow)
+{
+    Psl psl;
+    uint32_t r = aluCompute(op::ADDL2, 0xFFFFFFFF, 1, DataType::Long,
+                            &psl);
+    EXPECT_EQ(r, 0u);
+    EXPECT_TRUE(psl.cc.z);
+    EXPECT_TRUE(psl.cc.c);
+    EXPECT_FALSE(psl.cc.v); // -1 + 1 does not overflow
+
+    r = aluCompute(op::ADDL2, 0x7FFFFFFF, 1, DataType::Long, &psl);
+    EXPECT_EQ(r, 0x80000000u);
+    EXPECT_TRUE(psl.cc.v); // positive + positive -> negative
+    EXPECT_TRUE(psl.cc.n);
+}
+
+TEST(Alu, SubComputesDstMinusSrc)
+{
+    Psl psl;
+    // SUBL2 src, dst: dst = dst - src.
+    uint32_t r = aluCompute(op::SUBL2, 3, 10, DataType::Long, &psl);
+    EXPECT_EQ(r, 7u);
+    EXPECT_FALSE(psl.cc.n);
+    EXPECT_FALSE(psl.cc.c);
+
+    r = aluCompute(op::SUBL2, 10, 3, DataType::Long, &psl);
+    EXPECT_EQ(r, static_cast<uint32_t>(-7));
+    EXPECT_TRUE(psl.cc.n);
+    EXPECT_TRUE(psl.cc.c); // borrow
+}
+
+TEST(Alu, ByteWidthTruncates)
+{
+    Psl psl;
+    uint32_t r = aluCompute(op::ADDB2, 0xFF, 0x02, DataType::Byte,
+                            &psl);
+    EXPECT_EQ(r, 0x01u);
+    EXPECT_TRUE(psl.cc.c);
+}
+
+TEST(Alu, BooleanOps)
+{
+    Psl psl;
+    psl.cc.c = true; // logical ops preserve C
+    EXPECT_EQ(aluCompute(op::BISL2, 0x0F, 0xF0, DataType::Long, &psl),
+              0xFFu);
+    EXPECT_TRUE(psl.cc.c);
+    EXPECT_EQ(aluCompute(op::BICL2, 0x0F, 0xFF, DataType::Long, &psl),
+              0xF0u);
+    EXPECT_EQ(aluCompute(op::XORL2, 0xFF, 0x0F, DataType::Long, &psl),
+              0xF0u);
+    EXPECT_FALSE(psl.cc.v);
+}
+
+TEST(Alu, CmpSignedAndUnsigned)
+{
+    Psl psl;
+    cmpCc(5, 5, DataType::Long, &psl);
+    EXPECT_TRUE(psl.cc.z);
+    cmpCc(static_cast<uint32_t>(-1), 1, DataType::Long, &psl);
+    EXPECT_TRUE(psl.cc.n);  // signed: -1 < 1
+    EXPECT_FALSE(psl.cc.c); // unsigned: 0xFFFFFFFF > 1
+    cmpCc(1, 2, DataType::Long, &psl);
+    EXPECT_TRUE(psl.cc.n);
+    EXPECT_TRUE(psl.cc.c);
+}
+
+TEST(Alu, CmpByteUsesSignExtension)
+{
+    Psl psl;
+    cmpCc(0x80, 0x01, DataType::Byte, &psl);
+    EXPECT_TRUE(psl.cc.n);  // -128 < 1 signed
+    EXPECT_FALSE(psl.cc.c); // 128 > 1 unsigned
+}
+
+TEST(Shift, AshlLeftRightAndRotl)
+{
+    Psl psl;
+    EXPECT_EQ(shiftCompute(op::ASHL, 4, 0x10, &psl), 0x100u);
+    EXPECT_EQ(shiftCompute(op::ASHL, -4, 0x100, &psl), 0x10u);
+    // Arithmetic right shift keeps the sign.
+    EXPECT_EQ(shiftCompute(op::ASHL, -4, 0x80000000, &psl),
+              0xF8000000u);
+    EXPECT_EQ(shiftCompute(op::ROTL, 8, 0x12345678, &psl),
+              0x34567812u);
+    EXPECT_EQ(shiftCompute(op::ROTL, 0, 0xABCD, &psl), 0xABCDu);
+}
+
+struct BranchCase
+{
+    uint8_t opcode;
+    // Expected taken for cc = (n, z, v, c) in the listed orders.
+    bool when_clear;  // all cc clear
+    bool when_n;
+    bool when_z;
+    bool when_c;
+};
+
+class BranchCondTest : public ::testing::TestWithParam<BranchCase>
+{
+};
+
+TEST_P(BranchCondTest, EvaluatesCondition)
+{
+    const BranchCase &bc = GetParam();
+    Psl psl;
+    EXPECT_EQ(branchCond(bc.opcode, psl), bc.when_clear);
+    psl = Psl();
+    psl.cc.n = true;
+    EXPECT_EQ(branchCond(bc.opcode, psl), bc.when_n);
+    psl = Psl();
+    psl.cc.z = true;
+    EXPECT_EQ(branchCond(bc.opcode, psl), bc.when_z);
+    psl = Psl();
+    psl.cc.c = true;
+    EXPECT_EQ(branchCond(bc.opcode, psl), bc.when_c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSimpleBranches, BranchCondTest,
+    ::testing::Values(
+        //            opcode   clear   N      Z      C
+        BranchCase{op::BRB, true, true, true, true},
+        BranchCase{op::BRW, true, true, true, true},
+        BranchCase{op::BNEQ, true, true, false, true},
+        BranchCase{op::BEQL, false, false, true, false},
+        BranchCase{op::BGTR, true, false, false, true},
+        BranchCase{op::BLEQ, false, true, true, false},
+        BranchCase{op::BGEQ, true, false, true, true},
+        BranchCase{op::BLSS, false, true, false, false},
+        BranchCase{op::BGTRU, true, true, false, false},
+        BranchCase{op::BLEQU, false, false, true, true},
+        BranchCase{op::BCC, true, true, true, false},
+        BranchCase{op::BCS, false, false, false, true}));
+
+TEST(BranchCond, OverflowBranches)
+{
+    Psl psl;
+    EXPECT_FALSE(branchCond(op::BVS, psl));
+    EXPECT_TRUE(branchCond(op::BVC, psl));
+    psl.cc.v = true;
+    EXPECT_TRUE(branchCond(op::BVS, psl));
+    EXPECT_FALSE(branchCond(op::BVC, psl));
+}
+
+TEST(Cvt, SignAndZeroExtension)
+{
+    Psl psl;
+    EXPECT_EQ(cvtCompute(op::MOVZBL, 0x80, &psl), 0x80u);
+    EXPECT_FALSE(psl.cc.n);
+    EXPECT_EQ(cvtCompute(op::CVTBL, 0x80, &psl), 0xFFFFFF80u);
+    EXPECT_TRUE(psl.cc.n);
+    EXPECT_EQ(cvtCompute(op::CVTWL, 0x8000, &psl), 0xFFFF8000u);
+    EXPECT_EQ(cvtCompute(op::MOVZWL, 0x8000, &psl), 0x8000u);
+    EXPECT_EQ(cvtCompute(op::CVTLB, 0x12345678, &psl), 0x78u);
+    EXPECT_EQ(cvtCompute(op::CVTLW, 0x12345678, &psl), 0x5678u);
+}
+
+TEST(WriteReg, SizedMerge)
+{
+    uint32_t reg = 0xAABBCCDD;
+    writeRegSized(&reg, 0x11, DataType::Byte);
+    EXPECT_EQ(reg, 0xAABBCC11u);
+    writeRegSized(&reg, 0x2233, DataType::Word);
+    EXPECT_EQ(reg, 0xAABB2233u);
+    writeRegSized(&reg, 0x44556677, DataType::Long);
+    EXPECT_EQ(reg, 0x44556677u);
+}
+
+TEST(Trunc, Helpers)
+{
+    EXPECT_EQ(truncTo(0x12345678, DataType::Byte), 0x78u);
+    EXPECT_EQ(truncTo(0x12345678, DataType::Word), 0x5678u);
+    EXPECT_EQ(truncTo(0x12345678, DataType::Long), 0x12345678u);
+    EXPECT_EQ(sextTo(0xFF, DataType::Byte), -1);
+    EXPECT_TRUE(signBit(0x80, DataType::Byte));
+    EXPECT_FALSE(signBit(0x80, DataType::Word));
+}
+
+} // namespace vax::test
