@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decode_overlap.dir/ablation_decode_overlap.cc.o"
+  "CMakeFiles/ablation_decode_overlap.dir/ablation_decode_overlap.cc.o.d"
+  "ablation_decode_overlap"
+  "ablation_decode_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decode_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ib_size.dir/ablation_ib_size.cc.o"
+  "CMakeFiles/ablation_ib_size.dir/ablation_ib_size.cc.o.d"
+  "ablation_ib_size"
+  "ablation_ib_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ib_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

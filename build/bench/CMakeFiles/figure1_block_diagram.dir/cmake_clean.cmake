@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_block_diagram.dir/figure1_block_diagram.cc.o"
+  "CMakeFiles/figure1_block_diagram.dir/figure1_block_diagram.cc.o.d"
+  "figure1_block_diagram"
+  "figure1_block_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_block_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impl_events.dir/impl_events.cc.o"
+  "CMakeFiles/impl_events.dir/impl_events.cc.o.d"
+  "impl_events"
+  "impl_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impl_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_opcode_freq.dir/table1_opcode_freq.cc.o"
+  "CMakeFiles/table1_opcode_freq.dir/table1_opcode_freq.cc.o.d"
+  "table1_opcode_freq"
+  "table1_opcode_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_opcode_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pc_changing.dir/table2_pc_changing.cc.o"
+  "CMakeFiles/table2_pc_changing.dir/table2_pc_changing.cc.o.d"
+  "table2_pc_changing"
+  "table2_pc_changing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pc_changing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_pc_changing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_specifier_counts.dir/table3_specifier_counts.cc.o"
+  "CMakeFiles/table3_specifier_counts.dir/table3_specifier_counts.cc.o.d"
+  "table3_specifier_counts"
+  "table3_specifier_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_specifier_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_specifier_dist.dir/table4_specifier_dist.cc.o"
+  "CMakeFiles/table4_specifier_dist.dir/table4_specifier_dist.cc.o.d"
+  "table4_specifier_dist"
+  "table4_specifier_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_specifier_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_dstream_rw.dir/table5_dstream_rw.cc.o"
+  "CMakeFiles/table5_dstream_rw.dir/table5_dstream_rw.cc.o.d"
+  "table5_dstream_rw"
+  "table5_dstream_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_dstream_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

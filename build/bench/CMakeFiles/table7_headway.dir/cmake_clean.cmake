@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_headway.dir/table7_headway.cc.o"
+  "CMakeFiles/table7_headway.dir/table7_headway.cc.o.d"
+  "table7_headway"
+  "table7_headway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_headway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

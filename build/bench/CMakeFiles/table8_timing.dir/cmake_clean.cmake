@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_timing.dir/table8_timing.cc.o"
+  "CMakeFiles/table8_timing.dir/table8_timing.cc.o.d"
+  "table8_timing"
+  "table8_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

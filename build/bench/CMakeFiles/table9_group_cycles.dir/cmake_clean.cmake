@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_group_cycles.dir/table9_group_cycles.cc.o"
+  "CMakeFiles/table9_group_cycles.dir/table9_group_cycles.cc.o.d"
+  "table9_group_cycles"
+  "table9_group_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_group_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_database.dir/histogram_database.cpp.o"
+  "CMakeFiles/histogram_database.dir/histogram_database.cpp.o.d"
+  "histogram_database"
+  "histogram_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_sweep.dir/memory_sweep.cpp.o"
+  "CMakeFiles/memory_sweep.dir/memory_sweep.cpp.o.d"
+  "memory_sweep"
+  "memory_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

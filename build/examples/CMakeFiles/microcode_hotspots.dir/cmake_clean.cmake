@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcode_hotspots.dir/microcode_hotspots.cpp.o"
+  "CMakeFiles/microcode_hotspots.dir/microcode_hotspots.cpp.o.d"
+  "microcode_hotspots"
+  "microcode_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcode_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timesharing_characterization.dir/timesharing_characterization.cpp.o"
+  "CMakeFiles/timesharing_characterization.dir/timesharing_characterization.cpp.o.d"
+  "timesharing_characterization"
+  "timesharing_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timesharing_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

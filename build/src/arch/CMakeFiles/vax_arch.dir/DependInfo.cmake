@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/assembler.cc" "src/arch/CMakeFiles/vax_arch.dir/assembler.cc.o" "gcc" "src/arch/CMakeFiles/vax_arch.dir/assembler.cc.o.d"
+  "/root/repo/src/arch/decimal.cc" "src/arch/CMakeFiles/vax_arch.dir/decimal.cc.o" "gcc" "src/arch/CMakeFiles/vax_arch.dir/decimal.cc.o.d"
+  "/root/repo/src/arch/disasm.cc" "src/arch/CMakeFiles/vax_arch.dir/disasm.cc.o" "gcc" "src/arch/CMakeFiles/vax_arch.dir/disasm.cc.o.d"
+  "/root/repo/src/arch/ffloat.cc" "src/arch/CMakeFiles/vax_arch.dir/ffloat.cc.o" "gcc" "src/arch/CMakeFiles/vax_arch.dir/ffloat.cc.o.d"
+  "/root/repo/src/arch/opcodes.cc" "src/arch/CMakeFiles/vax_arch.dir/opcodes.cc.o" "gcc" "src/arch/CMakeFiles/vax_arch.dir/opcodes.cc.o.d"
+  "/root/repo/src/arch/specifiers.cc" "src/arch/CMakeFiles/vax_arch.dir/specifiers.cc.o" "gcc" "src/arch/CMakeFiles/vax_arch.dir/specifiers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vax_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vax_arch.dir/assembler.cc.o"
+  "CMakeFiles/vax_arch.dir/assembler.cc.o.d"
+  "CMakeFiles/vax_arch.dir/decimal.cc.o"
+  "CMakeFiles/vax_arch.dir/decimal.cc.o.d"
+  "CMakeFiles/vax_arch.dir/disasm.cc.o"
+  "CMakeFiles/vax_arch.dir/disasm.cc.o.d"
+  "CMakeFiles/vax_arch.dir/ffloat.cc.o"
+  "CMakeFiles/vax_arch.dir/ffloat.cc.o.d"
+  "CMakeFiles/vax_arch.dir/opcodes.cc.o"
+  "CMakeFiles/vax_arch.dir/opcodes.cc.o.d"
+  "CMakeFiles/vax_arch.dir/specifiers.cc.o"
+  "CMakeFiles/vax_arch.dir/specifiers.cc.o.d"
+  "libvax_arch.a"
+  "libvax_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vax_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

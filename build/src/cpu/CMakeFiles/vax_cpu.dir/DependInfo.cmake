@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ucode/rom.cc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom.cc.o.d"
+  "/root/repo/src/ucode/rom_callret.cc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_callret.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_callret.cc.o.d"
+  "/root/repo/src/ucode/rom_char.cc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_char.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_char.cc.o.d"
+  "/root/repo/src/ucode/rom_decimal.cc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_decimal.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_decimal.cc.o.d"
+  "/root/repo/src/ucode/rom_field.cc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_field.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_field.cc.o.d"
+  "/root/repo/src/ucode/rom_float.cc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_float.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_float.cc.o.d"
+  "/root/repo/src/ucode/rom_mm.cc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_mm.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_mm.cc.o.d"
+  "/root/repo/src/ucode/rom_simple.cc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_simple.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_simple.cc.o.d"
+  "/root/repo/src/ucode/rom_spec.cc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_spec.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_spec.cc.o.d"
+  "/root/repo/src/ucode/rom_system.cc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_system.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/__/ucode/rom_system.cc.o.d"
+  "/root/repo/src/cpu/cpu.cc" "src/cpu/CMakeFiles/vax_cpu.dir/cpu.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/cpu.cc.o.d"
+  "/root/repo/src/cpu/ebox.cc" "src/cpu/CMakeFiles/vax_cpu.dir/ebox.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/ebox.cc.o.d"
+  "/root/repo/src/cpu/ifetch.cc" "src/cpu/CMakeFiles/vax_cpu.dir/ifetch.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/ifetch.cc.o.d"
+  "/root/repo/src/cpu/interrupts.cc" "src/cpu/CMakeFiles/vax_cpu.dir/interrupts.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/interrupts.cc.o.d"
+  "/root/repo/src/cpu/tracer.cc" "src/cpu/CMakeFiles/vax_cpu.dir/tracer.cc.o" "gcc" "src/cpu/CMakeFiles/vax_cpu.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ucode/CMakeFiles/vax_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vax_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vax_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vax_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

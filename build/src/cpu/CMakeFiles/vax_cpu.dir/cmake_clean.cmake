@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom.cc.o"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_callret.cc.o"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_callret.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_char.cc.o"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_char.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_decimal.cc.o"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_decimal.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_field.cc.o"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_field.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_float.cc.o"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_float.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_mm.cc.o"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_mm.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_simple.cc.o"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_simple.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_spec.cc.o"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_spec.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_system.cc.o"
+  "CMakeFiles/vax_cpu.dir/__/ucode/rom_system.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/cpu.cc.o"
+  "CMakeFiles/vax_cpu.dir/cpu.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/ebox.cc.o"
+  "CMakeFiles/vax_cpu.dir/ebox.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/ifetch.cc.o"
+  "CMakeFiles/vax_cpu.dir/ifetch.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/interrupts.cc.o"
+  "CMakeFiles/vax_cpu.dir/interrupts.cc.o.d"
+  "CMakeFiles/vax_cpu.dir/tracer.cc.o"
+  "CMakeFiles/vax_cpu.dir/tracer.cc.o.d"
+  "libvax_cpu.a"
+  "libvax_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vax_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

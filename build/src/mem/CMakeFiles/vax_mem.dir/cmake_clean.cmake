@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vax_mem.dir/cache.cc.o"
+  "CMakeFiles/vax_mem.dir/cache.cc.o.d"
+  "CMakeFiles/vax_mem.dir/mem_system.cc.o"
+  "CMakeFiles/vax_mem.dir/mem_system.cc.o.d"
+  "CMakeFiles/vax_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/vax_mem.dir/phys_mem.cc.o.d"
+  "CMakeFiles/vax_mem.dir/tb.cc.o"
+  "CMakeFiles/vax_mem.dir/tb.cc.o.d"
+  "libvax_mem.a"
+  "libvax_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vax_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

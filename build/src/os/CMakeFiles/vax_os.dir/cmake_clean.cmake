@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vax_os.dir/vms.cc.o"
+  "CMakeFiles/vax_os.dir/vms.cc.o.d"
+  "libvax_os.a"
+  "libvax_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vax_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

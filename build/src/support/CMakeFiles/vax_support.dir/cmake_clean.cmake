@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vax_support.dir/logging.cc.o"
+  "CMakeFiles/vax_support.dir/logging.cc.o.d"
+  "CMakeFiles/vax_support.dir/random.cc.o"
+  "CMakeFiles/vax_support.dir/random.cc.o.d"
+  "CMakeFiles/vax_support.dir/table.cc.o"
+  "CMakeFiles/vax_support.dir/table.cc.o.d"
+  "libvax_support.a"
+  "libvax_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vax_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

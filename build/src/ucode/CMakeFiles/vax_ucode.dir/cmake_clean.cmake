@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vax_ucode.dir/control_store.cc.o"
+  "CMakeFiles/vax_ucode.dir/control_store.cc.o.d"
+  "CMakeFiles/vax_ucode.dir/uops.cc.o"
+  "CMakeFiles/vax_ucode.dir/uops.cc.o.d"
+  "libvax_ucode.a"
+  "libvax_ucode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vax_ucode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/upc/analyzer.cc" "src/upc/CMakeFiles/vax_upc.dir/analyzer.cc.o" "gcc" "src/upc/CMakeFiles/vax_upc.dir/analyzer.cc.o.d"
+  "/root/repo/src/upc/hist_io.cc" "src/upc/CMakeFiles/vax_upc.dir/hist_io.cc.o" "gcc" "src/upc/CMakeFiles/vax_upc.dir/hist_io.cc.o.d"
+  "/root/repo/src/upc/monitor.cc" "src/upc/CMakeFiles/vax_upc.dir/monitor.cc.o" "gcc" "src/upc/CMakeFiles/vax_upc.dir/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ucode/CMakeFiles/vax_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vax_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vax_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vax_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vax_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vax_upc.dir/analyzer.cc.o"
+  "CMakeFiles/vax_upc.dir/analyzer.cc.o.d"
+  "CMakeFiles/vax_upc.dir/hist_io.cc.o"
+  "CMakeFiles/vax_upc.dir/hist_io.cc.o.d"
+  "CMakeFiles/vax_upc.dir/monitor.cc.o"
+  "CMakeFiles/vax_upc.dir/monitor.cc.o.d"
+  "libvax_upc.a"
+  "libvax_upc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vax_upc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vax_workload.dir/codegen.cc.o"
+  "CMakeFiles/vax_workload.dir/codegen.cc.o.d"
+  "CMakeFiles/vax_workload.dir/experiments.cc.o"
+  "CMakeFiles/vax_workload.dir/experiments.cc.o.d"
+  "CMakeFiles/vax_workload.dir/profile.cc.o"
+  "CMakeFiles/vax_workload.dir/profile.cc.o.d"
+  "libvax_workload.a"
+  "libvax_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vax_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

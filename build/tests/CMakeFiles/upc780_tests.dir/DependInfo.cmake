@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch.cc" "tests/CMakeFiles/upc780_tests.dir/test_arch.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_arch.cc.o.d"
+  "/root/repo/tests/test_assembler_edge.cc" "tests/CMakeFiles/upc780_tests.dir/test_assembler_edge.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_assembler_edge.cc.o.d"
+  "/root/repo/tests/test_cpu_basic.cc" "tests/CMakeFiles/upc780_tests.dir/test_cpu_basic.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_cpu_basic.cc.o.d"
+  "/root/repo/tests/test_disk.cc" "tests/CMakeFiles/upc780_tests.dir/test_disk.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_disk.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/upc780_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_instructions.cc" "tests/CMakeFiles/upc780_tests.dir/test_instructions.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_instructions.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/upc780_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_monitor_analyzer.cc" "tests/CMakeFiles/upc780_tests.dir/test_monitor_analyzer.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_monitor_analyzer.cc.o.d"
+  "/root/repo/tests/test_opcode_sweep.cc" "tests/CMakeFiles/upc780_tests.dir/test_opcode_sweep.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_opcode_sweep.cc.o.d"
+  "/root/repo/tests/test_os.cc" "tests/CMakeFiles/upc780_tests.dir/test_os.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_os.cc.o.d"
+  "/root/repo/tests/test_os_services.cc" "tests/CMakeFiles/upc780_tests.dir/test_os_services.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_os_services.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/upc780_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/upc780_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_tracer.cc" "tests/CMakeFiles/upc780_tests.dir/test_tracer.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_tracer.cc.o.d"
+  "/root/repo/tests/test_uops.cc" "tests/CMakeFiles/upc780_tests.dir/test_uops.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_uops.cc.o.d"
+  "/root/repo/tests/test_vm.cc" "tests/CMakeFiles/upc780_tests.dir/test_vm.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_vm.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/upc780_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vax_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/vax_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/upc/CMakeFiles/vax_upc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vax_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucode/CMakeFiles/vax_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vax_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vax_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vax_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
