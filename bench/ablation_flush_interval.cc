@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "cpu/cpu.hh"
+#include "driver/sim_pool.hh"
 #include "support/table.hh"
 #include "upc/analyzer.hh"
 #include "workload/experiments.hh"
@@ -20,26 +21,31 @@
 using namespace vax;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = parseJobsFlag(&argc, argv, envJobs());
     uint64_t cycles = benchCycles(1'000'000);
     WorkloadProfile prof = educationalProfile();
     std::printf("TB flush-interval ablation under '%s' "
                 "(%llu cycles each)\n\n",
                 prof.name.c_str(), (unsigned long long)cycles);
 
+    static const uint32_t quanta[] = {1u, 2u, 3u, 6u, 12u};
+    std::vector<SimJob> sweep;
+    for (uint32_t q : quanta) {
+        SimJob job = SimJob::forProfile(prof, cycles);
+        job.vms.quantumTicks = q;
+        sweep.push_back(job);
+    }
+    std::vector<ExperimentResult> results = SimPool(jobs).run(sweep);
+
     TextTable t("Effect of the scheduling quantum (flush interval)");
     t.addRow({"Quantum ticks", "CtxSw headway", "TB miss/instr",
               "MemMgmt cyc/instr", "CPI"});
-    for (uint32_t q : {1u, 2u, 3u, 6u, 12u}) {
-        SimConfig sim;
-        sim.seed = prof.seed;
-        VmsConfig vms;
-        vms.timerIntervalCycles = 20000;
-        vms.quantumTicks = q;
-        ExperimentResult r = runExperiment(prof, cycles, sim, vms);
-        Cpu780 ref(sim);
-        HistogramAnalyzer an(ref.controlStore(), r.hist);
+    Cpu780 ref;
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        uint32_t q = quanta[i];
+        HistogramAnalyzer an(ref.controlStore(), results[i].hist);
         std::string label = std::to_string(q) +
             (q == 4 ? " (default)" : "");
         t.addRow({label,

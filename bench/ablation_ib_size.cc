@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "cpu/cpu.hh"
+#include "driver/sim_pool.hh"
 #include "support/table.hh"
 #include "upc/analyzer.hh"
 #include "workload/experiments.hh"
@@ -19,23 +20,32 @@
 using namespace vax;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = parseJobsFlag(&argc, argv, envJobs());
     uint64_t cycles = benchCycles(1'000'000);
     WorkloadProfile prof = timesharingHeavyProfile();
     std::printf("instruction-buffer size ablation under '%s' "
                 "(%llu cycles each)\n\n",
                 prof.name.c_str(), (unsigned long long)cycles);
 
-    TextTable t("Effect of the IB size");
-    t.addRow({"IB bytes", "CPI", "IB-Stall/instr", "Decode IB-Stall",
-              "IB refs/instr"});
-    for (unsigned bytes : {4u, 6u, 8u, 12u, 16u}) {
+    static const unsigned sizes[] = {4u, 6u, 8u, 12u, 16u};
+    std::vector<SimJob> sweep;
+    for (unsigned bytes : sizes) {
         SimConfig sim;
         sim.ibBytes = bytes;
         sim.seed = prof.seed;
-        ExperimentResult r = runExperiment(prof, cycles, sim);
-        Cpu780 ref(sim);
+        sweep.push_back(SimJob::forProfile(prof, cycles, sim));
+    }
+    std::vector<ExperimentResult> results = SimPool(jobs).run(sweep);
+
+    TextTable t("Effect of the IB size");
+    t.addRow({"IB bytes", "CPI", "IB-Stall/instr", "Decode IB-Stall",
+              "IB refs/instr"});
+    Cpu780 ref;
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        unsigned bytes = sizes[i];
+        const ExperimentResult &r = results[i];
         HistogramAnalyzer an(ref.controlStore(), r.hist);
         double refs = static_cast<double>(r.hw.ibLongwordFetches) /
             r.hw.counters.instructions;

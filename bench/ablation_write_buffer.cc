@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "cpu/cpu.hh"
+#include "driver/sim_pool.hh"
 #include "support/table.hh"
 #include "upc/analyzer.hh"
 #include "workload/experiments.hh"
@@ -20,24 +21,32 @@
 using namespace vax;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = parseJobsFlag(&argc, argv, envJobs());
     uint64_t cycles = benchCycles(1'000'000);
     WorkloadProfile prof = educationalProfile();
     std::printf("write-buffer drain ablation under '%s' "
                 "(%llu cycles each)\n\n",
                 prof.name.c_str(), (unsigned long long)cycles);
 
-    TextTable t("Effect of the write-buffer drain time");
-    t.addRow({"Drain", "CPI", "W-Stall/instr", "CallRet W-Stall",
-              "Character W-Stall"});
-    for (uint32_t drain : {2u, 4u, 6u, 8u, 12u}) {
+    static const uint32_t drains[] = {2u, 4u, 6u, 8u, 12u};
+    std::vector<SimJob> sweep;
+    for (uint32_t drain : drains) {
         SimConfig sim;
         sim.mem.writeDrainCycles = drain;
         sim.seed = prof.seed;
-        ExperimentResult r = runExperiment(prof, cycles, sim);
-        Cpu780 ref(sim);
-        HistogramAnalyzer an(ref.controlStore(), r.hist);
+        sweep.push_back(SimJob::forProfile(prof, cycles, sim));
+    }
+    std::vector<ExperimentResult> results = SimPool(jobs).run(sweep);
+
+    TextTable t("Effect of the write-buffer drain time");
+    t.addRow({"Drain", "CPI", "W-Stall/instr", "CallRet W-Stall",
+              "Character W-Stall"});
+    Cpu780 ref;
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        uint32_t drain = drains[i];
+        HistogramAnalyzer an(ref.controlStore(), results[i].hist);
         std::string label = std::to_string(drain) +
             (drain == 6 ? " (11/780)" : "");
         t.addRow({label, TextTable::num(an.cyclesPerInstruction(), 2),

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "cpu/cpu.hh"
+#include "driver/sim_pool.hh"
 #include "support/table.hh"
 #include "upc/analyzer.hh"
 #include "workload/experiments.hh"
@@ -38,15 +39,26 @@ inline BenchRun
 runBench(const char *title)
 {
     uint64_t cycles = benchCycles();
+    unsigned jobs = envJobs();
+    SimPool pool(jobs);
     std::printf("upc780 bench: %s\n", title);
-    std::printf("(composite of 5 workloads, %llu cycles each; set "
-                "UPC780_CYCLES to change)\n\n",
-                static_cast<unsigned long long>(cycles));
+    std::printf("(composite of 5 workloads, %llu cycles each, "
+                "%u worker threads; set UPC780_CYCLES / UPC780_JOBS "
+                "to change)\n\n",
+                static_cast<unsigned long long>(cycles),
+                pool.workers());
     BenchRun r;
-    r.composite = runComposite(cycles);
+    r.composite = pool.runComposite(compositeJobs(cycles));
     r.ref = std::make_unique<Cpu780>();
     r.analyzer = std::make_unique<HistogramAnalyzer>(
         r.ref->controlStore(), r.composite.hist);
+    for (const auto &part : r.composite.parts) {
+        std::printf("  %-22s %9.2fs wall, %6.2f Msimcycles/s\n",
+                    part.name.c_str(), part.wallSeconds,
+                    part.wallSeconds > 0
+                        ? cycles / part.wallSeconds * 1e-6
+                        : 0.0);
+    }
     std::printf("composite: %llu instructions, %llu cycles, "
                 "%.2f cycles/instruction\n\n",
                 static_cast<unsigned long long>(

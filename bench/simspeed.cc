@@ -2,12 +2,20 @@
  * @file
  * google-benchmark microbenchmarks of the simulator itself: raw
  * machine-cycle throughput in several regimes, histogram analysis
- * cost, and workload generation cost.
+ * cost, workload generation cost, and the five-workload composite in
+ * both serial and SimPool-parallel form.
+ *
+ * Usage: simspeed [--jobs N] [google-benchmark flags]
+ *   --jobs (or UPC780_JOBS) sets the pool worker count for the
+ *   BM_CompositePool benchmark; default is one per hardware core.
+ *   UPC780_CYCLES sets the composite's cycles per experiment
+ *   (default 250000 here, to keep iterations short).
  */
 
 #include <benchmark/benchmark.h>
 
 #include "arch/assembler.hh"
+#include "driver/sim_pool.hh"
 #include "ucode/rom.hh"
 #include "cpu/cpu.hh"
 #include "upc/analyzer.hh"
@@ -19,6 +27,9 @@ namespace
 {
 
 using namespace vax;
+
+/** Pool worker count from --jobs / UPC780_JOBS (0 = all cores). */
+unsigned g_jobs = 0;
 
 /** Tight register-only loop: peak interpreter speed. */
 void
@@ -136,6 +147,63 @@ BM_HistogramAnalysis(benchmark::State &state)
 }
 BENCHMARK(BM_HistogramAnalysis);
 
+/**
+ * The five-workload composite (the Table 8 scenario) on a SimPool.
+ * Items processed = simulated machine cycles, so items/s is the
+ * aggregate simulation rate; per-job wall-clock and simulated
+ * cycles-per-second are reported as counters (job0..job4, in
+ * allProfiles() order).
+ */
+void
+compositeBench(benchmark::State &state, unsigned workers)
+{
+    uint64_t cycles = benchCycles(250'000);
+    SimPool pool(workers);
+    std::vector<SimJob> jobs = compositeJobs(cycles);
+    uint64_t total_sim_cycles = 0;
+    std::vector<ExperimentResult> last;
+    for (auto _ : state) {
+        last = pool.run(jobs);
+        total_sim_cycles += cycles * jobs.size();
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(total_sim_cycles));
+    state.counters["workers"] =
+        static_cast<double>(pool.workers());
+    for (size_t i = 0; i < last.size(); ++i) {
+        std::string tag = "job" + std::to_string(i);
+        state.counters[tag + "_wall_s"] = last[i].wallSeconds;
+        state.counters[tag + "_Msimcyc_per_s"] =
+            last[i].wallSeconds > 0
+                ? cycles / last[i].wallSeconds * 1e-6
+                : 0.0;
+    }
+}
+
+void
+BM_CompositeSerial(benchmark::State &state)
+{
+    compositeBench(state, 1);
+}
+BENCHMARK(BM_CompositeSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompositePool(benchmark::State &state)
+{
+    compositeBench(state, g_jobs);
+}
+BENCHMARK(BM_CompositePool)->Unit(benchmark::kMillisecond);
+
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    g_jobs = parseJobsFlag(&argc, argv, envJobs());
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

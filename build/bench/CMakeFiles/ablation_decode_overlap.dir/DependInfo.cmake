@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/vax_driver.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/vax_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/os/CMakeFiles/vax_os.dir/DependInfo.cmake"
   "/root/repo/build/src/upc/CMakeFiles/vax_upc.dir/DependInfo.cmake"

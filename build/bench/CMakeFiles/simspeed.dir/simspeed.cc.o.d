@@ -184,15 +184,8 @@ bench/CMakeFiles/simspeed.dir/simspeed.cc.o: /root/repo/bench/simspeed.cc \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/arch/assembler.hh /root/repo/src/arch/opcodes.hh \
  /usr/include/c++/12/array /root/repo/src/arch/types.hh \
- /root/repo/src/arch/specifiers.hh /root/repo/src/ucode/rom.hh \
- /root/repo/src/ucode/control_store.hh /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/ucode/annotations.hh /root/repo/src/cpu/cpu.hh \
- /usr/include/c++/12/memory \
+ /root/repo/src/arch/specifiers.hh /root/repo/src/driver/sim_pool.hh \
+ /root/repo/src/cpu/cpu.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -221,16 +214,22 @@ bench/CMakeFiles/simspeed.dir/simspeed.cc.o: /root/repo/bench/simspeed.cc \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/cpu/ebox.hh \
- /root/repo/src/cpu/cycle_sink.hh /root/repo/src/cpu/hw_counters.hh \
- /root/repo/src/cpu/ib.hh /root/repo/src/support/logging.hh \
- /usr/include/c++/12/cstdarg /root/repo/src/cpu/ifetch.hh \
- /root/repo/src/mem/mem_system.hh /root/repo/src/mem/cache.hh \
- /root/repo/src/mem/mem_config.hh /root/repo/src/support/random.hh \
- /root/repo/src/mem/phys_mem.hh /root/repo/src/mem/sbi.hh \
- /root/repo/src/mem/tb.hh /root/repo/src/mem/page_table.hh \
- /root/repo/src/mem/write_buffer.hh /root/repo/src/cpu/interrupts.hh \
- /root/repo/src/cpu/psl.hh /root/repo/src/upc/analyzer.hh \
- /root/repo/src/upc/monitor.hh /root/repo/src/workload/codegen.hh \
- /root/repo/src/os/vms.hh /root/repo/src/os/abi.hh \
- /root/repo/src/workload/profile.hh \
- /root/repo/src/workload/experiments.hh
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/cpu/cycle_sink.hh /root/repo/src/ucode/annotations.hh \
+ /root/repo/src/cpu/hw_counters.hh /root/repo/src/cpu/ib.hh \
+ /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg \
+ /root/repo/src/cpu/ifetch.hh /root/repo/src/mem/mem_system.hh \
+ /root/repo/src/mem/cache.hh /root/repo/src/mem/mem_config.hh \
+ /root/repo/src/support/random.hh /root/repo/src/mem/phys_mem.hh \
+ /root/repo/src/mem/sbi.hh /root/repo/src/mem/tb.hh \
+ /root/repo/src/mem/page_table.hh /root/repo/src/mem/write_buffer.hh \
+ /root/repo/src/cpu/interrupts.hh /root/repo/src/cpu/psl.hh \
+ /root/repo/src/ucode/control_store.hh /root/repo/src/os/vms.hh \
+ /root/repo/src/os/abi.hh /root/repo/src/upc/monitor.hh \
+ /root/repo/src/workload/experiments.hh \
+ /root/repo/src/workload/profile.hh /root/repo/src/ucode/rom.hh \
+ /root/repo/src/upc/analyzer.hh /root/repo/src/workload/codegen.hh

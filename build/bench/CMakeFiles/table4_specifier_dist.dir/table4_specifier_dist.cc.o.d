@@ -221,7 +221,8 @@ bench/CMakeFiles/table4_specifier_dist.dir/table4_specifier_dist.cc.o: \
  /root/repo/src/mem/sbi.hh /root/repo/src/mem/tb.hh \
  /root/repo/src/mem/page_table.hh /root/repo/src/mem/write_buffer.hh \
  /root/repo/src/cpu/interrupts.hh /root/repo/src/cpu/psl.hh \
- /root/repo/src/ucode/control_store.hh /root/repo/src/support/table.hh \
- /root/repo/src/upc/analyzer.hh /root/repo/src/upc/monitor.hh \
- /root/repo/src/workload/experiments.hh /root/repo/src/os/vms.hh \
- /root/repo/src/os/abi.hh /root/repo/src/workload/profile.hh
+ /root/repo/src/ucode/control_store.hh /root/repo/src/driver/sim_pool.hh \
+ /root/repo/src/os/vms.hh /root/repo/src/os/abi.hh \
+ /root/repo/src/upc/monitor.hh /root/repo/src/workload/experiments.hh \
+ /root/repo/src/workload/profile.hh /root/repo/src/support/table.hh \
+ /root/repo/src/upc/analyzer.hh

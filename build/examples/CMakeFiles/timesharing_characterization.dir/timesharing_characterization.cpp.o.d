@@ -57,7 +57,8 @@ examples/CMakeFiles/timesharing_characterization.dir/timesharing_characterizatio
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /root/repo/src/cpu/cpu.hh \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/cpu/cpu.hh \
  /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
@@ -221,7 +222,8 @@ examples/CMakeFiles/timesharing_characterization.dir/timesharing_characterizatio
  /root/repo/src/mem/sbi.hh /root/repo/src/mem/tb.hh \
  /root/repo/src/mem/page_table.hh /root/repo/src/mem/write_buffer.hh \
  /root/repo/src/cpu/interrupts.hh /root/repo/src/cpu/psl.hh \
- /root/repo/src/ucode/control_store.hh /root/repo/src/support/table.hh \
- /root/repo/src/upc/analyzer.hh /root/repo/src/upc/monitor.hh \
- /root/repo/src/workload/experiments.hh /root/repo/src/os/vms.hh \
- /root/repo/src/os/abi.hh /root/repo/src/workload/profile.hh
+ /root/repo/src/ucode/control_store.hh /root/repo/src/driver/sim_pool.hh \
+ /root/repo/src/os/vms.hh /root/repo/src/os/abi.hh \
+ /root/repo/src/upc/monitor.hh /root/repo/src/workload/experiments.hh \
+ /root/repo/src/workload/profile.hh /root/repo/src/support/table.hh \
+ /root/repo/src/upc/analyzer.hh

@@ -12,3 +12,4 @@ subdirs("cpu")
 subdirs("os")
 subdirs("upc")
 subdirs("workload")
+subdirs("driver")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/sim_pool.cc" "src/driver/CMakeFiles/vax_driver.dir/sim_pool.cc.o" "gcc" "src/driver/CMakeFiles/vax_driver.dir/sim_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vax_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/vax_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/upc/CMakeFiles/vax_upc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vax_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vax_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucode/CMakeFiles/vax_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vax_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vax_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

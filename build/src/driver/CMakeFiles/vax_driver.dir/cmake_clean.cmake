@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vax_driver.dir/sim_pool.cc.o"
+  "CMakeFiles/vax_driver.dir/sim_pool.cc.o.d"
+  "libvax_driver.a"
+  "libvax_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vax_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

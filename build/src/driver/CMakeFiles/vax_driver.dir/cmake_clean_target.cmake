@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvax_driver.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for vax_driver.
+# This may be replaced when dependencies are built.

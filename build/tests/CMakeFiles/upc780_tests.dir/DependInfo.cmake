@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_assembler_edge.cc" "tests/CMakeFiles/upc780_tests.dir/test_assembler_edge.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_assembler_edge.cc.o.d"
   "/root/repo/tests/test_cpu_basic.cc" "tests/CMakeFiles/upc780_tests.dir/test_cpu_basic.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_cpu_basic.cc.o.d"
   "/root/repo/tests/test_disk.cc" "tests/CMakeFiles/upc780_tests.dir/test_disk.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_disk.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/upc780_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_driver.cc.o.d"
   "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/upc780_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_extensions.cc.o.d"
   "/root/repo/tests/test_instructions.cc" "tests/CMakeFiles/upc780_tests.dir/test_instructions.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_instructions.cc.o.d"
   "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/upc780_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/upc780_tests.dir/test_mem.cc.o.d"
@@ -29,6 +30,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/vax_driver.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/vax_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/os/CMakeFiles/vax_os.dir/DependInfo.cmake"
   "/root/repo/build/src/upc/CMakeFiles/vax_upc.dir/DependInfo.cmake"

@@ -6,13 +6,16 @@
  * measured flush intervals into exactly this kind of simulation --
  * §3.4 and reference [3].)
  *
- * Usage: memory_sweep [cycles]
+ * Usage: memory_sweep [--jobs N] [cycles]
+ *   The variants run concurrently on a SimPool; --jobs (or
+ *   UPC780_JOBS) caps the worker count, default one per core.
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "cpu/cpu.hh"
+#include "driver/sim_pool.hh"
 #include "support/table.hh"
 #include "upc/analyzer.hh"
 #include "workload/experiments.hh"
@@ -34,6 +37,7 @@ struct Variant
 int
 main(int argc, char **argv)
 {
+    unsigned jobs = parseJobsFlag(&argc, argv, envJobs());
     uint64_t cycles = argc > 1 ? strtoull(argv[1], nullptr, 0)
                                : 1'000'000;
     static const Variant variants[] = {
@@ -45,27 +49,32 @@ main(int argc, char **argv)
     };
 
     WorkloadProfile prof = timesharingHeavyProfile();
+    SimPool pool(jobs);
     std::printf("sweeping memory geometry under '%s' "
-                "(%llu cycles each)\n\n",
-                prof.name.c_str(), (unsigned long long)cycles);
+                "(%llu cycles each, %u worker threads)\n\n",
+                prof.name.c_str(), (unsigned long long)cycles,
+                pool.workers());
 
-    TextTable t("CPI sensitivity to the memory system");
-    t.addRow({"Configuration", "CPI", "R-Stall/instr", "IB-Stall",
-              "TB miss/instr", "TB svc cyc"});
+    // Each geometry is one independent job; the pool runs them on
+    // all cores and returns results in variant order.
+    std::vector<SimJob> sweep;
     for (const auto &v : variants) {
-        // runExperiment wires a default config; build the machine by
-        // hand here so the geometry can vary.
         SimConfig sim;
         sim.mem.cacheBytes = v.cacheBytes;
         sim.mem.tbProcessEntries = v.tbEntries;
         sim.mem.tbSystemEntries = v.tbEntries;
         sim.seed = prof.seed;
+        sweep.push_back(SimJob::forProfile(prof, cycles, sim));
+    }
+    std::vector<ExperimentResult> results = pool.run(sweep);
 
-        ExperimentResult r = runExperiment(prof, cycles, sim);
-
-        Cpu780 ref(sim);
-        HistogramAnalyzer an(ref.controlStore(), r.hist);
-        t.addRow({v.name,
+    TextTable t("CPI sensitivity to the memory system");
+    t.addRow({"Configuration", "CPI", "R-Stall/instr", "IB-Stall",
+              "TB miss/instr", "TB svc cyc"});
+    Cpu780 ref;
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        HistogramAnalyzer an(ref.controlStore(), results[i].hist);
+        t.addRow({variants[i].name,
                   TextTable::num(an.cyclesPerInstruction(), 2),
                   TextTable::num(an.colTotal(TimeCol::RStall), 3),
                   TextTable::num(an.colTotal(TimeCol::IbStall), 3),

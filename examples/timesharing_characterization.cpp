@@ -2,51 +2,34 @@
  * @file
  * The paper's experiment in miniature: boot VMS-lite with a
  * timesharing workload, let the RTE drive the terminals, and print
- * the Table 8 timing decomposition for that single workload.
+ * the Table 8 timing decomposition -- for one workload, or for the
+ * full five-workload composite run in parallel on a SimPool.
  *
- * Usage: timesharing_characterization [cycles] [profile 0-4]
+ * Usage: timesharing_characterization [--jobs N] [cycles]
+ *                                     [profile 0-4 | all]
+ *   "all" runs the paper's five-workload composite, one job per
+ *   workload, on up to N worker threads (default: one per core;
+ *   UPC780_JOBS also sets it).
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "cpu/cpu.hh"
+#include "driver/sim_pool.hh"
 #include "support/table.hh"
 #include "upc/analyzer.hh"
 #include "workload/experiments.hh"
 
 using namespace vax;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    uint64_t cycles = argc > 1 ? strtoull(argv[1], nullptr, 0)
-                               : 2'000'000;
-    unsigned which = argc > 2 ? atoi(argv[2]) : 0;
-    auto profiles = allProfiles();
-    if (which >= profiles.size()) {
-        std::fprintf(stderr, "profile must be 0-%zu\n",
-                     profiles.size() - 1);
-        return 1;
-    }
-    const WorkloadProfile &prof = profiles[which];
 
-    std::printf("characterizing '%s' (%u simulated users, "
-                "%llu cycles = %.2f simulated seconds)\n\n",
-                prof.name.c_str(), prof.numUsers,
-                (unsigned long long)cycles, cycles * 200e-9);
-
-    ExperimentResult r = runExperiment(prof, cycles);
-    Cpu780 ref;
-    HistogramAnalyzer an(ref.controlStore(), r.hist);
-
-    std::printf("instructions: %llu  cycles/instruction: %.2f\n",
-                (unsigned long long)an.instructions(),
-                an.cyclesPerInstruction());
-    std::printf("terminal lines in/out: %llu / %llu\n\n",
-                (unsigned long long)r.hw.terminalLinesIn,
-                (unsigned long long)r.hw.terminalLinesOut);
-
+void
+printTable8(const HistogramAnalyzer &an)
+{
     TextTable t("Cycles per average instruction");
     t.addRow({"Activity", "Compute", "Read", "R-Stall", "Write",
               "W-Stall", "IB-Stall", "Total"});
@@ -80,5 +63,68 @@ main(int argc, char **argv)
                     100.0 * an.groupFraction(static_cast<Group>(g)));
     }
     std::printf("\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = parseJobsFlag(&argc, argv, envJobs());
+    uint64_t cycles = argc > 1 ? strtoull(argv[1], nullptr, 0)
+                               : 2'000'000;
+    const char *which_arg = argc > 2 ? argv[2] : "0";
+    Cpu780 ref;
+
+    if (std::strcmp(which_arg, "all") == 0) {
+        SimPool pool(jobs);
+        std::printf("characterizing the five-workload composite "
+                    "(%llu cycles each, %u worker threads)\n\n",
+                    (unsigned long long)cycles, pool.workers());
+        CompositeResult comp =
+            pool.runComposite(compositeJobs(cycles));
+        for (const auto &part : comp.parts) {
+            std::printf("  %-22s lines in/out %llu/%llu   "
+                        "%6.2fs wall\n",
+                        part.name.c_str(),
+                        (unsigned long long)part.hw.terminalLinesIn,
+                        (unsigned long long)part.hw.terminalLinesOut,
+                        part.wallSeconds);
+        }
+        HistogramAnalyzer an(ref.controlStore(), comp.hist);
+        std::printf("\ninstructions: %llu  cycles/instruction: "
+                    "%.2f\n\n",
+                    (unsigned long long)an.instructions(),
+                    an.cyclesPerInstruction());
+        printTable8(an);
+        return 0;
+    }
+
+    unsigned which = static_cast<unsigned>(atoi(which_arg));
+    auto profiles = allProfiles();
+    if (which >= profiles.size()) {
+        std::fprintf(stderr, "profile must be 0-%zu or 'all'\n",
+                     profiles.size() - 1);
+        return 1;
+    }
+    const WorkloadProfile &prof = profiles[which];
+
+    std::printf("characterizing '%s' (%u simulated users, "
+                "%llu cycles = %.2f simulated seconds)\n\n",
+                prof.name.c_str(), prof.numUsers,
+                (unsigned long long)cycles, cycles * 200e-9);
+
+    ExperimentResult r = runJob(SimJob::forProfile(prof, cycles));
+    HistogramAnalyzer an(ref.controlStore(), r.hist);
+
+    std::printf("instructions: %llu  cycles/instruction: %.2f  "
+                "(%.2fs wall)\n",
+                (unsigned long long)an.instructions(),
+                an.cyclesPerInstruction(), r.wallSeconds);
+    std::printf("terminal lines in/out: %llu / %llu\n\n",
+                (unsigned long long)r.hw.terminalLinesIn,
+                (unsigned long long)r.hw.terminalLinesOut);
+
+    printTable8(an);
     return 0;
 }

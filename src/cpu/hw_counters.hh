@@ -33,6 +33,33 @@ struct HwCounters
     uint64_t interrupts = 0;         ///< interrupt microcode entries
     uint64_t contextSwitches = 0;    ///< LDPCTX executions
     uint64_t chmkCalls = 0;
+
+    /** Weighted accumulate (composite merges across simulations). */
+    void
+    accumulate(const HwCounters &o, uint64_t w = 1)
+    {
+        cycles += o.cycles * w;
+        instructions += o.instructions * w;
+        specifiers += o.specifiers * w;
+        firstSpecifiers += o.firstSpecifiers * w;
+        indexedSpecifiers += o.indexedSpecifiers * w;
+        bdispBytes += o.bdispBytes * w;
+        bdispCount += o.bdispCount * w;
+        immediateBytes += o.immediateBytes * w;
+        dispBytes += o.dispBytes * w;
+        unalignedRefs += o.unalignedRefs * w;
+        microTraps += o.microTraps * w;
+        interrupts += o.interrupts * w;
+        contextSwitches += o.contextSwitches * w;
+        chmkCalls += o.chmkCalls * w;
+    }
+
+    HwCounters &
+    operator+=(const HwCounters &o)
+    {
+        accumulate(o);
+        return *this;
+    }
 };
 
 } // namespace vax

@@ -1,0 +1,155 @@
+#include "driver/sim_pool.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "support/logging.hh"
+
+namespace vax
+{
+
+SimJob
+SimJob::forProfile(const WorkloadProfile &p, uint64_t cycles)
+{
+    SimConfig sim;
+    sim.seed = p.seed;
+    return forProfile(p, cycles, sim);
+}
+
+SimJob
+SimJob::forProfile(const WorkloadProfile &p, uint64_t cycles,
+                   const SimConfig &sim)
+{
+    SimJob job;
+    job.profile = p;
+    job.cycles = cycles;
+    job.sim = sim;
+    // The OS settings the serial experiment runner always used.
+    job.vms.timerIntervalCycles = 20000;
+    job.vms.quantumTicks = 4;
+    return job;
+}
+
+ExperimentResult
+runJob(const SimJob &job)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    ExperimentResult r =
+        runExperiment(job.profile, job.cycles, job.sim, job.vms);
+    r.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return r;
+}
+
+SimPool::SimPool(unsigned workers)
+    : workers_(workers ? workers : hardwareWorkers())
+{
+}
+
+unsigned
+SimPool::hardwareWorkers()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+std::vector<ExperimentResult>
+SimPool::run(const std::vector<SimJob> &jobs) const
+{
+    std::vector<ExperimentResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    unsigned nthreads = workers_;
+    if (nthreads > jobs.size())
+        nthreads = static_cast<unsigned>(jobs.size());
+
+    if (nthreads <= 1) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            results[i] = runJob(jobs[i]);
+        return results;
+    }
+
+    // Dynamic work stealing over the job list: each worker claims the
+    // next unclaimed index.  Completion order varies; result order
+    // does not.
+    std::atomic<size_t> next{0};
+    auto worker = [&jobs, &results, &next]() {
+        for (size_t i; (i = next.fetch_add(1)) < jobs.size();)
+            results[i] = runJob(jobs[i]);
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+    return results;
+}
+
+CompositeResult
+SimPool::runComposite(const std::vector<SimJob> &jobs) const
+{
+    std::vector<ExperimentResult> results = run(jobs);
+    CompositeResult comp;
+    for (size_t i = 0; i < results.size(); ++i) {
+        comp.hist.merge(results[i].hist, jobs[i].weight);
+        comp.hw.add(results[i].hw, jobs[i].weight);
+        comp.parts.push_back(std::move(results[i]));
+    }
+    return comp;
+}
+
+std::vector<SimJob>
+compositeJobs(uint64_t cycles_per_experiment)
+{
+    std::vector<SimJob> jobs;
+    for (const auto &prof : allProfiles())
+        jobs.push_back(SimJob::forProfile(prof, cycles_per_experiment));
+    return jobs;
+}
+
+CompositeResult
+runCompositePooled(uint64_t cycles_per_experiment, unsigned jobs)
+{
+    return SimPool(jobs).runComposite(
+        compositeJobs(cycles_per_experiment));
+}
+
+unsigned
+parseJobsFlag(int *argc, char **argv, unsigned def)
+{
+    unsigned jobs = def;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < *argc) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(arg + 7, nullptr, 0));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argv[out] = nullptr;
+    *argc = out;
+    return jobs;
+}
+
+unsigned
+envJobs(unsigned def)
+{
+    const char *env = std::getenv("UPC780_JOBS");
+    if (!env || !*env)
+        return def;
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 0));
+}
+
+} // namespace vax

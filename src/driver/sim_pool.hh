@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The parallel simulation driver: SimJob + SimPool.
+ *
+ * The paper's headline numbers are composites over five independent
+ * workloads, and every parameter sweep multiplies that again.  Each
+ * experiment is a complete, self-contained machine (CPU, memory, OS,
+ * RTE, monitor) built from a seed, so experiments are embarrassingly
+ * parallel: the pool runs N jobs on a std::thread worker set and the
+ * merge layer (Histogram::merge, the stats accumulate operators)
+ * composites the results.
+ *
+ * Determinism contract:
+ *  - a SimJob describes its simulation *by value* (profile, machine
+ *    config, OS config, cycle budget); workers construct everything
+ *    locally from the job's seeds and share no mutable state;
+ *  - results are returned in job order regardless of completion
+ *    order, and every merged counter is a commutative sum -- so a
+ *    pooled run is bit-identical to the serial one at any worker
+ *    count, which the test suite asserts.
+ */
+
+#ifndef UPC780_DRIVER_SIM_POOL_HH
+#define UPC780_DRIVER_SIM_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/cpu.hh"
+#include "os/vms.hh"
+#include "workload/experiments.hh"
+#include "workload/profile.hh"
+
+namespace vax
+{
+
+/**
+ * One independent simulation, described entirely by value so it can
+ * be handed to any worker thread and constructed there from scratch.
+ */
+struct SimJob
+{
+    WorkloadProfile profile;
+    uint64_t cycles = 2'000'000; ///< machine cycles to simulate
+    SimConfig sim;               ///< machine configuration
+    VmsConfig vms;               ///< OS configuration
+    uint64_t weight = 1;         ///< weighting in composite merges
+
+    /** Job with the standard experiment wiring: machine seed taken
+     *  from the profile, default OS settings. */
+    static SimJob forProfile(const WorkloadProfile &p, uint64_t cycles);
+
+    /** Same with an explicit machine configuration (what-if sweeps).
+     *  The configuration is taken verbatim, including its seed. */
+    static SimJob forProfile(const WorkloadProfile &p, uint64_t cycles,
+                             const SimConfig &sim);
+};
+
+/** Run one job to completion on the calling thread (wall-clock is
+ *  recorded in the result). */
+ExperimentResult runJob(const SimJob &job);
+
+class SimPool
+{
+  public:
+    /** @param workers Worker threads; 0 means one per hardware core. */
+    explicit SimPool(unsigned workers = 0);
+
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Run all jobs, at most workers() at a time.
+     *
+     * @return Results in job order, independent of completion order.
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<SimJob> &jobs) const;
+
+    /**
+     * Run all jobs and merge them into a weighted composite.  The
+     * merge applies each job's weight; since the merged quantities
+     * are commutative counter sums, the composite is bit-identical
+     * to a serial run at any worker count.
+     */
+    CompositeResult runComposite(const std::vector<SimJob> &jobs) const;
+
+    /** Hardware concurrency, never 0. */
+    static unsigned hardwareWorkers();
+
+  private:
+    unsigned workers_;
+};
+
+/** The paper's five workloads as a job list (weight 1 each). */
+std::vector<SimJob> compositeJobs(uint64_t cycles_per_experiment);
+
+/** Five-workload composite on a pool: the parallel runComposite().
+ *  @param jobs Worker threads; 0 means one per hardware core. */
+CompositeResult runCompositePooled(uint64_t cycles_per_experiment,
+                                   unsigned jobs = 0);
+
+/**
+ * Strip a "--jobs N" / "--jobs=N" flag from argv (updating *argc) and
+ * return N; returns def when the flag is absent.  0 means "one worker
+ * per hardware core" everywhere a job count is accepted.
+ */
+unsigned parseJobsFlag(int *argc, char **argv, unsigned def = 0);
+
+/** The UPC780_JOBS environment variable, else def. */
+unsigned envJobs(unsigned def = 0);
+
+} // namespace vax
+
+#endif // UPC780_DRIVER_SIM_POOL_HH

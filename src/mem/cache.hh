@@ -34,6 +34,25 @@ struct CacheStats
     uint64_t readMissesD = 0;
     uint64_t writeRefs = 0;
     uint64_t writeHits = 0;
+
+    /** Weighted accumulate (composite merges across simulations). */
+    void
+    accumulate(const CacheStats &o, uint64_t w = 1)
+    {
+        readRefsI += o.readRefsI * w;
+        readMissesI += o.readMissesI * w;
+        readRefsD += o.readRefsD * w;
+        readMissesD += o.readMissesD * w;
+        writeRefs += o.writeRefs * w;
+        writeHits += o.writeHits * w;
+    }
+
+    CacheStats &
+    operator+=(const CacheStats &o)
+    {
+        accumulate(o);
+        return *this;
+    }
 };
 
 class Cache

@@ -56,6 +56,10 @@ MemResult
 MemSystem::physRead(PhysAddr pa)
 {
     upc_assert(!eboxReadActive_ && !eboxReadQueued_ && !eboxReadReady_);
+    // Symmetric with physWrite: a physical longword access that
+    // straddles a cache-block boundary would silently attribute the
+    // miss to the wrong block, so it is a microcode bug.
+    upc_assert(!crossesLongword(pa, 4));
     eboxPortUsed_ = true;
     ++dataReads_;
     if (cache_.readRef(pa, false))

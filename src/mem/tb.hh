@@ -38,6 +38,24 @@ struct TbStats
     uint64_t lookupsD = 0;
     uint64_t missesD = 0;
     uint64_t processFlushes = 0;
+
+    /** Weighted accumulate (composite merges across simulations). */
+    void
+    accumulate(const TbStats &o, uint64_t w = 1)
+    {
+        lookupsI += o.lookupsI * w;
+        missesI += o.missesI * w;
+        lookupsD += o.lookupsD * w;
+        missesD += o.missesD * w;
+        processFlushes += o.processFlushes * w;
+    }
+
+    TbStats &
+    operator+=(const TbStats &o)
+    {
+        accumulate(o);
+        return *this;
+    }
 };
 
 class TranslationBuffer

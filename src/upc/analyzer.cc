@@ -99,6 +99,23 @@ HistogramAnalyzer::HistogramAnalyzer(const ControlStore &cs,
                                      const Histogram &hist)
     : cs_(cs), hist_(hist)
 {
+    classify();
+}
+
+HistogramAnalyzer::HistogramAnalyzer(
+    const ControlStore &cs, const std::vector<const Histogram *> &parts,
+    const std::vector<uint64_t> &weights)
+    : cs_(cs),
+      owned_(std::make_unique<Histogram>(
+          weightedComposite(parts, weights))),
+      hist_(*owned_)
+{
+    classify();
+}
+
+void
+HistogramAnalyzer::classify()
+{
     for (UAddr a = 0; a < cs_.size(); ++a) {
         const UAnnotation &ann = cs_.annotation(a);
         uint64_t n = hist_.normal[a];

@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "support/logging.hh"
 
@@ -49,6 +51,27 @@ saveHistogramCsv(const std::string &path, const Histogram &hist,
     return ok;
 }
 
+namespace
+{
+
+/** Parse a non-negative decimal field; false on empty/garbage. */
+bool
+parseCount(const std::string &field, uint64_t *out)
+{
+    if (field.empty())
+        return false;
+    uint64_t v = 0;
+    for (char c : field) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    *out = v;
+    return true;
+}
+
+} // anonymous namespace
+
 bool
 loadHistogramCsv(const std::string &path, Histogram *hist)
 {
@@ -65,24 +88,36 @@ loadHistogramCsv(const std::string &path, Histogram *hist)
             header = false;
             continue;
         }
-        unsigned upc = 0;
-        uint64_t normal = 0, stalled = 0;
-        // The name/row/mem/ib columns are informational; parse around
-        // them (name never contains a comma).
-        char name[128], row[64], mem[16];
-        int ib = 0;
-        int n = std::sscanf(line,
-                            "%u,%127[^,],%63[^,],%15[^,],%d,%" SCNu64
-                            ",%" SCNu64,
-                            &upc, name, row, mem, &ib, &normal,
-                            &stalled);
-        if (n != 7) {
+        // Split on commas.  The name/row/mem/ib columns (1-4) are
+        // informational and may be empty -- an unannotated
+        // micro-address saves as "upc,,...," -- which is why this
+        // cannot be an sscanf("%[^,]") parse: that refuses empty
+        // fields and made such files unloadable.
+        std::vector<std::string> fields;
+        {
+            std::string cur;
+            for (const char *p = line; *p && *p != '\n' && *p != '\r';
+                 ++p) {
+                if (*p == ',') {
+                    fields.push_back(std::move(cur));
+                    cur.clear();
+                } else {
+                    cur.push_back(*p);
+                }
+            }
+            fields.push_back(std::move(cur));
+        }
+        uint64_t upc = 0, normal = 0, stalled = 0;
+        if (fields.size() != 7 || !parseCount(fields[0], &upc) ||
+            !parseCount(fields[5], &normal) ||
+            !parseCount(fields[6], &stalled)) {
             warn("malformed histogram CSV line: %s", line);
             std::fclose(f);
             return false;
         }
         if (upc >= ControlStore::capacity) {
-            warn("histogram CSV upc %u out of range", upc);
+            warn("histogram CSV upc %llu out of range",
+                 static_cast<unsigned long long>(upc));
             std::fclose(f);
             return false;
         }

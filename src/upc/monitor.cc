@@ -8,12 +8,25 @@ namespace vax
 {
 
 void
-Histogram::add(const Histogram &other)
+Histogram::merge(const Histogram &other, uint64_t weight)
 {
     for (size_t i = 0; i < normal.size(); ++i) {
-        normal[i] += other.normal[i];
-        stalled[i] += other.stalled[i];
+        normal[i] += other.normal[i] * weight;
+        stalled[i] += other.stalled[i] * weight;
     }
+}
+
+Histogram
+weightedComposite(const std::vector<const Histogram *> &parts,
+                  const std::vector<uint64_t> &weights)
+{
+    Histogram total;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (!parts[i])
+            continue;
+        total.merge(*parts[i], i < weights.size() ? weights[i] : 1);
+    }
+    return total;
 }
 
 uint64_t

@@ -35,12 +35,32 @@ struct Histogram
     std::vector<uint64_t> normal;
     std::vector<uint64_t> stalled;
 
+    /**
+     * Merge another histogram into this one, scaled by an integral
+     * weight (composite workloads; weight 1 reproduces the paper's
+     * plain five-histogram sum).  Counter addition is commutative and
+     * associative, so merging partial histograms in any order yields
+     * bit-identical results -- the property the parallel driver's
+     * determinism contract rests on.
+     */
+    void merge(const Histogram &other, uint64_t weight = 1);
+
     /** Sum another histogram into this one (composite workloads). */
-    void add(const Histogram &other);
+    void add(const Histogram &other) { merge(other); }
 
     /** Total cycles recorded. */
     uint64_t cycles() const;
 };
+
+/**
+ * Weighted sum of several histograms in one call (the paper's
+ * five-workload composite, or any re-weighted what-if mix).
+ *
+ * @param parts   Histograms to merge; null entries are skipped.
+ * @param weights Per-part weights; missing entries default to 1.
+ */
+Histogram weightedComposite(const std::vector<const Histogram *> &parts,
+                            const std::vector<uint64_t> &weights = {});
 
 class UpcMonitor : public CycleSink
 {

@@ -13,40 +13,17 @@ namespace vax
 {
 
 void
-HwTotals::add(const HwTotals &other)
+HwTotals::add(const HwTotals &other, uint64_t weight)
 {
-    auto addc = [](uint64_t &a, uint64_t b) { a += b; };
-    addc(counters.cycles, other.counters.cycles);
-    addc(counters.instructions, other.counters.instructions);
-    addc(counters.specifiers, other.counters.specifiers);
-    addc(counters.firstSpecifiers, other.counters.firstSpecifiers);
-    addc(counters.indexedSpecifiers, other.counters.indexedSpecifiers);
-    addc(counters.bdispBytes, other.counters.bdispBytes);
-    addc(counters.bdispCount, other.counters.bdispCount);
-    addc(counters.immediateBytes, other.counters.immediateBytes);
-    addc(counters.dispBytes, other.counters.dispBytes);
-    addc(counters.unalignedRefs, other.counters.unalignedRefs);
-    addc(counters.microTraps, other.counters.microTraps);
-    addc(counters.interrupts, other.counters.interrupts);
-    addc(counters.contextSwitches, other.counters.contextSwitches);
-    addc(counters.chmkCalls, other.counters.chmkCalls);
-    addc(cache.readRefsI, other.cache.readRefsI);
-    addc(cache.readMissesI, other.cache.readMissesI);
-    addc(cache.readRefsD, other.cache.readRefsD);
-    addc(cache.readMissesD, other.cache.readMissesD);
-    addc(cache.writeRefs, other.cache.writeRefs);
-    addc(cache.writeHits, other.cache.writeHits);
-    addc(tb.lookupsI, other.tb.lookupsI);
-    addc(tb.missesI, other.tb.missesI);
-    addc(tb.lookupsD, other.tb.lookupsD);
-    addc(tb.missesD, other.tb.missesD);
-    addc(tb.processFlushes, other.tb.processFlushes);
-    addc(ibLongwordFetches, other.ibLongwordFetches);
-    addc(dataReads, other.dataReads);
-    addc(dataWrites, other.dataWrites);
-    addc(terminalLinesIn, other.terminalLinesIn);
-    addc(terminalLinesOut, other.terminalLinesOut);
-    addc(diskTransfers, other.diskTransfers);
+    counters.accumulate(other.counters, weight);
+    cache.accumulate(other.cache, weight);
+    tb.accumulate(other.tb, weight);
+    ibLongwordFetches += other.ibLongwordFetches * weight;
+    dataReads += other.dataReads * weight;
+    dataWrites += other.dataWrites * weight;
+    terminalLinesIn += other.terminalLinesIn * weight;
+    terminalLinesOut += other.terminalLinesOut * weight;
+    diskTransfers += other.diskTransfers * weight;
 }
 
 ExperimentResult

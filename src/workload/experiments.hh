@@ -41,7 +41,8 @@ struct HwTotals
     uint64_t terminalLinesOut = 0;
     uint64_t diskTransfers = 0;
 
-    void add(const HwTotals &other);
+    /** Weighted accumulate (weight 1 = the paper's plain sum). */
+    void add(const HwTotals &other, uint64_t weight = 1);
 };
 
 struct ExperimentResult
@@ -49,6 +50,9 @@ struct ExperimentResult
     std::string name;
     Histogram hist;
     HwTotals hw;
+    /** Host wall-clock seconds spent simulating (filled by the
+     *  driver layer; 0 when the experiment ran un-timed). */
+    double wallSeconds = 0.0;
 };
 
 /**
