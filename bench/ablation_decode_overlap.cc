@@ -19,9 +19,9 @@ using namespace vax;
 using namespace vax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchRun r = runBench("Ablation -- overlapping the decode cycle "
+    BenchRun r = runBench(&argc, argv, "Ablation -- overlapping the decode cycle "
                           "(the 11/750 change)");
 
     double cpi = r.an().cyclesPerInstruction();

@@ -18,7 +18,9 @@
 
 #include "cpu/cpu.hh"
 #include "driver/sim_pool.hh"
+#include "support/stats.hh"
 #include "support/table.hh"
+#include "support/trace.hh"
 #include "upc/analyzer.hh"
 #include "workload/experiments.hh"
 
@@ -35,11 +37,21 @@ struct BenchRun
     const HistogramAnalyzer &an() const { return *analyzer; }
 };
 
+/**
+ * Run the composite for a table bench, honoring the shared
+ * command-line surface (flags are stripped from argv):
+ *
+ *   --jobs N            worker threads (also UPC780_JOBS)
+ *   --trace LIST        trace channels (also UPC780_TRACE)
+ *   --stats-json PATH   write the composite's stats registry as JSON
+ */
 inline BenchRun
-runBench(const char *title)
+runBench(int *argc, char **argv, const char *title)
 {
+    trace::parseTraceFlag(argc, argv);
+    unsigned jobs = parseJobsFlag(argc, argv, envJobs());
+    std::string stats_path = stats::parseStatsJsonFlag(argc, argv);
     uint64_t cycles = benchCycles();
-    unsigned jobs = envJobs();
     SimPool pool(jobs);
     std::printf("upc780 bench: %s\n", title);
     std::printf("(composite of 5 workloads, %llu cycles each, "
@@ -52,13 +64,17 @@ runBench(const char *title)
     r.ref = std::make_unique<Cpu780>();
     r.analyzer = std::make_unique<HistogramAnalyzer>(
         r.ref->controlStore(), r.composite.hist);
-    for (const auto &part : r.composite.parts) {
-        std::printf("  %-22s %9.2fs wall, %6.2f Msimcycles/s\n",
-                    part.name.c_str(), part.wallSeconds,
-                    part.wallSeconds > 0
-                        ? cycles / part.wallSeconds * 1e-6
-                        : 0.0);
+    PoolTelemetry tele = computeTelemetry(r.composite.parts);
+    for (const auto &j : tele.jobs) {
+        std::printf("  %-22s %9.2fs wall, %6.2f Msimcycles/s "
+                    "(worker %u)\n",
+                    j.name.c_str(), j.wallSeconds,
+                    j.wallSeconds > 0
+                        ? j.simCycles / j.wallSeconds * 1e-6
+                        : 0.0,
+                    j.worker);
     }
+    std::printf("pool: %s\n", tele.summary().c_str());
     std::printf("composite: %llu instructions, %llu cycles, "
                 "%.2f cycles/instruction\n\n",
                 static_cast<unsigned long long>(
@@ -66,6 +82,13 @@ runBench(const char *title)
                 static_cast<unsigned long long>(
                     r.analyzer->totalCycles()),
                 r.analyzer->cyclesPerInstruction());
+    if (!stats_path.empty()) {
+        stats::Registry reg;
+        registerCompositeStats(reg, r.composite);
+        if (reg.saveJson(stats_path))
+            std::printf("stats: wrote %zu stats to %s\n\n",
+                        reg.size(), stats_path.c_str());
+    }
     return r;
 }
 

@@ -13,9 +13,9 @@ using namespace vax;
 using namespace vax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchRun r = runBench("Section 4 -- Implementation Events");
+    BenchRun r = runBench(&argc, argv, "Section 4 -- Implementation Events");
 
     const auto &hw = r.composite.hw;
     double instr = static_cast<double>(r.an().instructions());

@@ -10,9 +10,9 @@ using namespace vax;
 using namespace vax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchRun r = runBench("Table 1 -- Opcode Group Frequency");
+    BenchRun r = runBench(&argc, argv, "Table 1 -- Opcode Group Frequency");
 
     struct RowDef
     {

@@ -12,9 +12,9 @@ using namespace vax;
 using namespace vax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchRun r = runBench("Table 2 -- PC-Changing Instructions");
+    BenchRun r = runBench(&argc, argv, "Table 2 -- PC-Changing Instructions");
 
     struct RowDef
     {

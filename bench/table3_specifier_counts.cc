@@ -10,9 +10,9 @@ using namespace vax;
 using namespace vax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchRun r = runBench(
+    BenchRun r = runBench(&argc, argv, 
         "Table 3 -- Specifiers and Branch Displacements per Instr");
 
     TextTable t("Per average instruction");

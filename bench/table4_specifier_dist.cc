@@ -11,9 +11,9 @@ using namespace vax;
 using namespace vax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchRun r = runBench("Table 4 -- Operand Specifier Distribution");
+    BenchRun r = runBench(&argc, argv, "Table 4 -- Operand Specifier Distribution");
 
     struct RowDef
     {

@@ -11,9 +11,9 @@ using namespace vax;
 using namespace vax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchRun r = runBench("Table 5 -- D-stream Reads and Writes");
+    BenchRun r = runBench(&argc, argv, "Table 5 -- D-stream Reads and Writes");
 
     struct RowDef
     {

@@ -12,9 +12,9 @@ using namespace vax;
 using namespace vax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchRun r = runBench("Table 6 -- Estimated Size of Average Instr");
+    BenchRun r = runBench(&argc, argv, "Table 6 -- Estimated Size of Average Instr");
 
     const auto &hw = r.composite.hw.counters;
     double instr = static_cast<double>(hw.instructions);

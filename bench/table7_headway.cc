@@ -10,9 +10,9 @@ using namespace vax;
 using namespace vax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchRun r = runBench("Table 7 -- Interrupt / Context-Switch "
+    BenchRun r = runBench(&argc, argv, "Table 7 -- Interrupt / Context-Switch "
                           "Headway");
 
     TextTable t("Average instruction headway between events");

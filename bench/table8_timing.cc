@@ -11,9 +11,9 @@ using namespace vax;
 using namespace vax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchRun r = runBench("Table 8 -- Average VAX Instruction Timing "
+    BenchRun r = runBench(&argc, argv, "Table 8 -- Average VAX Instruction Timing "
                           "(cycles per instruction)");
 
     static const Row rows[] = {

@@ -11,9 +11,9 @@ using namespace vax;
 using namespace vax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchRun r = runBench("Table 9 -- Cycles per Instruction Within "
+    BenchRun r = runBench(&argc, argv, "Table 9 -- Cycles per Instruction Within "
                           "Each Group");
 
     struct RowDef

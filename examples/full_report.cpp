@@ -4,14 +4,18 @@
  * and print every table the paper reports, from the same histogram --
  * the "general resource" workflow of the paper's conclusion.
  *
- * Usage: full_report [cycles-per-experiment]
+ * Usage: full_report [--jobs N] [--trace LIST] [--stats-json PATH]
+ *                    [cycles-per-experiment]
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "cpu/cpu.hh"
+#include "driver/sim_pool.hh"
+#include "support/stats.hh"
 #include "support/table.hh"
+#include "support/trace.hh"
 #include "upc/analyzer.hh"
 #include "workload/experiments.hh"
 
@@ -124,13 +128,17 @@ printTable8(const HistogramAnalyzer &an)
 int
 main(int argc, char **argv)
 {
+    trace::parseTraceFlag(&argc, argv);
+    unsigned jobs = parseJobsFlag(&argc, argv, envJobs());
+    std::string stats_path = stats::parseStatsJsonFlag(&argc, argv);
     uint64_t cycles = argc > 1 ? strtoull(argv[1], nullptr, 0)
                                : 2'000'000;
     std::printf("upc780 full paper reproduction "
                 "(%llu cycles per experiment)\n\n",
                 (unsigned long long)cycles);
 
-    CompositeResult comp = runComposite(cycles);
+    CompositeResult comp =
+        SimPool(jobs).runComposite(compositeJobs(cycles));
     Cpu780 ref;
     HistogramAnalyzer an(ref.controlStore(), comp.hist);
 
@@ -157,5 +165,13 @@ main(int argc, char **argv)
                 (comp.hw.cache.readMissesI +
                  comp.hw.cache.readMissesD) / instr,
                 comp.hw.ibLongwordFetches / instr);
+
+    if (!stats_path.empty()) {
+        stats::Registry reg;
+        registerCompositeStats(reg, comp);
+        if (reg.saveJson(stats_path))
+            std::printf("\nstats: wrote %zu stats to %s\n",
+                        reg.size(), stats_path.c_str());
+    }
     return 0;
 }

@@ -1,5 +1,7 @@
 #include "cpu/cpu.hh"
 
+#include "support/stats.hh"
+#include "support/trace.hh"
 #include "ucode/rom.hh"
 
 namespace vax
@@ -12,6 +14,28 @@ Cpu780::Cpu780(const SimConfig &cfg)
     buildMicrocodeRom(cs_);
     ebox_ = std::make_unique<Ebox>(cs_, mem_, ib_, ifetch_, intc_,
                                    timer_, hw_);
+    // Stamp this thread's trace lines with this machine's cycle
+    // counter (the most recently constructed machine wins; reference
+    // machines built only for their control store never tick).
+    trace::setCycleCounter(&hw_.cycles);
+}
+
+Cpu780::~Cpu780()
+{
+    trace::clearCycleCounter(&hw_.cycles);
+}
+
+void
+Cpu780::regStats(stats::Registry &r, const std::string &prefix) const
+{
+    hw_.regStats(r, prefix);
+    const HwCounters *hw = &hw_;
+    r.addFormula(prefix + ".cpi", "cycles per instruction", [hw] {
+        return hw->instructions
+            ? double(hw->cycles) / double(hw->instructions)
+            : 0.0;
+    });
+    mem_.regStats(r, prefix + ".mem");
 }
 
 void

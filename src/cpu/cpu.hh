@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "cpu/ebox.hh"
 #include "cpu/hw_counters.hh"
@@ -42,6 +43,7 @@ class Cpu780
 {
   public:
     explicit Cpu780(const SimConfig &cfg = SimConfig());
+    ~Cpu780();
 
     /** Begin execution at pc (kernel mode, mapping per MemSystem). */
     void reset(VirtAddr pc, CpuMode mode = CpuMode::Kernel);
@@ -60,6 +62,10 @@ class Cpu780
 
     /** Attach the UPC monitor (or any cycle sink). */
     void setCycleSink(CycleSink *sink) { ebox_->setCycleSink(sink); }
+
+    /** Register the whole machine's statistics under prefix
+     *  (hardware counters, CPI, memory subsystem). */
+    void regStats(stats::Registry &r, const std::string &prefix) const;
 
     /** Post a device interrupt (terminals, disks...). */
     void

@@ -4,6 +4,7 @@
 #include "cpu/pregs.hh"
 #include "support/bitutil.hh"
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace vax
 {
@@ -52,6 +53,7 @@ Ebox::endTarget()
         intc_.acknowledge(static_cast<unsigned>(level));
         pendingIntLevel_ = static_cast<unsigned>(level);
         ++hw_.interrupts;
+        TRACE(UCode, "interrupt dispatch ipl=%d", level);
         return cs_.entries.interrupt;
     }
     return cs_.entries.iid;
@@ -79,9 +81,26 @@ Ebox::handlerFor(TrapKind kind) const
     panic("bad trap kind");
 }
 
+namespace
+{
+
+const char *
+trapKindName(unsigned kind)
+{
+    static const char *const names[] = {
+        "tbMissD", "tbMissI", "alignRead", "alignWrite",
+    };
+    return kind < 4 ? names[kind] : "?";
+}
+
+} // anonymous namespace
+
 void
 Ebox::takeTrap(TrapKind kind, VirtAddr va, const PendingMemOp &op)
 {
+    TRACE(UCode, "microtrap %s va=%08x upc=%u",
+          trapKindName(static_cast<unsigned>(kind)), va,
+          static_cast<unsigned>(upc_));
     ++hw_.microTraps;
     if (kind == TrapKind::AlignRead || kind == TrapKind::AlignWrite)
         ++hw_.unalignedRefs;
@@ -387,6 +406,9 @@ Ebox::decodeOpcode()
     ++hw_.instructions;
     if (info.bdispBytes > 0)
         ++hw_.bdispCount;
+    TRACE(IDecode, "pc=%08x op=%02x %s mode=%c", lat.instrPc, opc,
+          info.mnemonic,
+          psl_.cur == CpuMode::Kernel ? 'K' : 'U');
     if (instrHook_)
         instrHook_(lat.instrPc, opc);
 

@@ -13,6 +13,9 @@
 #define UPC780_CPU_HW_COUNTERS_HH
 
 #include <cstdint>
+#include <string>
+
+#include "support/stats.hh"
 
 namespace vax
 {
@@ -59,6 +62,42 @@ struct HwCounters
     {
         accumulate(o);
         return *this;
+    }
+
+    /** Mirror every counter into the registry under prefix. */
+    void
+    regStats(stats::Registry &r, const std::string &prefix) const
+    {
+        r.addScalar(prefix + ".cycles", "machine cycles (200 ns each)",
+                    &cycles);
+        r.addScalar(prefix + ".instructions",
+                    "instructions retired (decode-complete)",
+                    &instructions);
+        r.addScalar(prefix + ".specifiers",
+                    "operand specifiers decoded", &specifiers);
+        r.addScalar(prefix + ".firstSpecifiers",
+                    "first specifiers decoded", &firstSpecifiers);
+        r.addScalar(prefix + ".indexedSpecifiers",
+                    "indexed specifiers decoded", &indexedSpecifiers);
+        r.addScalar(prefix + ".bdispBytes",
+                    "branch-displacement bytes consumed", &bdispBytes);
+        r.addScalar(prefix + ".bdispCount",
+                    "instructions with a bdisp field", &bdispCount);
+        r.addScalar(prefix + ".immediateBytes",
+                    "immediate/absolute specifier bytes",
+                    &immediateBytes);
+        r.addScalar(prefix + ".dispBytes",
+                    "displacement bytes in specifiers", &dispBytes);
+        r.addScalar(prefix + ".unalignedRefs",
+                    "alignment microtraps", &unalignedRefs);
+        r.addScalar(prefix + ".microTraps",
+                    "microtraps taken (abort cycles)", &microTraps);
+        r.addScalar(prefix + ".interrupts",
+                    "interrupt microcode entries", &interrupts);
+        r.addScalar(prefix + ".contextSwitches",
+                    "LDPCTX executions", &contextSwitches);
+        r.addScalar(prefix + ".chmkCalls", "CHMK system services",
+                    &chmkCalls);
     }
 };
 

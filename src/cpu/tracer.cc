@@ -20,7 +20,14 @@ std::vector<std::string>
 InstructionTracer::format(const ByteReader &read) const
 {
     std::vector<std::string> out;
-    out.reserve(ring_.size());
+    out.reserve(ring_.size() + 1);
+    if (dropped() > 0) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "[%llu earlier records dropped]",
+                      static_cast<unsigned long long>(dropped()));
+        out.emplace_back(buf);
+    }
     for (const auto &r : ring_) {
         auto d = disassemble(r.pc, read);
         char buf[160];

@@ -66,11 +66,16 @@ class InstructionTracer
     /** Instructions seen since attach. */
     uint64_t total() const { return total_; }
 
+    /** Records evicted from the ring (total seen minus retained). */
+    uint64_t dropped() const { return total_ - ring_.size(); }
+
     const std::deque<TraceRecord> &records() const { return ring_; }
 
     /**
      * Render the ring as disassembled text lines using the given
      * byte reader (e.g. a physical reader for unmapped machines).
+     * When records were evicted, the first line reports the dropped
+     * count so a truncated trace cannot be mistaken for a full one.
      */
     std::vector<std::string> format(const ByteReader &read) const;
 

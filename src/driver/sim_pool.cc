@@ -1,15 +1,80 @@
 #include "driver/sim_pool.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
 
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace vax
 {
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool
+envProgress()
+{
+    const char *env = std::getenv("UPC780_PROGRESS");
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+/** One complete heartbeat line in a single fwrite (workers race). */
+void
+emitHeartbeat(size_t done, size_t total, double elapsed)
+{
+    double eta = done
+        ? elapsed * (double(total - done) / double(done))
+        : 0.0;
+    char line[128];
+    int n = std::snprintf(line, sizeof(line),
+                          "pool: %zu/%zu jobs done, %.1fs elapsed, "
+                          "eta %.1fs\n",
+                          done, total, elapsed, eta);
+    if (n > 0)
+        std::fwrite(line, 1, static_cast<size_t>(n), stderr);
+}
+
+/**
+ * Run one job with pool bookkeeping.  When tracing is on, the job's
+ * lines collect in a per-job buffer flushed in one write at the end,
+ * so concurrent jobs' traces never interleave.
+ */
+ExperimentResult
+runPooledJob(const SimJob &job, unsigned worker, Clock::time_point t0)
+{
+    trace::BufferSink buf;
+    const bool buffering = trace::anyEnabled();
+    trace::ScopedSink scoped(buffering ? &buf
+                                       : static_cast<trace::TraceSink *>(
+                                             nullptr));
+    double start = secondsSince(t0);
+    TRACE(Pool, "job '%s' start (worker %u)",
+          job.profile.name.c_str(), worker);
+    ExperimentResult r = runJob(job);
+    r.startSeconds = start;
+    r.worker = worker;
+    TRACE(Pool, "job '%s' done: %.2fs wall",
+          job.profile.name.c_str(), r.wallSeconds);
+    if (buffering)
+        buf.flushTo(stderr);
+    return r;
+}
+
+} // anonymous namespace
 
 SimJob
 SimJob::forProfile(const WorkloadProfile &p, uint64_t cycles)
@@ -47,7 +112,8 @@ runJob(const SimJob &job)
 }
 
 SimPool::SimPool(unsigned workers)
-    : workers_(workers ? workers : hardwareWorkers())
+    : workers_(workers ? workers : hardwareWorkers()),
+      progress_(envProgress())
 {
 }
 
@@ -69,9 +135,15 @@ SimPool::run(const std::vector<SimJob> &jobs) const
     if (nthreads > jobs.size())
         nthreads = static_cast<unsigned>(jobs.size());
 
+    Clock::time_point t0 = Clock::now();
+    const bool progress = progress_;
+
     if (nthreads <= 1) {
-        for (size_t i = 0; i < jobs.size(); ++i)
-            results[i] = runJob(jobs[i]);
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            results[i] = runPooledJob(jobs[i], 0, t0);
+            if (progress)
+                emitHeartbeat(i + 1, jobs.size(), secondsSince(t0));
+        }
         return results;
     }
 
@@ -79,17 +151,103 @@ SimPool::run(const std::vector<SimJob> &jobs) const
     // next unclaimed index.  Completion order varies; result order
     // does not.
     std::atomic<size_t> next{0};
-    auto worker = [&jobs, &results, &next]() {
-        for (size_t i; (i = next.fetch_add(1)) < jobs.size();)
-            results[i] = runJob(jobs[i]);
+    std::atomic<size_t> done{0};
+    auto worker = [&jobs, &results, &next, &done, t0, progress](
+                      unsigned w) {
+        for (size_t i; (i = next.fetch_add(1)) < jobs.size();) {
+            results[i] = runPooledJob(jobs[i], w, t0);
+            size_t d = done.fetch_add(1) + 1;
+            if (progress)
+                emitHeartbeat(d, jobs.size(), secondsSince(t0));
+        }
     };
     std::vector<std::thread> threads;
     threads.reserve(nthreads);
     for (unsigned t = 0; t < nthreads; ++t)
-        threads.emplace_back(worker);
+        threads.emplace_back(worker, t);
     for (auto &t : threads)
         t.join();
     return results;
+}
+
+PoolTelemetry
+computeTelemetry(const std::vector<ExperimentResult> &results)
+{
+    PoolTelemetry t;
+    double first_start = 0.0;
+    double last_end = 0.0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ExperimentResult &r = results[i];
+        JobTelemetry j;
+        j.name = r.name;
+        j.startSeconds = r.startSeconds;
+        j.wallSeconds = r.wallSeconds;
+        j.worker = r.worker;
+        j.simCycles = r.hw.counters.cycles;
+        j.instructions = r.hw.counters.instructions;
+        t.simCycles += j.simCycles;
+        t.instructions += j.instructions;
+        if (i == 0 || r.startSeconds < first_start)
+            first_start = r.startSeconds;
+        last_end = std::max(last_end, r.startSeconds + r.wallSeconds);
+        t.jobs.push_back(std::move(j));
+    }
+    // Span of the whole run: by construction >= any per-job wall.
+    t.wallSeconds = results.empty() ? 0.0 : last_end - first_start;
+    return t;
+}
+
+double
+PoolTelemetry::cyclesPerSecond() const
+{
+    return wallSeconds > 0.0 ? double(simCycles) / wallSeconds : 0.0;
+}
+
+double
+PoolTelemetry::kips() const
+{
+    return wallSeconds > 0.0
+        ? double(instructions) / wallSeconds / 1e3
+        : 0.0;
+}
+
+std::string
+PoolTelemetry::summary() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%zu jobs, %.2fs wall, %.2f Msimcycles/s, "
+                  "%.1f kIPS",
+                  jobs.size(), wallSeconds, cyclesPerSecond() / 1e6,
+                  kips());
+    return buf;
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<ExperimentResult> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warn("cannot write Chrome trace '%s'", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\"traceEvents\":[\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ExperimentResult &r = results[i];
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.0f,"
+                     "\"dur\":%.0f,\"pid\":1,\"tid\":%u,"
+                     "\"args\":{\"simCycles\":%llu}}%s\n",
+                     r.name.c_str(), r.startSeconds * 1e6,
+                     r.wallSeconds * 1e6, r.worker + 1,
+                     static_cast<unsigned long long>(
+                         r.hw.counters.cycles),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    return true;
 }
 
 CompositeResult

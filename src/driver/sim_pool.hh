@@ -24,6 +24,7 @@
 #define UPC780_DRIVER_SIM_POOL_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cpu/cpu.hh"
@@ -33,6 +34,53 @@
 
 namespace vax
 {
+
+/** Host-side timing of one pooled job (derived from its result). */
+struct JobTelemetry
+{
+    std::string name;
+    double startSeconds = 0.0; ///< offset from the pool's start
+    double wallSeconds = 0.0;
+    unsigned worker = 0;
+    uint64_t simCycles = 0;    ///< machine cycles simulated
+    uint64_t instructions = 0; ///< instructions retired
+};
+
+/**
+ * Aggregate throughput of a pool run.  Wall-clock lives here, NOT in
+ * the stats registry: telemetry varies run to run while stats dumps
+ * must be byte-identical for a given seed.
+ */
+struct PoolTelemetry
+{
+    std::vector<JobTelemetry> jobs;
+    /** Aggregate span: latest job end minus earliest job start.  By
+     *  construction >= every per-job wallSeconds. */
+    double wallSeconds = 0.0;
+    uint64_t simCycles = 0;
+    uint64_t instructions = 0;
+
+    /** Simulated machine cycles per host second (0 when un-timed). */
+    double cyclesPerSecond() const;
+
+    /** Simulated kilo-instructions per host second. */
+    double kips() const;
+
+    /** One human-readable line: jobs, wall, Mcycles/s, kIPS. */
+    std::string summary() const;
+};
+
+/** Derive pool telemetry from a result set (any run() output). */
+PoolTelemetry
+computeTelemetry(const std::vector<ExperimentResult> &results);
+
+/**
+ * Write the per-job timeline as a Chrome trace-event JSON file
+ * (load in Perfetto / chrome://tracing: one row per worker, one
+ * slice per job).  @return False (with warn) on I/O failure.
+ */
+bool writeChromeTrace(const std::string &path,
+                      const std::vector<ExperimentResult> &results);
 
 /**
  * One independent simulation, described entirely by value so it can
@@ -68,6 +116,12 @@ class SimPool
 
     unsigned workers() const { return workers_; }
 
+    /** Opt-in stderr heartbeat ("pool: 3/5 jobs, ..., eta ...")
+     *  emitted as each job completes.  Also enabled by a non-zero
+     *  UPC780_PROGRESS environment variable. */
+    void setProgress(bool on) { progress_ = on; }
+    bool progress() const { return progress_; }
+
     /**
      * Run all jobs, at most workers() at a time.
      *
@@ -89,6 +143,7 @@ class SimPool
 
   private:
     unsigned workers_;
+    bool progress_;
 };
 
 /** The paper's five workloads as a job list (weight 1 each). */

@@ -2,9 +2,47 @@
 
 #include "support/bitutil.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace vax
 {
+
+void
+CacheStats::regStats(stats::Registry &r,
+                     const std::string &prefix) const
+{
+    r.addScalar(prefix + ".readRefsI",
+                "I-stream read references", &readRefsI);
+    r.addScalar(prefix + ".readMissesI",
+                "I-stream read misses", &readMissesI);
+    r.addScalar(prefix + ".readRefsD",
+                "D-stream read references", &readRefsD);
+    r.addScalar(prefix + ".readMissesD",
+                "D-stream read misses", &readMissesD);
+    r.addScalar(prefix + ".writeRefs",
+                "write references (write-through)", &writeRefs);
+    r.addScalar(prefix + ".writeHits", "write hits", &writeHits);
+}
+
+void
+Cache::regStats(stats::Registry &r, const std::string &prefix) const
+{
+    stats_.regStats(r, prefix);
+    const CacheStats *s = &stats_;
+    r.addFormula(prefix + ".missRatioI",
+                 "I-stream read miss ratio", [s] {
+                     return s->readRefsI
+                         ? double(s->readMissesI) / double(s->readRefsI)
+                         : 0.0;
+                 });
+    r.addFormula(prefix + ".missRatioD",
+                 "D-stream read miss ratio", [s] {
+                     return s->readRefsD
+                         ? double(s->readMissesD) / double(s->readRefsD)
+                         : 0.0;
+                 });
+}
 
 Cache::Cache(const MemConfig &cfg, uint64_t seed)
     : blockBytes_(cfg.cacheBlockBytes),
@@ -56,6 +94,11 @@ Cache::readRef(PhysAddr pa, bool istream)
         if (!hit)
             ++stats_.readMissesD;
     }
+    if (!hit) {
+        TRACE(Cache, "read miss %c pa=%06x set=%u",
+              istream ? 'I' : 'D', static_cast<unsigned>(pa),
+              setIndex(pa));
+    }
     return hit;
 }
 
@@ -63,14 +106,19 @@ void
 Cache::writeRef(PhysAddr pa)
 {
     ++stats_.writeRefs;
-    if (probe(pa))
+    bool hit = probe(pa);
+    if (hit)
         ++stats_.writeHits;
     // Write-through, no allocate: tags unchanged either way.
+    TRACE(Cache, "write %s pa=%06x", hit ? "hit" : "miss",
+          static_cast<unsigned>(pa));
 }
 
 void
 Cache::fill(PhysAddr pa)
 {
+    TRACE(Cache, "fill pa=%06x set=%u", static_cast<unsigned>(pa),
+          setIndex(pa));
     uint32_t set = setIndex(pa);
     uint32_t tag = tagOf(pa);
     // If it's already present (e.g. racing I/D fills of one block),
@@ -98,6 +146,7 @@ Cache::fill(PhysAddr pa)
 void
 Cache::invalidateAll()
 {
+    TRACE(Cache, "invalidate all");
     for (auto &l : lines_)
         l.valid = false;
 }

@@ -16,6 +16,7 @@
 #define UPC780_MEM_CACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "arch/types.hh"
@@ -24,6 +25,8 @@
 
 namespace vax
 {
+
+namespace stats { class Registry; }
 
 /** Per-stream cache statistics (the paper's separate cache study). */
 struct CacheStats
@@ -53,6 +56,9 @@ struct CacheStats
         accumulate(o);
         return *this;
     }
+
+    /** Mirror every counter into the registry under prefix. */
+    void regStats(stats::Registry &r, const std::string &prefix) const;
 };
 
 class Cache
@@ -85,6 +91,9 @@ class Cache
     void invalidateAll();
 
     const CacheStats &stats() const { return stats_; }
+
+    /** Register stats and derived miss ratios under prefix. */
+    void regStats(stats::Registry &r, const std::string &prefix) const;
 
     uint32_t numSets() const { return sets_; }
     uint32_t numWays() const { return ways_; }

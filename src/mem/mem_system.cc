@@ -1,6 +1,8 @@
 #include "mem/mem_system.hh"
 
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace vax
 {
@@ -8,6 +10,22 @@ namespace vax
 MemSystem::MemSystem(const MemConfig &cfg, uint64_t seed)
     : cfg_(cfg), phys_(cfg.memBytes), cache_(cfg, seed), tb_(cfg)
 {
+}
+
+void
+MemSystem::regStats(stats::Registry &r,
+                    const std::string &prefix) const
+{
+    r.addScalar(prefix + ".dataReads",
+                "EBOX D-stream read operations", &dataReads_);
+    r.addScalar(prefix + ".dataWrites",
+                "EBOX D-stream write operations", &dataWrites_);
+    r.addScalar(prefix + ".ibLongwordFetches",
+                "aligned longword fetches into the IB", &ibFetches_);
+    cache_.regStats(r, prefix + ".cache");
+    tb_.regStats(r, prefix + ".tb");
+    wb_.regStats(r, prefix + ".wbuf");
+    sbi_.regStats(r, prefix + ".sbi");
 }
 
 bool
@@ -80,8 +98,12 @@ MemSystem::startOrQueueEboxFill(PhysAddr pa, unsigned bytes)
         // exactly readMissPenalty cycles in the simplest case.
         sbi_.start(cfg_.readMissPenalty + 1);
         eboxReadActive_ = true;
+        TRACE(Sbi, "ebox fill start pa=%06x",
+              static_cast<unsigned>(pa));
     } else {
         eboxReadQueued_ = true;
+        TRACE(Mem, "ebox fill queued behind busy bus pa=%06x",
+              static_cast<unsigned>(pa));
     }
 }
 
@@ -116,6 +138,7 @@ MemSystem::dataWrite(VirtAddr va, uint32_t data, unsigned bytes,
         applyWrite(pa, data, bytes);
         return {MemStatus::Ok};
     }
+    TRACE(Mem, "write stall va=%08x (buffer draining)", va);
     eboxWritePending_ = true;
     eboxWritePa_ = pa;
     eboxWriteData_ = data;
@@ -186,8 +209,11 @@ MemSystem::ibFetch(VirtAddr va, CpuMode mode)
         fillPa_ = pa;
         sbi_.start(cfg_.ibFillPenalty + 1);
         ibFillActive_ = true;
+        TRACE(Sbi, "ib fill start pa=%06x", static_cast<unsigned>(pa));
     } else {
         ibFillQueued_ = true;
+        TRACE(Mem, "ib fill queued behind busy bus pa=%06x",
+              static_cast<unsigned>(pa));
     }
     return {IbStatus::Wait};
 }
@@ -241,6 +267,9 @@ MemSystem::tick()
     if (sbi_.tick()) {
         // Fill transaction completed: install the block, hand data to
         // the requester.
+        TRACE(Sbi, "%s fill done pa=%06x",
+              fill_ == FillKind::Ebox ? "ebox" : "ib",
+              static_cast<unsigned>(fillPa_));
         cache_.fill(fillPa_);
         if (fill_ == FillKind::Ebox) {
             upc_assert(eboxReadActive_);

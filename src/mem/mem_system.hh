@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "arch/types.hh"
@@ -144,6 +145,9 @@ class MemSystem
     uint64_t dataWrites() const { return dataWrites_; }
     uint64_t ibLongwordFetches() const { return ibFetches_; }
     /** @} */
+
+    /** Register this subsystem (and every component) under prefix. */
+    void regStats(stats::Registry &r, const std::string &prefix) const;
 
   private:
     enum class FillKind : uint8_t { None, Ebox, Ib };

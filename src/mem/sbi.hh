@@ -12,6 +12,9 @@
 #define UPC780_MEM_SBI_HH
 
 #include <cstdint>
+#include <string>
+
+#include "support/stats.hh"
 
 namespace vax
 {
@@ -41,6 +44,14 @@ class Sbi
     }
 
     uint64_t transactions() const { return transactions_; }
+
+    /** Register this bus's statistics under prefix. */
+    void
+    regStats(stats::Registry &r, const std::string &prefix) const
+    {
+        r.addScalar(prefix + ".transactions",
+                    "cache-fill transactions carried", &transactions_);
+    }
 
   private:
     uint32_t remaining_ = 0;

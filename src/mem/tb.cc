@@ -2,9 +2,40 @@
 
 #include "support/bitutil.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace vax
 {
+
+void
+TbStats::regStats(stats::Registry &r, const std::string &prefix) const
+{
+    r.addScalar(prefix + ".lookupsI", "I-stream TB lookups",
+                &lookupsI);
+    r.addScalar(prefix + ".missesI", "I-stream TB misses", &missesI);
+    r.addScalar(prefix + ".lookupsD", "D-stream TB lookups",
+                &lookupsD);
+    r.addScalar(prefix + ".missesD", "D-stream TB misses", &missesD);
+    r.addScalar(prefix + ".processFlushes",
+                "process-half invalidations (LDPCTX)", &processFlushes);
+}
+
+void
+TranslationBuffer::regStats(stats::Registry &r,
+                            const std::string &prefix) const
+{
+    stats_.regStats(r, prefix);
+    const TbStats *s = &stats_;
+    r.addFormula(prefix + ".missRatio",
+                 "combined TB miss ratio", [s] {
+                     uint64_t lookups = s->lookupsI + s->lookupsD;
+                     return lookups
+                         ? double(s->missesI + s->missesD) /
+                               double(lookups)
+                         : 0.0;
+                 });
+}
 
 TranslationBuffer::TranslationBuffer(const MemConfig &cfg)
     : process_(cfg.tbProcessEntries), system_(cfg.tbSystemEntries)
@@ -47,6 +78,7 @@ TranslationBuffer::lookup(VirtAddr va, bool is_write, CpuMode mode,
                 ++stats_.missesI;
             else
                 ++stats_.missesD;
+            TRACE(Tb, "miss %c va=%08x", istream ? 'I' : 'D', va);
         }
         return TbResult::Miss;
     }
@@ -65,6 +97,7 @@ TranslationBuffer::lookup(VirtAddr va, bool is_write, CpuMode mode,
 void
 TranslationBuffer::insert(VirtAddr va, uint32_t pte_value)
 {
+    TRACE(Tb, "fill va=%08x pte=%08x", va, pte_value);
     Entry *e = entryFor(va);
     e->valid = true;
     e->key = keyOf(va);
@@ -74,6 +107,7 @@ TranslationBuffer::insert(VirtAddr va, uint32_t pte_value)
 void
 TranslationBuffer::invalidateAll()
 {
+    TRACE(Tb, "invalidate all");
     for (auto &e : process_)
         e.valid = false;
     for (auto &e : system_)
@@ -83,6 +117,7 @@ TranslationBuffer::invalidateAll()
 void
 TranslationBuffer::invalidateProcess()
 {
+    TRACE(Tb, "invalidate process half");
     ++stats_.processFlushes;
     for (auto &e : process_)
         e.valid = false;

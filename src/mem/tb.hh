@@ -14,6 +14,7 @@
 #define UPC780_MEM_TB_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "arch/types.hh"
@@ -22,6 +23,8 @@
 
 namespace vax
 {
+
+namespace stats { class Registry; }
 
 /** Outcome of a TB lookup. */
 enum class TbResult : uint8_t {
@@ -56,6 +59,9 @@ struct TbStats
         accumulate(o);
         return *this;
     }
+
+    /** Mirror every counter into the registry under prefix. */
+    void regStats(stats::Registry &r, const std::string &prefix) const;
 };
 
 class TranslationBuffer
@@ -88,6 +94,9 @@ class TranslationBuffer
     void invalidateSingle(VirtAddr va);
 
     const TbStats &stats() const { return stats_; }
+
+    /** Register stats and derived miss ratios under prefix. */
+    void regStats(stats::Registry &r, const std::string &prefix) const;
 
   private:
     struct Entry

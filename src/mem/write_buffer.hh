@@ -12,6 +12,9 @@
 #define UPC780_MEM_WRITE_BUFFER_HH
 
 #include <cstdint>
+#include <string>
+
+#include "support/stats.hh"
 
 namespace vax
 {
@@ -39,6 +42,15 @@ class WriteBuffer
     }
 
     uint64_t writesAccepted() const { return writesAccepted_; }
+
+    /** Register this buffer's statistics under prefix. */
+    void
+    regStats(stats::Registry &r, const std::string &prefix) const
+    {
+        r.addScalar(prefix + ".writesAccepted",
+                    "writes accepted by the one-longword buffer",
+                    &writesAccepted_);
+    }
 
   private:
     uint32_t remaining_ = 0;

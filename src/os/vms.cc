@@ -5,6 +5,8 @@
 #include "mem/page_table.hh"
 #include "support/bitutil.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace vax
 {
@@ -48,6 +50,17 @@ VmsLite::addProcess(const UserProgram &prog)
     programs_.push_back(prog);
 }
 
+void
+VmsLite::regStats(stats::Registry &r, const std::string &prefix) const
+{
+    const VmsLite *os = this;
+    r.addScalar(prefix + ".ticks", "kernel interval-clock ticks",
+                [os] { return os->ticks(); });
+    r.addScalar(prefix + ".processes",
+                "user processes registered at boot",
+                [os] { return uint64_t(os->numProcesses()); });
+}
+
 uint64_t
 VmsLite::ticks() const
 {
@@ -63,8 +76,12 @@ VmsLite::postMailbox(uint32_t id, uint32_t kind, unsigned ipl)
     auto &phys = cpu_.mem().phys();
     uint32_t head = phys.read(mbxPa_ + abi::mbxHead, 4);
     uint32_t tail = phys.read(mbxPa_ + abi::mbxTail, 4);
-    if (head - tail >= abi::mbxEntries)
-        return; // ring full: the device silo overflows, event lost
+    if (head - tail >= abi::mbxEntries) {
+        // Ring full: the device silo overflows, event lost.
+        TRACE(Os, "mailbox overflow id=%u kind=%u", id, kind);
+        return;
+    }
+    TRACE(Os, "mailbox post id=%u kind=%u ipl=%u", id, kind, ipl);
     uint32_t idx = head % abi::mbxEntries;
     phys.write(mbxPa_ + abi::mbxRing + abi::mbxEntryBytes * idx, id,
                4);
@@ -104,6 +121,8 @@ VmsLite::boot()
     if (programs_.empty())
         fatal("VMS-lite: no processes registered before boot");
 
+    TRACE(Os, "boot: %u processes, quantum=%u ticks",
+          numProcesses(), cfg_.quantumTicks);
     kernelVa_ = sysva(kernelPa_);
     buildTables();
     buildKernel();

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cpu/cpu.hh"
@@ -80,6 +81,10 @@ class VmsLite
 
     /** Kernel tick counter (read from guest memory). */
     uint64_t ticks() const;
+
+    /** Register kernel-visible quantities (ticks, process count)
+     *  under prefix. */
+    void regStats(stats::Registry &r, const std::string &prefix) const;
 
     /** Physical address of the UPC monitor CSR (Unibus window). */
     PhysAddr monitorCsrPa() const { return mmioPa_; }

@@ -23,9 +23,19 @@ prefixFor(LogLevel level)
 void
 vlogMessage(LogLevel level, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", prefixFor(level));
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    // Build the whole message and write it with a single fwrite so
+    // warn()/inform() lines from concurrent SimPool workers cannot
+    // interleave mid-line (stdio locks per call, not per line).
+    char msg[1024];
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    char line[1100];
+    int n = std::snprintf(line, sizeof(line), "%s: %s\n",
+                          prefixFor(level), msg);
+    if (n > 0) {
+        if (static_cast<size_t>(n) >= sizeof(line))
+            n = sizeof(line) - 1;
+        std::fwrite(line, 1, static_cast<size_t>(n), stderr);
+    }
     if (level == LogLevel::Fatal)
         std::exit(1);
     if (level == LogLevel::Panic)

@@ -1,0 +1,199 @@
+#include "support/trace.hh"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace vax::trace
+{
+
+namespace
+{
+
+const char *const kChannelNames[] = {
+    "ucode", "idecode", "cache", "tb", "mem", "sbi", "os", "pool",
+};
+static_assert(sizeof(kChannelNames) / sizeof(kChannelNames[0]) ==
+              static_cast<size_t>(Channel::NumChannels));
+
+constexpr uint32_t kAllMask =
+    (1u << static_cast<unsigned>(Channel::NumChannels)) - 1;
+
+uint32_t
+maskFromList(const std::string &list, bool *all_known)
+{
+    uint32_t mask = 0;
+    bool known = true;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string name = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            mask = kAllMask;
+            continue;
+        }
+        bool found = false;
+        for (unsigned c = 0;
+             c < static_cast<unsigned>(Channel::NumChannels); ++c) {
+            if (name == kChannelNames[c]) {
+                mask |= 1u << c;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            known = false;
+            warn("trace: unknown channel '%s' (have: ucode, idecode, "
+                 "cache, tb, mem, sbi, os, pool, all)",
+                 name.c_str());
+        }
+    }
+    if (all_known)
+        *all_known = known;
+    return mask;
+}
+
+uint32_t
+initialMask()
+{
+    const char *env = std::getenv("UPC780_TRACE");
+    if (!env || !*env)
+        return 0;
+    return maskFromList(env, nullptr);
+}
+
+/** Default sink: one unbuffered fwrite per complete line, so lines
+ *  from concurrent threads cannot interleave mid-line. */
+class StderrSink : public TraceSink
+{
+  public:
+    void
+    write(const char *line, size_t len) override
+    {
+        std::fwrite(line, 1, len, stderr);
+    }
+};
+
+StderrSink g_stderrSink;
+
+thread_local TraceSink *t_sink = nullptr;
+thread_local const uint64_t *t_cycleCounter = nullptr;
+
+} // anonymous namespace
+
+uint32_t g_mask = initialMask();
+
+const char *
+channelName(Channel c)
+{
+    return kChannelNames[static_cast<unsigned>(c)];
+}
+
+void
+enable(Channel c)
+{
+    g_mask |= 1u << static_cast<unsigned>(c);
+}
+
+void
+disable(Channel c)
+{
+    g_mask &= ~(1u << static_cast<unsigned>(c));
+}
+
+void
+disableAll()
+{
+    g_mask = 0;
+}
+
+bool
+enableList(const std::string &list)
+{
+    bool all_known = false;
+    g_mask |= maskFromList(list, &all_known);
+    return all_known;
+}
+
+void
+parseTraceFlag(int *argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--trace") == 0 && i + 1 < *argc) {
+            enableList(argv[++i]);
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            enableList(arg + 8);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argv[out] = nullptr;
+    *argc = out;
+}
+
+void
+setCycleCounter(const uint64_t *counter)
+{
+    t_cycleCounter = counter;
+}
+
+void
+clearCycleCounter(const uint64_t *counter)
+{
+    if (t_cycleCounter == counter)
+        t_cycleCounter = nullptr;
+}
+
+uint64_t
+currentCycle()
+{
+    return t_cycleCounter ? *t_cycleCounter : 0;
+}
+
+void
+BufferSink::flushTo(std::FILE *f)
+{
+    if (!buf_.empty())
+        std::fwrite(buf_.data(), 1, buf_.size(), f);
+    buf_.clear();
+}
+
+TraceSink *
+setThreadSink(TraceSink *sink)
+{
+    TraceSink *prev = t_sink;
+    t_sink = sink;
+    return prev;
+}
+
+void
+emit(Channel c, const char *fmt, ...)
+{
+    char msg[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    va_end(args);
+
+    char line[600];
+    int n = std::snprintf(line, sizeof(line), "%llu:%s: %s\n",
+                          static_cast<unsigned long long>(currentCycle()),
+                          channelName(c), msg);
+    if (n < 0)
+        return;
+    if (static_cast<size_t>(n) >= sizeof(line))
+        n = sizeof(line) - 1;
+    TraceSink *sink = t_sink ? t_sink : &g_stderrSink;
+    sink->write(line, static_cast<size_t>(n));
+}
+
+} // namespace vax::trace

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace vax
 {
@@ -36,6 +37,45 @@ Histogram::cycles() const
     for (size_t i = 0; i < normal.size(); ++i)
         total += normal[i] + stalled[i];
     return total;
+}
+
+uint64_t
+Histogram::normalCycles() const
+{
+    uint64_t total = 0;
+    for (uint64_t v : normal)
+        total += v;
+    return total;
+}
+
+uint64_t
+Histogram::stalledCycles() const
+{
+    uint64_t total = 0;
+    for (uint64_t v : stalled)
+        total += v;
+    return total;
+}
+
+void
+Histogram::regStats(stats::Registry &r, const std::string &prefix) const
+{
+    const Histogram *h = this;
+    r.addScalar(prefix + ".normalCycles",
+                "cycles counted in the normal bank",
+                [h] { return h->normalCycles(); });
+    r.addScalar(prefix + ".stalledCycles",
+                "cycles counted in the stalled bank",
+                [h] { return h->stalledCycles(); });
+    r.addScalar(prefix + ".cycles", "total cycles recorded",
+                [h] { return h->cycles(); });
+    r.addFormula(prefix + ".stallFraction",
+                 "fraction of recorded cycles that were stalls", [h] {
+                     uint64_t total = h->cycles();
+                     return total
+                         ? double(h->stalledCycles()) / double(total)
+                         : 0.0;
+                 });
 }
 
 void

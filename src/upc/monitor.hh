@@ -18,6 +18,7 @@
 #define UPC780_UPC_MONITOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cpu/cycle_sink.hh"
@@ -25,6 +26,11 @@
 
 namespace vax
 {
+
+namespace stats
+{
+class Registry;
+} // namespace stats
 
 /** Raw histogram data: two counter banks. */
 struct Histogram
@@ -50,6 +56,15 @@ struct Histogram
 
     /** Total cycles recorded. */
     uint64_t cycles() const;
+
+    /** Total cycles in the normal (non-stalled) bank. */
+    uint64_t normalCycles() const;
+
+    /** Total cycles in the stalled bank. */
+    uint64_t stalledCycles() const;
+
+    /** Register bank totals and the stall fraction under prefix. */
+    void regStats(stats::Registry &r, const std::string &prefix) const;
 };
 
 /**
@@ -82,6 +97,13 @@ class UpcMonitor : public CycleSink
     /** @} */
 
     const Histogram &histogram() const { return hist_; }
+
+    /** Register the board's histogram totals under prefix. */
+    void
+    regStats(stats::Registry &r, const std::string &prefix) const
+    {
+        hist_.regStats(r, prefix);
+    }
 
     uint64_t
     normalCount(UAddr a) const

@@ -7,6 +7,7 @@
 #include "os/vms.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
+#include "support/stats.hh"
 #include "workload/codegen.hh"
 
 namespace vax
@@ -24,6 +25,43 @@ HwTotals::add(const HwTotals &other, uint64_t weight)
     terminalLinesIn += other.terminalLinesIn * weight;
     terminalLinesOut += other.terminalLinesOut * weight;
     diskTransfers += other.diskTransfers * weight;
+}
+
+void
+HwTotals::regStats(stats::Registry &r, const std::string &prefix) const
+{
+    counters.regStats(r, prefix);
+    cache.regStats(r, prefix + ".cache");
+    tb.regStats(r, prefix + ".tb");
+    r.addScalar(prefix + ".ibLongwordFetches",
+                "I-stream longwords fetched into the IB",
+                &ibLongwordFetches);
+    r.addScalar(prefix + ".dataReads", "EBOX D-stream reads",
+                &dataReads);
+    r.addScalar(prefix + ".dataWrites", "EBOX D-stream writes",
+                &dataWrites);
+    r.addScalar(prefix + ".terminalLinesIn",
+                "terminal lines injected by the RTE",
+                &terminalLinesIn);
+    r.addScalar(prefix + ".terminalLinesOut",
+                "terminal lines written by the kernel",
+                &terminalLinesOut);
+    r.addScalar(prefix + ".diskTransfers",
+                "disk transfers completed", &diskTransfers);
+}
+
+void
+registerCompositeStats(stats::Registry &r, const CompositeResult &comp)
+{
+    comp.hw.regStats(r, "composite");
+    comp.hist.regStats(r, "composite.upc");
+    for (size_t i = 0; i < comp.parts.size(); ++i) {
+        const ExperimentResult &part = comp.parts[i];
+        std::string prefix =
+            "part" + std::to_string(i) + "." + part.name;
+        part.hw.regStats(r, prefix);
+        part.hist.regStats(r, prefix + ".upc");
+    }
 }
 
 ExperimentResult

@@ -43,6 +43,9 @@ struct HwTotals
 
     /** Weighted accumulate (weight 1 = the paper's plain sum). */
     void add(const HwTotals &other, uint64_t weight = 1);
+
+    /** Register every total (counters, cache, TB, I/O) under prefix. */
+    void regStats(stats::Registry &r, const std::string &prefix) const;
 };
 
 struct ExperimentResult
@@ -53,6 +56,11 @@ struct ExperimentResult
     /** Host wall-clock seconds spent simulating (filled by the
      *  driver layer; 0 when the experiment ran un-timed). */
     double wallSeconds = 0.0;
+    /** Start offset in seconds from the pool's start (0 when the
+     *  experiment ran outside a pool). */
+    double startSeconds = 0.0;
+    /** Worker-thread index that ran the job (0 outside a pool). */
+    unsigned worker = 0;
 };
 
 /**
@@ -82,6 +90,17 @@ struct CompositeResult
 
 /** Run all five experiments and composite them. */
 CompositeResult runComposite(uint64_t cycles_per_experiment);
+
+/**
+ * Mirror a composite into a stats registry: the merged totals under
+ * "composite" (hardware counters plus histogram banks) and each part
+ * under "part<i>.<name>".  Only deterministic simulation quantities
+ * are registered -- wall-clock telemetry stays out so same-seed dumps
+ * are byte-identical, serial or pooled.  The registry keeps pointers
+ * into comp: dump before comp goes away.
+ */
+void registerCompositeStats(stats::Registry &r,
+                            const CompositeResult &comp);
 
 /**
  * Cycles per experiment for the bench harness: the UPC780_CYCLES

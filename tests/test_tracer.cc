@@ -86,6 +86,53 @@ TEST(Tracer, AgreesWithHistogram)
     EXPECT_EQ(tracer.total(), an.instructions());
 }
 
+TEST(Tracer, ReportsDroppedRecords)
+{
+    BareMachine m;
+    InstructionTracer tracer(8);
+    tracer.attach(*m.cpu);
+    auto &a = m.asmblr;
+    a.instr(op::MOVL, {Op::imm(50), Op::reg(R3)});
+    a.label("l");
+    a.instr(op::SOBGTR, {Op::reg(R3), Op::branch("l")});
+    a.instr(op::HALT);
+    ASSERT_TRUE(m.run());
+    EXPECT_EQ(tracer.dropped(), tracer.total() - 8);
+    auto lines = tracer.format([&](VirtAddr va) {
+        return m.cpu->mem().phys().readByte(va);
+    });
+    // A truncated trace announces itself on the first line.
+    ASSERT_EQ(lines.size(), 9u);
+    EXPECT_NE(lines[0].find("44 earlier records dropped"),
+              std::string::npos);
+}
+
+TEST(Tracer, FullRingReportsNoDrops)
+{
+    InstructionTracer tracer(4);
+    tracer.record(1, 0x100, op::NOP, CpuMode::Kernel);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    auto lines = tracer.format([](VirtAddr) -> uint8_t {
+        return op::NOP;
+    });
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].find("dropped"), std::string::npos);
+}
+
+TEST(Tracer, AttachIsIdempotent)
+{
+    BareMachine m;
+    InstructionTracer tracer(256);
+    tracer.attach(*m.cpu);
+    tracer.attach(*m.cpu); // second attach replaces, never stacks
+    auto &a = m.asmblr;
+    for (int i = 0; i < 5; ++i)
+        a.instr(op::INCL, {Op::reg(R1)});
+    a.instr(op::HALT);
+    ASSERT_TRUE(m.run());
+    EXPECT_EQ(tracer.total(), 6u);
+}
+
 TEST(Tracer, ClearResets)
 {
     InstructionTracer tracer(4);
