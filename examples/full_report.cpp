@@ -5,6 +5,7 @@
  * the "general resource" workflow of the paper's conclusion.
  *
  * Usage: full_report [--jobs N] [--trace LIST] [--stats-json PATH]
+ *                    [--faults SPEC] [--strict] [--selfcheck]
  *                    [cycles-per-experiment]
  */
 
@@ -13,16 +14,41 @@
 
 #include "cpu/cpu.hh"
 #include "driver/sim_pool.hh"
+#include "support/faultinject.hh"
+#include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 #include "support/trace.hh"
 #include "upc/analyzer.hh"
+#include "upc/selfcheck.hh"
 #include "workload/experiments.hh"
 
 using namespace vax;
 
 namespace
 {
+
+void
+usage(const char *prog, std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: %s [options] [cycles-per-experiment]\n"
+        "  --jobs N           worker threads, 0 = one per core"
+        " (also UPC780_JOBS)\n"
+        "  --trace LIST       trace channels, e.g. cache,fault"
+        " (also UPC780_TRACE)\n"
+        "  --stats-json PATH  write the composite stats registry as"
+        " JSON\n"
+        "  --faults SPEC      deterministic fault injection"
+        " (also UPC780_FAULTS)\n"
+        "  --strict           fail fast on the first job error"
+        " (also UPC780_STRICT)\n"
+        "  --selfcheck        verify accounting identities after the"
+        " run\n"
+        "  --help             this message\n",
+        prog);
+}
 
 void
 printTable1(const HistogramAnalyzer &an)
@@ -128,17 +154,49 @@ printTable8(const HistogramAnalyzer &an)
 int
 main(int argc, char **argv)
 {
+    if (parseBoolFlag(&argc, argv, "help")) {
+        usage(argv[0], stdout);
+        return 0;
+    }
     trace::parseTraceFlag(&argc, argv);
     unsigned jobs = parseJobsFlag(&argc, argv, envJobs());
     std::string stats_path = stats::parseStatsJsonFlag(&argc, argv);
-    uint64_t cycles = argc > 1 ? strtoull(argv[1], nullptr, 0)
-                               : 2'000'000;
+    FaultConfig faults = FaultConfig::parseFlag(&argc, argv);
+    bool strict = parseBoolFlag(&argc, argv, "strict");
+    bool selfcheck = parseBoolFlag(&argc, argv, "selfcheck");
+
+    // One optional positional operand: the cycle budget.  Anything
+    // else is a typo -- refuse to guess.
+    uint64_t cycles = 2'000'000;
+    if (argc > 2) {
+        std::fprintf(stderr, "%s: unrecognized argument '%s'\n\n",
+                     argv[0], argv[2]);
+        usage(argv[0], stderr);
+        return 2;
+    }
+    if (argc == 2) {
+        char *end = nullptr;
+        cycles = strtoull(argv[1], &end, 0);
+        if (end == argv[1] || *end != '\0' || cycles == 0) {
+            std::fprintf(stderr,
+                         "%s: bad cycle count '%s'\n\n", argv[0],
+                         argv[1]);
+            usage(argv[0], stderr);
+            return 2;
+        }
+    }
     std::printf("upc780 full paper reproduction "
                 "(%llu cycles per experiment)\n\n",
                 (unsigned long long)cycles);
 
-    CompositeResult comp =
-        SimPool(jobs).runComposite(compositeJobs(cycles));
+    SimPool pool(jobs);
+    if (strict)
+        pool.setStrict(true);
+    std::vector<SimJob> job_list = compositeJobs(cycles);
+    if (faults.enabled())
+        for (SimJob &j : job_list)
+            j.sim.mem.faults = faults;
+    CompositeResult comp = pool.runComposite(job_list);
     Cpu780 ref;
     HistogramAnalyzer an(ref.controlStore(), comp.hist);
 
@@ -166,12 +224,25 @@ main(int argc, char **argv)
                  comp.hw.cache.readMissesD) / instr,
                 comp.hw.ibLongwordFetches / instr);
 
+    if (selfcheck) {
+        SelfCheckReport rep = selfCheckComposite(ref.controlStore(),
+                                                 comp);
+        std::printf("\n%s\n", rep.summary().c_str());
+        if (!rep.ok())
+            return 1;
+    }
+
     if (!stats_path.empty()) {
         stats::Registry reg;
         registerCompositeStats(reg, comp);
-        if (reg.saveJson(stats_path))
-            std::printf("\nstats: wrote %zu stats to %s\n",
-                        reg.size(), stats_path.c_str());
+        if (!reg.saveJson(stats_path)) {
+            std::fprintf(stderr,
+                         "error: cannot write stats JSON to '%s'\n",
+                         stats_path.c_str());
+            return 1;
+        }
+        std::printf("\nstats: wrote %zu stats to %s\n", reg.size(),
+                    stats_path.c_str());
     }
     return 0;
 }

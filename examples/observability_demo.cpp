@@ -107,10 +107,26 @@ main(int argc, char **argv)
                         stats::formatValue(*s).c_str());
     }
 
-    if (!stats_path.empty() && reg.saveJson(stats_path))
+    // A demo that claims to have written a file the caller cannot
+    // find is worse than one that fails loudly: I/O failures here
+    // propagate to a non-zero exit.
+    if (!stats_path.empty()) {
+        if (!reg.saveJson(stats_path)) {
+            std::fprintf(stderr,
+                         "error: cannot write stats JSON to '%s'\n",
+                         stats_path.c_str());
+            return 1;
+        }
         std::printf("wrote stats JSON: %s\n", stats_path.c_str());
-    if (!perfetto_path.empty() &&
-        writeChromeTrace(perfetto_path, comp.parts)) {
+    }
+    if (!perfetto_path.empty()) {
+        if (!writeChromeTrace(perfetto_path, comp.parts)) {
+            std::fprintf(stderr,
+                         "error: cannot write Perfetto trace to "
+                         "'%s'\n",
+                         perfetto_path.c_str());
+            return 1;
+        }
         std::printf("wrote Perfetto timeline: %s "
                     "(load at ui.perfetto.dev)\n",
                     perfetto_path.c_str());

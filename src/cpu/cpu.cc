@@ -1,5 +1,6 @@
 #include "cpu/cpu.hh"
 
+#include "support/sim_error.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
 #include "ucode/rom.hh"
@@ -18,10 +19,14 @@ Cpu780::Cpu780(const SimConfig &cfg)
     // counter (the most recently constructed machine wins; reference
     // machines built only for their control store never tick).
     trace::setCycleCounter(&hw_.cycles);
+    // Likewise let guarded-execution errors name the microword that
+    // was executing when they fired.
+    guard::setMicroPc(ebox_->upcPtr());
 }
 
 Cpu780::~Cpu780()
 {
+    guard::clearMicroPc(ebox_->upcPtr());
     trace::clearCycleCounter(&hw_.cycles);
 }
 

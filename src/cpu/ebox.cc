@@ -48,6 +48,14 @@ Ebox::emitCycle(UAddr upc, bool stalled)
 UAddr
 Ebox::endTarget()
 {
+    // Machine checks outrank interrupts: a latched hardware error is
+    // dispatched at the first instruction boundary, before any device.
+    if (mem_.machineCheckPending()) {
+        mcheckCause_ = static_cast<uint32_t>(mem_.takeMachineCheck());
+        ++hw_.microTraps;
+        TRACE(UCode, "machine check dispatch cause=%u", mcheckCause_);
+        return cs_.entries.machineCheck;
+    }
     int level = intc_.pendingAbove(psl_.ipl);
     if (level > 0) {
         intc_.acknowledge(static_cast<unsigned>(level));

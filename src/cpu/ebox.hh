@@ -243,6 +243,16 @@ class Ebox
     /** Level of the interrupt being dispatched (interrupt microcode). */
     unsigned pendingIntLevel() const { return pendingIntLevel_; }
 
+    /** Cause code of the machine check being dispatched (MCHK flow). */
+    uint32_t mcheckCause() const { return mcheckCause_; }
+
+    /** @{ Micro-PC exposure for the guard/watchdog machinery.  The
+     *  pointer stays valid for the EBOX's lifetime (guard::setMicroPc
+     *  pattern, like trace::setCycleCounter). */
+    UAddr currentUpc() const { return upc_; }
+    const UAddr *upcPtr() const { return &upc_; }
+    /** @} */
+
     /** Condition-code helpers for the execute flows. */
     void setCcNz(uint32_t value, DataType type);
     void setCcFromF(double value);
@@ -346,6 +356,7 @@ class Ebox
     std::vector<TrapFrame> trapStack_;
     std::vector<UAddr> microStack_; ///< uCall/uRet
     unsigned pendingIntLevel_ = 0;
+    uint32_t mcheckCause_ = 0;
 };
 
 } // namespace vax

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "support/logging.hh"
+#include "support/sim_error.hh"
 #include "support/trace.hh"
 
 namespace vax
@@ -74,6 +75,40 @@ runPooledJob(const SimJob &job, unsigned worker, Clock::time_point t0)
     return r;
 }
 
+/**
+ * Guarded variant: a panic()/fatal()/watchdog/timeout inside the job
+ * surfaces as a SimError here instead of killing the process.  The
+ * job is retried once -- it is pure by-value state, so the retry
+ * replays the identical cycle stream and either reproduces the bug
+ * deterministically or (for host-side causes like a timeout under
+ * load) completes.  A second failure yields a zeroed, failed-marked
+ * result so the siblings' merge is unaffected.
+ */
+ExperimentResult
+runGuardedJob(const SimJob &job, unsigned worker, Clock::time_point t0)
+{
+    for (unsigned attempt = 0;; ++attempt) {
+        try {
+            guard::Scope scope(job.profile.name, job.sim.seed);
+            return runPooledJob(job, worker, t0);
+        } catch (const std::exception &e) {
+            warn("pool: job '%s' failed (%s)%s",
+                 job.profile.name.c_str(), e.what(),
+                 attempt == 0 ? "; retrying once from its seed" : "");
+            if (attempt == 0)
+                continue;
+            ExperimentResult r;
+            r.name = job.profile.name;
+            r.failed = true;
+            r.error = e.what();
+            r.retries = attempt;
+            r.worker = worker;
+            r.startSeconds = secondsSince(t0);
+            return r;
+        }
+    }
+}
+
 } // anonymous namespace
 
 SimJob
@@ -102,8 +137,8 @@ ExperimentResult
 runJob(const SimJob &job)
 {
     auto t0 = std::chrono::steady_clock::now();
-    ExperimentResult r =
-        runExperiment(job.profile, job.cycles, job.sim, job.vms);
+    ExperimentResult r = runExperiment(job.profile, job.cycles,
+                                       job.sim, job.vms, job.limits);
     r.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
@@ -113,7 +148,7 @@ runJob(const SimJob &job)
 
 SimPool::SimPool(unsigned workers)
     : workers_(workers ? workers : hardwareWorkers()),
-      progress_(envProgress())
+      progress_(envProgress()), strict_(envStrict())
 {
 }
 
@@ -137,10 +172,13 @@ SimPool::run(const std::vector<SimJob> &jobs) const
 
     Clock::time_point t0 = Clock::now();
     const bool progress = progress_;
+    // Strict mode restores fail-fast: no guard scope, so a job's
+    // panic()/fatal() aborts the process as it always did.
+    auto run_one = strict_ ? runPooledJob : runGuardedJob;
 
     if (nthreads <= 1) {
         for (size_t i = 0; i < jobs.size(); ++i) {
-            results[i] = runPooledJob(jobs[i], 0, t0);
+            results[i] = run_one(jobs[i], 0, t0);
             if (progress)
                 emitHeartbeat(i + 1, jobs.size(), secondsSince(t0));
         }
@@ -152,10 +190,10 @@ SimPool::run(const std::vector<SimJob> &jobs) const
     // does not.
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    auto worker = [&jobs, &results, &next, &done, t0, progress](
-                      unsigned w) {
+    auto worker = [&jobs, &results, &next, &done, t0, progress,
+                   run_one](unsigned w) {
         for (size_t i; (i = next.fetch_add(1)) < jobs.size();) {
-            results[i] = runPooledJob(jobs[i], w, t0);
+            results[i] = run_one(jobs[i], w, t0);
             size_t d = done.fetch_add(1) + 1;
             if (progress)
                 emitHeartbeat(d, jobs.size(), secondsSince(t0));
@@ -185,6 +223,10 @@ computeTelemetry(const std::vector<ExperimentResult> &results)
         j.worker = r.worker;
         j.simCycles = r.hw.counters.cycles;
         j.instructions = r.hw.counters.instructions;
+        j.failed = r.failed;
+        j.error = r.error;
+        if (r.failed)
+            ++t.failedJobs;
         t.simCycles += j.simCycles;
         t.instructions += j.instructions;
         if (i == 0 || r.startSeconds < first_start)
@@ -220,7 +262,12 @@ PoolTelemetry::summary() const
                   "%.1f kIPS",
                   jobs.size(), wallSeconds, cyclesPerSecond() / 1e6,
                   kips());
-    return buf;
+    std::string s = buf;
+    if (failedJobs) {
+        std::snprintf(buf, sizeof(buf), ", %u FAILED", failedJobs);
+        s += buf;
+    }
+    return s;
 }
 
 bool
@@ -255,10 +302,32 @@ SimPool::runComposite(const std::vector<SimJob> &jobs) const
 {
     std::vector<ExperimentResult> results = run(jobs);
     CompositeResult comp;
+    uint64_t total_weight = 0;
+    uint64_t lost_weight = 0;
     for (size_t i = 0; i < results.size(); ++i) {
-        comp.hist.merge(results[i].hist, jobs[i].weight);
-        comp.hw.add(results[i].hw, jobs[i].weight);
+        total_weight += jobs[i].weight;
+        if (results[i].failed) {
+            lost_weight += jobs[i].weight;
+        } else {
+            comp.hist.merge(results[i].hist, jobs[i].weight);
+            comp.hw.add(results[i].hw, jobs[i].weight);
+        }
         comp.parts.push_back(std::move(results[i]));
+    }
+    if (lost_weight) {
+        // Deliberately loud: a composite over fewer parts is still a
+        // valid weighted measurement, but it is NOT the number the
+        // caller asked for.
+        warn("pool: composite renormalized over surviving weight "
+             "%llu of %llu -- %u job(s) failed; absolute totals cover "
+             "the survivors only, ratio stats remain comparable",
+             static_cast<unsigned long long>(total_weight - lost_weight),
+             static_cast<unsigned long long>(total_weight),
+             static_cast<unsigned>(
+                 std::count_if(comp.parts.begin(), comp.parts.end(),
+                               [](const ExperimentResult &r) {
+                                   return r.failed;
+                               })));
     }
     return comp;
 }
@@ -308,6 +377,30 @@ envJobs(unsigned def)
     if (!env || !*env)
         return def;
     return static_cast<unsigned>(std::strtoul(env, nullptr, 0));
+}
+
+bool
+parseBoolFlag(int *argc, char **argv, const char *name)
+{
+    std::string flag = std::string("--") + name;
+    bool found = false;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        if (flag == argv[i])
+            found = true;
+        else
+            argv[out++] = argv[i];
+    }
+    argv[out] = nullptr;
+    *argc = out;
+    return found;
+}
+
+bool
+envStrict()
+{
+    const char *env = std::getenv("UPC780_STRICT");
+    return env && *env && std::strcmp(env, "0") != 0;
 }
 
 } // namespace vax

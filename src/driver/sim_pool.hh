@@ -44,6 +44,8 @@ struct JobTelemetry
     unsigned worker = 0;
     uint64_t simCycles = 0;    ///< machine cycles simulated
     uint64_t instructions = 0; ///< instructions retired
+    bool failed = false;       ///< job raised a SimError (after retry)
+    std::string error;         ///< final failure description
 };
 
 /**
@@ -59,6 +61,7 @@ struct PoolTelemetry
     double wallSeconds = 0.0;
     uint64_t simCycles = 0;
     uint64_t instructions = 0;
+    unsigned failedJobs = 0; ///< jobs that failed even after retry
 
     /** Simulated machine cycles per host second (0 when un-timed). */
     double cyclesPerSecond() const;
@@ -66,7 +69,9 @@ struct PoolTelemetry
     /** Simulated kilo-instructions per host second. */
     double kips() const;
 
-    /** One human-readable line: jobs, wall, Mcycles/s, kIPS. */
+    /** One human-readable line: jobs, wall, Mcycles/s, kIPS; names
+     *  the failed-job count only when there is one, so fault-free
+     *  output is unchanged. */
     std::string summary() const;
 };
 
@@ -93,6 +98,7 @@ struct SimJob
     SimConfig sim;               ///< machine configuration
     VmsConfig vms;               ///< OS configuration
     uint64_t weight = 1;         ///< weighting in composite merges
+    RunLimits limits;            ///< watchdog / timeout (default off)
 
     /** Job with the standard experiment wiring: machine seed taken
      *  from the profile, default OS settings. */
@@ -122,8 +128,21 @@ class SimPool
     void setProgress(bool on) { progress_ = on; }
     bool progress() const { return progress_; }
 
+    /** Strict (fail-fast) mode: a job's panic()/fatal() aborts the
+     *  whole process, as before guarded execution existed.  Also
+     *  enabled by a non-zero UPC780_STRICT environment variable. */
+    void setStrict(bool on) { strict_ = on; }
+    bool strict() const { return strict_; }
+
     /**
      * Run all jobs, at most workers() at a time.
+     *
+     * Unless strict() is set, each job runs guarded: a panic(),
+     * fatal(), watchdog or timeout inside the job becomes a SimError,
+     * the job is deterministically retried once from its seed (the
+     * job is pure by-value state, so the retry replays the identical
+     * cycle stream), and a second failure marks the result failed
+     * instead of taking down the siblings.
      *
      * @return Results in job order, independent of completion order.
      */
@@ -135,6 +154,11 @@ class SimPool
      * merge applies each job's weight; since the merged quantities
      * are commutative counter sums, the composite is bit-identical
      * to a serial run at any worker count.
+     *
+     * Failed jobs are excluded from the merge: the composite is
+     * renormalized over the surviving parts (loudly warned), so the
+     * absolute totals cover the survivors only while ratio-style
+     * stats (CPI, miss ratios) remain comparable.
      */
     CompositeResult runComposite(const std::vector<SimJob> &jobs) const;
 
@@ -144,6 +168,7 @@ class SimPool
   private:
     unsigned workers_;
     bool progress_;
+    bool strict_;
 };
 
 /** The paper's five workloads as a job list (weight 1 each). */
@@ -163,6 +188,15 @@ unsigned parseJobsFlag(int *argc, char **argv, unsigned def = 0);
 
 /** The UPC780_JOBS environment variable, else def. */
 unsigned envJobs(unsigned def = 0);
+
+/**
+ * Strip a valueless "--<name>" flag from argv (updating *argc, same
+ * contract as parseJobsFlag).  @return True when the flag was present.
+ */
+bool parseBoolFlag(int *argc, char **argv, const char *name);
+
+/** True when the UPC780_STRICT environment variable is set non-zero. */
+bool envStrict();
 
 } // namespace vax
 

@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "support/bitutil.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -81,10 +82,39 @@ Cache::probe(PhysAddr pa) const
     return false;
 }
 
+void
+Cache::invalidateBlock(PhysAddr pa)
+{
+    uint32_t set = setIndex(pa);
+    uint32_t tag = tagOf(pa);
+    for (uint32_t w = 0; w < ways_; ++w) {
+        Line &l = lines_[set * ways_ + w];
+        if (l.valid && l.tag == tag)
+            l.valid = false;
+    }
+}
+
 bool
 Cache::readRef(PhysAddr pa, bool istream)
 {
-    bool hit = probe(pa);
+    bool hit = !disabled_ && probe(pa);
+    // Write-through means memory is always current, so an injected
+    // parity error is recoverable: drop the bad line, take the miss
+    // path, and latch a machine check for the EBOX.
+    if (hit && faults_ && faults_->drawCacheParity()) {
+        invalidateBlock(pa);
+        faults_->postMachineCheck(McheckCause::CacheParity);
+        if (faults_->cacheDisableAfter() &&
+            ++parityErrors_ >= faults_->cacheDisableAfter() &&
+            !disabled_) {
+            disabled_ = true;
+            faults_->noteCacheDisabled();
+            invalidateAll();
+            warn("cache: %u parity errors, disabling cache "
+                 "(degraded but correct)", parityErrors_);
+        }
+        hit = false;
+    }
     if (istream) {
         ++stats_.readRefsI;
         if (!hit)
@@ -117,6 +147,8 @@ Cache::writeRef(PhysAddr pa)
 void
 Cache::fill(PhysAddr pa)
 {
+    if (disabled_)
+        return;
     TRACE(Cache, "fill pa=%06x set=%u", static_cast<unsigned>(pa),
           setIndex(pa));
     uint32_t set = setIndex(pa);

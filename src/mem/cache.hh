@@ -28,6 +28,8 @@ namespace vax
 
 namespace stats { class Registry; }
 
+class FaultInjector;
+
 /** Per-stream cache statistics (the paper's separate cache study). */
 struct CacheStats
 {
@@ -90,6 +92,12 @@ class Cache
     /** Invalidate everything (power-up or explicit flush). */
     void invalidateAll();
 
+    /** Attach a fault injector (null = fault-free operation). */
+    void setFaultInjector(FaultInjector *fi) { faults_ = fi; }
+
+    /** True once repeated parity errors forced the cache off. */
+    bool disabled() const { return disabled_; }
+
     const CacheStats &stats() const { return stats_; }
 
     /** Register stats and derived miss ratios under prefix. */
@@ -108,6 +116,7 @@ class Cache
     uint32_t setIndex(PhysAddr pa) const;
     uint32_t tagOf(PhysAddr pa) const;
     bool probe(PhysAddr pa) const;
+    void invalidateBlock(PhysAddr pa);
 
     uint32_t blockBytes_;
     uint32_t ways_;
@@ -115,6 +124,9 @@ class Cache
     std::vector<Line> lines_; ///< sets_ * ways_, way-major within set
     CacheStats stats_;
     Rng rng_;
+    FaultInjector *faults_ = nullptr;
+    uint32_t parityErrors_ = 0;
+    bool disabled_ = false;
 };
 
 } // namespace vax

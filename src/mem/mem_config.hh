@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "support/faultinject.hh"
+
 namespace vax
 {
 
@@ -27,6 +29,7 @@ struct MemConfig
     uint32_t readMissPenalty = 6;        ///< stall cycles, simplest case
     uint32_t writeDrainCycles = 6;       ///< write-buffer busy per write
     uint32_t ibFillPenalty = 6;          ///< SBI cycles for an IB fill
+    FaultConfig faults;                  ///< fault injection (off by default)
 };
 
 } // namespace vax

@@ -10,6 +10,14 @@ namespace vax
 MemSystem::MemSystem(const MemConfig &cfg, uint64_t seed)
     : cfg_(cfg), phys_(cfg.memBytes), cache_(cfg, seed), tb_(cfg)
 {
+    // Constructed only when a fault class is enabled: a null injector
+    // keeps the golden path free of extra RNG draws and stats.
+    if (cfg_.faults.enabled()) {
+        faults_ = std::make_unique<FaultInjector>(cfg_.faults, seed);
+        cache_.setFaultInjector(faults_.get());
+        tb_.setFaultInjector(faults_.get());
+        sbi_.setFaultInjector(faults_.get());
+    }
 }
 
 void
@@ -262,6 +270,8 @@ void
 MemSystem::tick()
 {
     eboxPortUsed_ = false;
+    if (faults_)
+        faults_->tick();
     wb_.tick();
 
     if (sbi_.tick()) {

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -140,6 +141,22 @@ class MemSystem
     void setMapEnable(bool on) { mapEnable_ = on; }
     bool mapEnable() const { return mapEnable_; }
 
+    /** @{ Fault injection: the injector exists only when the config
+     *  enables a fault class, so the golden path stays untouched. */
+    bool
+    machineCheckPending() const
+    {
+        return faults_ && faults_->machineCheckPending();
+    }
+    McheckCause
+    takeMachineCheck()
+    {
+        return faults_ ? faults_->takeMachineCheck()
+                       : McheckCause::None;
+    }
+    const FaultInjector *faultInjector() const { return faults_.get(); }
+    /** @} */
+
     /** @{ Aggregate counters for the implementation-events report. */
     uint64_t dataReads() const { return dataReads_; }
     uint64_t dataWrites() const { return dataWrites_; }
@@ -175,6 +192,7 @@ class MemSystem
     TranslationBuffer tb_;
     WriteBuffer wb_;
     Sbi sbi_;
+    std::unique_ptr<FaultInjector> faults_;
     bool mapEnable_ = true;
 
     // Active fill transaction.

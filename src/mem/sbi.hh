@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "support/faultinject.hh"
 #include "support/stats.hh"
 
 namespace vax
@@ -25,10 +26,17 @@ class Sbi
     bool busy() const { return remaining_ > 0; }
     uint32_t remaining() const { return remaining_; }
 
-    /** Claim the bus for the given number of cycles. */
+    /** Claim the bus for the given number of cycles.  An injected
+     *  read timeout stretches the transaction by the configured
+     *  penalty and latches a machine check; the fill still completes
+     *  (the real machine retried the read after the check). */
     void
     start(uint32_t cycles)
     {
+        if (faults_ && faults_->drawSbiTimeout()) {
+            cycles += faults_->sbiTimeoutPenalty();
+            faults_->postMachineCheck(McheckCause::SbiTimeout);
+        }
         remaining_ = cycles;
         ++transactions_;
     }
@@ -45,6 +53,9 @@ class Sbi
 
     uint64_t transactions() const { return transactions_; }
 
+    /** Attach a fault injector (null = fault-free operation). */
+    void setFaultInjector(FaultInjector *fi) { faults_ = fi; }
+
     /** Register this bus's statistics under prefix. */
     void
     regStats(stats::Registry &r, const std::string &prefix) const
@@ -56,6 +67,7 @@ class Sbi
   private:
     uint32_t remaining_ = 0;
     uint64_t transactions_ = 0;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace vax

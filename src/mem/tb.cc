@@ -1,6 +1,7 @@
 #include "mem/tb.hh"
 
 #include "support/bitutil.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -80,6 +81,20 @@ TranslationBuffer::lookup(VirtAddr va, bool is_write, CpuMode mode,
                 ++stats_.missesD;
             TRACE(Tb, "miss %c va=%08x", istream ? 'I' : 'D', va);
         }
+        return TbResult::Miss;
+    }
+
+    // An injected parity error on a valid entry is self-healing: the
+    // entry is dropped and the ordinary TB-miss microcode refills it
+    // from the page table after the machine check is serviced.
+    if (count_stats && faults_ && faults_->drawTbCorrupt()) {
+        e->valid = false;
+        faults_->postMachineCheck(McheckCause::TbCorrupt);
+        if (istream)
+            ++stats_.missesI;
+        else
+            ++stats_.missesD;
+        TRACE(Tb, "corrupt %c va=%08x", istream ? 'I' : 'D', va);
         return TbResult::Miss;
     }
 

@@ -26,6 +26,8 @@ namespace vax
 
 namespace stats { class Registry; }
 
+class FaultInjector;
+
 /** Outcome of a TB lookup. */
 enum class TbResult : uint8_t {
     Hit,
@@ -93,6 +95,9 @@ class TranslationBuffer
     /** Invalidate a single page's entry if present (MTPR TBIS). */
     void invalidateSingle(VirtAddr va);
 
+    /** Attach a fault injector (null = fault-free operation). */
+    void setFaultInjector(FaultInjector *fi) { faults_ = fi; }
+
     const TbStats &stats() const { return stats_; }
 
     /** Register stats and derived miss ratios under prefix. */
@@ -112,6 +117,7 @@ class TranslationBuffer
     std::vector<Entry> process_;
     std::vector<Entry> system_;
     TbStats stats_;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace vax

@@ -29,6 +29,9 @@ constexpr unsigned iplDisk = 20;
 constexpr unsigned iplResched = 3;  ///< software, requested via SIRR
 constexpr unsigned iplFork = 2;     ///< software fork-level work
 
+/** SCB vector index for machine checks (levels use 0-31, CHMK 32). */
+constexpr unsigned vecMachineCheck = 33;
+
 /** Bytes copied by sysGets. */
 constexpr uint32_t getsLineBytes = 16;
 

@@ -70,6 +70,12 @@ VmsLite::ticks() const
     return cpu_.mem().phys().read(ticksPa_, 4);
 }
 
+uint64_t
+VmsLite::machineChecks() const
+{
+    return mchecksPa_ ? cpu_.mem().phys().read(mchecksPa_, 4) : 0;
+}
+
 void
 VmsLite::postMailbox(uint32_t id, uint32_t kind, unsigned ipl)
 {
@@ -471,8 +477,28 @@ VmsLite::buildKernel()
     a.label("staging");
     a.space(80);
 
+    // ================= machine-check handler ====================
+    // Deliberately last: with fault injection off this code is never
+    // reached, and keeping it past every pre-existing label leaves
+    // the fault-free image layout -- and so the fault-free cache/TB
+    // reference stream -- untouched.
+    //
+    // The MCHK microcode pushes (cause, PC, PSL); pop the cause into
+    // kernel data, count the check, and resume the interrupted
+    // instruction stream -- the hardware layer has already recovered
+    // (line invalidated / entry dropped / fill retried).
+    a.label("mcheck_isr");
+    a.instr(op::MOVL, {Op::autoInc(SP), Op::rel("mcheck_last")});
+    a.instr(op::INCL, {Op::rel("mchecks")});
+    a.instr(op::REI);
+    a.label("mchecks");
+    a.lword(0);
+    a.label("mcheck_last");
+    a.lword(0);
+
     bootVa_ = a.addrOf("boot");
     ticksPa_ = kernelPa_ + (a.addrOf("ticks") - kernelVa_);
+    mchecksPa_ = kernelPa_ + (a.addrOf("mchecks") - kernelVa_);
 
     // Patch the Null PCB now that the label exists.
     phys.write(null_pcb + pcbPc, a.addrOf("null_proc"), 4);
@@ -486,6 +512,8 @@ VmsLite::buildKernel()
                a.addrOf("resched_isr"), 4);
     phys.write(scbPa_ + 4 * abi::iplFork, a.addrOf("fork_isr"), 4);
     phys.write(scbPa_ + 4 * 32, a.addrOf("chmk_handler"), 4);
+    phys.write(scbPa_ + 4 * abi::vecMachineCheck,
+               a.addrOf("mcheck_isr"), 4);
 
     auto image = a.finish();
     if (kernelPa_ + image.size() > arenaBasePa_)

@@ -82,6 +82,10 @@ class VmsLite
     /** Kernel tick counter (read from guest memory). */
     uint64_t ticks() const;
 
+    /** Machine checks serviced by the guest handler (from guest
+     *  memory; nonzero only under fault injection). */
+    uint64_t machineChecks() const;
+
     /** Register kernel-visible quantities (ticks, process count)
      *  under prefix. */
     void regStats(stats::Registry &r, const std::string &prefix) const;
@@ -124,6 +128,7 @@ class VmsLite
     VirtAddr kernelVa_ = 0;
     VirtAddr bootVa_ = 0;
     PhysAddr ticksPa_ = 0;
+    PhysAddr mchecksPa_ = 0;
 };
 
 } // namespace vax

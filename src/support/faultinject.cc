@@ -1,0 +1,231 @@
+#include "support/faultinject.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
+
+namespace vax
+{
+
+const char *
+mcheckCauseName(McheckCause c)
+{
+    switch (c) {
+      case McheckCause::None:        return "none";
+      case McheckCause::CacheParity: return "cache-parity";
+      case McheckCause::TbCorrupt:   return "tb-corrupt";
+      case McheckCause::SbiTimeout:  return "sbi-timeout";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Split on a delimiter; empty fields are skipped. */
+std::vector<std::string>
+splitList(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t end = s.find(delim, pos);
+        if (end == std::string::npos)
+            end = s.size();
+        if (end > pos)
+            out.push_back(s.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    return out;
+}
+
+double
+parseRate(const std::string &field, const std::string &value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || !(v >= 0.0) || v > 1.0)
+        fatal("faults: bad rate '%s=%s' (want 0..1)", field.c_str(),
+              value.c_str());
+    return v;
+}
+
+uint64_t
+parseU64(const std::string &field, const std::string &value)
+{
+    char *end = nullptr;
+    uint64_t v = std::strtoull(value.c_str(), &end, 0);
+    if (!end || *end != '\0' || value.empty())
+        fatal("faults: bad count '%s=%s'", field.c_str(),
+              value.c_str());
+    return v;
+}
+
+} // anonymous namespace
+
+FaultConfig
+FaultConfig::parse(const std::string &spec)
+{
+    FaultConfig cfg;
+    for (const std::string &item : splitList(spec, ',')) {
+        size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("faults: malformed field '%s' (want key=value)",
+                  item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        if (key == "parity") {
+            cfg.cacheParityRate = parseRate(key, val);
+        } else if (key == "tb") {
+            cfg.tbCorruptRate = parseRate(key, val);
+        } else if (key == "sbi") {
+            cfg.sbiTimeoutRate = parseRate(key, val);
+        } else if (key == "seed") {
+            cfg.seed = parseU64(key, val);
+        } else if (key == "disable") {
+            cfg.cacheDisableAfter =
+                static_cast<uint32_t>(parseU64(key, val));
+        } else if (key == "penalty") {
+            cfg.sbiTimeoutPenalty =
+                static_cast<uint32_t>(parseU64(key, val));
+        } else if (key == "pcycle") {
+            for (const std::string &c : splitList(val, ':'))
+                cfg.parityCycles.push_back(parseU64(key, c));
+            std::sort(cfg.parityCycles.begin(),
+                      cfg.parityCycles.end());
+        } else {
+            fatal("faults: unknown field '%s' (have: parity, tb, sbi, "
+                  "seed, disable, penalty, pcycle)",
+                  key.c_str());
+        }
+    }
+    return cfg;
+}
+
+FaultConfig
+FaultConfig::fromEnv()
+{
+    const char *env = std::getenv("UPC780_FAULTS");
+    if (!env || !*env)
+        return FaultConfig();
+    return parse(env);
+}
+
+FaultConfig
+FaultConfig::parseFlag(int *argc, char **argv)
+{
+    std::string spec;
+    bool have = false;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--faults") == 0 && i + 1 < *argc) {
+            spec = argv[++i];
+            have = true;
+        } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+            spec = arg + 9;
+            have = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argv[out] = nullptr;
+    *argc = out;
+    return have ? parse(spec) : fromEnv();
+}
+
+void
+FaultStats::regStats(stats::Registry &r,
+                     const std::string &prefix) const
+{
+    r.addScalar(prefix + ".parityErrors",
+                "cache parity errors injected", &parityErrors);
+    r.addScalar(prefix + ".tbCorruptions",
+                "TB entries corrupted", &tbCorruptions);
+    r.addScalar(prefix + ".sbiTimeouts",
+                "SBI fill transactions timed out", &sbiTimeouts);
+    r.addScalar(prefix + ".machineChecks",
+                "machine-check microcode dispatches", &machineChecks);
+    r.addScalar(prefix + ".cacheDisables",
+                "cache degradation fallbacks", &cacheDisables);
+    r.addScalar(prefix + ".osMachineChecks",
+                "guest machine-check handler entries",
+                &osMachineChecks);
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg,
+                             uint64_t machine_seed)
+    : cfg_(cfg), rng_(cfg.seed ^ (machine_seed * 0x9E3779B97F4A7C15ULL))
+{
+}
+
+bool
+FaultInjector::drawCacheParity()
+{
+    bool fire = false;
+    if (nextParityCycle_ < cfg_.parityCycles.size() &&
+        cycle_ >= cfg_.parityCycles[nextParityCycle_]) {
+        ++nextParityCycle_;
+        fire = true;
+    }
+    if (!fire && cfg_.cacheParityRate > 0.0)
+        fire = rng_.chance(cfg_.cacheParityRate);
+    if (fire) {
+        ++stats_.parityErrors;
+        TRACE(Fault, "cache parity error #%llu",
+              static_cast<unsigned long long>(stats_.parityErrors));
+    }
+    return fire;
+}
+
+bool
+FaultInjector::drawTbCorrupt()
+{
+    if (cfg_.tbCorruptRate <= 0.0 || !rng_.chance(cfg_.tbCorruptRate))
+        return false;
+    ++stats_.tbCorruptions;
+    TRACE(Fault, "tb entry corrupted #%llu",
+          static_cast<unsigned long long>(stats_.tbCorruptions));
+    return true;
+}
+
+bool
+FaultInjector::drawSbiTimeout()
+{
+    if (cfg_.sbiTimeoutRate <= 0.0 ||
+        !rng_.chance(cfg_.sbiTimeoutRate))
+        return false;
+    ++stats_.sbiTimeouts;
+    TRACE(Fault, "sbi read timeout #%llu (+%u cycles)",
+          static_cast<unsigned long long>(stats_.sbiTimeouts),
+          cfg_.sbiTimeoutPenalty);
+    return true;
+}
+
+void
+FaultInjector::postMachineCheck(McheckCause cause)
+{
+    // Single-depth latch: concurrent errors are summarized into the
+    // first pending check, as on the real machine.
+    if (pending_ == McheckCause::None)
+        pending_ = cause;
+}
+
+McheckCause
+FaultInjector::takeMachineCheck()
+{
+    McheckCause c = pending_;
+    pending_ = McheckCause::None;
+    if (c != McheckCause::None) {
+        ++stats_.machineChecks;
+        TRACE(Fault, "machine check dispatched (%s)",
+              mcheckCauseName(c));
+    }
+    return c;
+}
+
+} // namespace vax

@@ -2,6 +2,8 @@
 
 #include <cstdarg>
 
+#include "support/sim_error.hh"
+
 namespace vax
 {
 
@@ -35,6 +37,16 @@ vlogMessage(LogLevel level, const char *fmt, va_list args)
         if (static_cast<size_t>(n) >= sizeof(line))
             n = sizeof(line) - 1;
         std::fwrite(line, 1, static_cast<size_t>(n), stderr);
+    }
+    // Inside a guarded pool worker a fatal/panic becomes a structured,
+    // catchable SimError so one bad job cannot take down its siblings;
+    // the serial (unguarded) path still dies fast and loud.
+    if ((level == LogLevel::Fatal || level == LogLevel::Panic) &&
+        guard::active()) {
+        throw SimError::fromGuard(level == LogLevel::Panic
+                                      ? SimErrorCause::Panic
+                                      : SimErrorCause::Fatal,
+                                  msg);
     }
     if (level == LogLevel::Fatal)
         std::exit(1);

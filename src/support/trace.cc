@@ -14,6 +14,7 @@ namespace
 
 const char *const kChannelNames[] = {
     "ucode", "idecode", "cache", "tb", "mem", "sbi", "os", "pool",
+    "fault",
 };
 static_assert(sizeof(kChannelNames) / sizeof(kChannelNames[0]) ==
               static_cast<size_t>(Channel::NumChannels));
@@ -51,7 +52,7 @@ maskFromList(const std::string &list, bool *all_known)
         if (!found) {
             known = false;
             warn("trace: unknown channel '%s' (have: ucode, idecode, "
-                 "cache, tb, mem, sbi, os, pool, all)",
+                 "cache, tb, mem, sbi, os, pool, fault, all)",
                  name.c_str());
         }
     }

@@ -42,6 +42,7 @@ enum class Channel : unsigned {
     Sbi,     ///< bus transactions
     Os,      ///< VMS-lite host-visible events (mailbox, devices)
     Pool,    ///< driver job lifecycle
+    Fault,   ///< injected faults and machine-check delivery
     NumChannels,
 };
 

@@ -67,6 +67,7 @@ struct EntryPoints
     UAddr alignWrite = 0;      ///< unaligned write service
     UAddr interrupt = 0;       ///< interrupt dispatch microcode
     UAddr exception = 0;       ///< exception dispatch microcode
+    UAddr machineCheck = 0;    ///< machine-check (MCHK) dispatch
     /** Execute-flow entries, indexed by ExecFlow. */
     std::array<UAddr, static_cast<size_t>(ExecFlow::NumFlows)> exec{};
     /**

@@ -246,6 +246,56 @@ emitInterrupt(RomCtx &c)
     });
 }
 
+/** SCB vector index for machine checks (matches abi::vecMachineCheck;
+ *  interrupt levels use 0-31, CHMK uses 32). */
+constexpr uint32_t scbMachineCheck = 33;
+
+/**
+ * Machine-check dispatch: like an interrupt, but pushes a third
+ * longword (the cause code latched by the fault injector) on top of
+ * the PC so the handler can pop it before REI.  Runs at IPL 31 --
+ * nothing interrupts a machine check.
+ */
+void
+emitMachineCheck(RomCtx &c)
+{
+    UAnnotation a = c.ann(Row::IntExcept, "MCHK.entry");
+    a.mark = UMark::InterruptEntry;
+    c.ep.machineCheck = c.emitFull(a, [](Ebox &e) {
+        e.lat.t[0] = e.psl().pack();
+        e.lat.t[1] = e.decodePc();
+        CpuMode old = e.psl().cur;
+        e.switchMode(CpuMode::Kernel);
+        e.psl().prev = old;
+    });
+    c.emit(Row::IntExcept, "MCHK.vec", [](Ebox &e) {
+        e.lat.t[2] = e.prRaw(pr::SCBB) + 4 * scbMachineCheck;
+    });
+    // Error-register scan cycles: the real MCHK flow read out the
+    // cache/TB/SBI error status before building its stack frame.
+    c.emit(Row::IntExcept, "MCHK.scan1", [](Ebox &e) { (void)e; });
+    c.emit(Row::IntExcept, "MCHK.scan2", [](Ebox &e) { (void)e; });
+    c.emitWrite(Row::IntExcept, "MCHK.pushpsl", [](Ebox &e) {
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), e.lat.t[0], 4);
+    });
+    c.emitWrite(Row::IntExcept, "MCHK.pushpc", [](Ebox &e) {
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), e.lat.t[1], 4);
+    });
+    c.emitWrite(Row::IntExcept, "MCHK.pushcause", [](Ebox &e) {
+        e.r(SP) -= 4;
+        e.memWrite(e.r(SP), e.mcheckCause(), 4);
+    });
+    c.emitRead(Row::IntExcept, "MCHK.scbread",
+               [](Ebox &e) { e.memReadPhys(e.lat.t[2]); });
+    c.emit(Row::IntExcept, "MCHK.disp", [](Ebox &e) {
+        e.psl().ipl = 31;
+        e.redirect(e.md());
+        e.endInstruction();
+    });
+}
+
 } // anonymous namespace
 
 void
@@ -255,6 +305,7 @@ buildMmMicrocode(RomCtx &c)
     c.ep.tbMissI = emitTbFill(c, true);
     emitAlignment(c);
     emitInterrupt(c);
+    emitMachineCheck(c);
 }
 
 } // namespace vax

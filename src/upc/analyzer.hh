@@ -69,6 +69,14 @@ class HistogramAnalyzer
     double rowTotal(Row r) const;
     double colTotal(TimeCol c) const;
 
+    /** Raw cycle count at (row, col) -- the integer quantity behind
+     *  cell(), so conservation checks can sum without rounding. */
+    uint64_t
+    cellCycles(Row r, TimeCol c) const
+    {
+        return cycles_[static_cast<size_t>(r)][static_cast<size_t>(c)];
+    }
+
     // ---- Table 1 ----
     /** Fraction of instructions in the given group. */
     double groupFraction(Group g) const;

@@ -54,7 +54,9 @@ saveHistogramCsv(const std::string &path, const Histogram &hist,
 namespace
 {
 
-/** Parse a non-negative decimal field; false on empty/garbage. */
+/** Parse a non-negative decimal field; false on empty/garbage/
+ *  uint64 overflow.  Digits-only by construction, so "NaN", "-1",
+ *  "1e9" and friends are all rejected here rather than wrapping. */
 bool
 parseCount(const std::string &field, uint64_t *out)
 {
@@ -64,7 +66,10 @@ parseCount(const std::string &field, uint64_t *out)
     for (char c : field) {
         if (c < '0' || c > '9')
             return false;
-        v = v * 10 + static_cast<uint64_t>(c - '0');
+        uint64_t d = static_cast<uint64_t>(c - '0');
+        if (v > (UINT64_MAX - d) / 10)
+            return false;
+        v = v * 10 + d;
     }
     *out = v;
     return true;
@@ -83,7 +88,9 @@ loadHistogramCsv(const std::string &path, Histogram *hist)
     *hist = Histogram();
     char line[512];
     bool header = true;
+    unsigned lineno = 0;
     while (std::fgets(line, sizeof(line), f)) {
+        ++lineno;
         if (header) {
             header = false;
             continue;
@@ -111,12 +118,14 @@ loadHistogramCsv(const std::string &path, Histogram *hist)
         if (fields.size() != 7 || !parseCount(fields[0], &upc) ||
             !parseCount(fields[5], &normal) ||
             !parseCount(fields[6], &stalled)) {
-            warn("malformed histogram CSV line: %s", line);
+            warn("%s:%u: malformed histogram CSV row: %s",
+                 path.c_str(), lineno, line);
             std::fclose(f);
             return false;
         }
         if (upc >= ControlStore::capacity) {
-            warn("histogram CSV upc %llu out of range",
+            warn("%s:%u: histogram CSV upc %llu out of range",
+                 path.c_str(), lineno,
                  static_cast<unsigned long long>(upc));
             std::fclose(f);
             return false;

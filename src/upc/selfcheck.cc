@@ -1,0 +1,186 @@
+#include "upc/selfcheck.hh"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "upc/analyzer.hh"
+
+namespace vax
+{
+
+namespace
+{
+
+/** printf-append one violation line. */
+__attribute__((format(printf, 2, 3))) void
+violate(SelfCheckReport &rep, const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    rep.violations.push_back(buf);
+}
+
+void
+checkEq(SelfCheckReport &rep, const char *what, uint64_t a, uint64_t b)
+{
+    ++rep.checks;
+    if (a != b)
+        violate(rep, "%s: %" PRIu64 " != %" PRIu64, what, a, b);
+}
+
+void
+checkLe(SelfCheckReport &rep, const char *what, uint64_t a, uint64_t b)
+{
+    ++rep.checks;
+    if (a > b)
+        violate(rep, "%s: %" PRIu64 " > %" PRIu64, what, a, b);
+}
+
+/**
+ * The identities shared by a part and a composite total.
+ *
+ * @param write_slack Writes the buffer may still hold when the run
+ *        stops: one per merged machine.
+ */
+void
+checkTotals(SelfCheckReport &rep, const ControlStore &cs,
+            const std::string &who, const Histogram &hist,
+            const HwTotals &hw, uint64_t write_slack)
+{
+    std::string p = who + ": ";
+
+    // Histogram bank totals must sum to the histogram total.
+    checkEq(rep, (p + "normal + stalled == histogram cycles").c_str(),
+            hist.normalCycles() + hist.stalledCycles(), hist.cycles());
+
+    // Table 8 decomposition: the analyzer classifies every counted
+    // cycle into exactly one (row, column) cell.
+    HistogramAnalyzer an(cs, hist);
+    uint64_t cells = 0;
+    for (size_t r = 0; r < static_cast<size_t>(Row::NumRows); ++r)
+        for (size_t c = 0; c < static_cast<size_t>(TimeCol::NumCols);
+             ++c)
+            cells += an.cellCycles(static_cast<Row>(r),
+                                   static_cast<TimeCol>(c));
+    checkEq(rep, (p + "Table 8 cells sum == classified total").c_str(),
+            cells, an.totalCycles());
+    checkEq(rep, (p + "classified total == histogram cycles").c_str(),
+            an.totalCycles(), hist.cycles());
+
+    // The monitor is passive and gated off while Null runs: it can
+    // never count more than the machine executed.
+    checkLe(rep, (p + "histogram cycles <= executed cycles").c_str(),
+            hist.cycles(), hw.counters.cycles);
+    checkLe(rep,
+            (p + "histogram instructions <= retired").c_str(),
+            an.instructions(), hw.counters.instructions);
+
+    // Cross-subsystem identities: every EBOX data read probes the
+    // cache exactly once, every IB longword fetch likewise.
+    checkEq(rep, (p + "cache D-reads == EBOX data reads").c_str(),
+            hw.cache.readRefsD, hw.dataReads);
+    checkEq(rep, (p + "cache I-reads == IB longword fetches").c_str(),
+            hw.cache.readRefsI, hw.ibLongwordFetches);
+    // Writes reach the cache through the write buffer, which may
+    // still hold the last write when the run stops.
+    checkLe(rep, (p + "cache writes <= EBOX data writes").c_str(),
+            hw.cache.writeRefs, hw.dataWrites);
+    checkLe(rep, (p + "EBOX writes - cache writes <= in-flight").c_str(),
+            hw.dataWrites - hw.cache.writeRefs, write_slack);
+
+    // Misses are a subset of references.
+    checkLe(rep, (p + "cache missesI <= refsI").c_str(),
+            hw.cache.readMissesI, hw.cache.readRefsI);
+    checkLe(rep, (p + "cache missesD <= refsD").c_str(),
+            hw.cache.readMissesD, hw.cache.readRefsD);
+    checkLe(rep, (p + "cache write hits <= writes").c_str(),
+            hw.cache.writeHits, hw.cache.writeRefs);
+    checkLe(rep, (p + "tb missesI <= lookupsI").c_str(),
+            hw.tb.missesI, hw.tb.lookupsI);
+    checkLe(rep, (p + "tb missesD <= lookupsD").c_str(),
+            hw.tb.missesD, hw.tb.lookupsD);
+}
+
+} // anonymous namespace
+
+std::string
+SelfCheckReport::summary() const
+{
+    if (ok()) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf),
+                      "self-check: %u identities hold", checks);
+        return buf;
+    }
+    std::string s = "self-check FAILED:";
+    for (const std::string &v : violations) {
+        s += "\n  ";
+        s += v;
+    }
+    return s;
+}
+
+SelfCheckReport
+selfCheckResult(const ControlStore &cs, const ExperimentResult &r)
+{
+    SelfCheckReport rep;
+    if (r.failed) {
+        // A failed job carries no measurements; nothing to conserve.
+        return rep;
+    }
+    checkTotals(rep, cs, r.name.empty() ? "result" : r.name, r.hist,
+                r.hw, 1);
+    return rep;
+}
+
+SelfCheckReport
+selfCheckComposite(const ControlStore &cs, const CompositeResult &comp,
+                   const std::vector<uint64_t> &weights)
+{
+    SelfCheckReport rep;
+
+    // Each surviving part individually.
+    Histogram expect_hist;
+    HwTotals expect_hw;
+    uint64_t slack = 0;
+    for (size_t i = 0; i < comp.parts.size(); ++i) {
+        const ExperimentResult &part = comp.parts[i];
+        if (part.failed)
+            continue;
+        SelfCheckReport pr = selfCheckResult(cs, part);
+        rep.checks += pr.checks;
+        for (auto &v : pr.violations)
+            rep.violations.push_back(std::move(v));
+        uint64_t w = i < weights.size() ? weights[i] : 1;
+        slack += w; // one in-flight write per machine, scaled by merge
+        expect_hist.merge(part.hist, w);
+        expect_hw.add(part.hw, w);
+    }
+
+    // Merge identities: the composite equals the weighted sum of the
+    // surviving parts, bank by bank and counter by counter.
+    checkEq(rep, "composite: histogram cycles == weighted part sum",
+            comp.hist.cycles(), expect_hist.cycles());
+    checkEq(rep, "composite: normal bank == weighted part sum",
+            comp.hist.normalCycles(), expect_hist.normalCycles());
+    checkEq(rep, "composite: stalled bank == weighted part sum",
+            comp.hist.stalledCycles(), expect_hist.stalledCycles());
+    checkEq(rep, "composite: executed cycles == weighted part sum",
+            comp.hw.counters.cycles, expect_hw.counters.cycles);
+    checkEq(rep, "composite: instructions == weighted part sum",
+            comp.hw.counters.instructions,
+            expect_hw.counters.instructions);
+
+    // And the composite totals obey the same conservation identities
+    // as any single result -- with the write-buffer slack scaled to
+    // one in-flight write per part.
+    checkTotals(rep, cs, "composite", comp.hist, comp.hw,
+                slack ? slack : 1);
+    return rep;
+}
+
+} // namespace vax

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * End-of-experiment invariant self-checks.
+ *
+ * The paper's decompositions only mean something if the accounting is
+ * airtight: every cycle the machine executed must appear exactly once
+ * in the histogram, the Table 8 decomposition must sum back to the
+ * total, and the hardware event counters must agree with each other
+ * across subsystems.  These checks assert those identities on a
+ * finished ExperimentResult / CompositeResult -- they run by default
+ * in the test suite and on demand (--selfcheck) in the benches, and
+ * exist to catch silent accounting regressions the moment they land.
+ */
+
+#ifndef UPC780_UPC_SELFCHECK_HH
+#define UPC780_UPC_SELFCHECK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ucode/control_store.hh"
+#include "workload/experiments.hh"
+
+namespace vax
+{
+
+/** Outcome of a self-check pass. */
+struct SelfCheckReport
+{
+    std::vector<std::string> violations; ///< one line per broken identity
+    unsigned checks = 0;                 ///< identities evaluated
+
+    bool ok() const { return violations.empty(); }
+
+    /** "self-check: N identities hold" or the list of violations. */
+    std::string summary() const;
+};
+
+/**
+ * Check one experiment's accounting identities:
+ *  - histogram bank totals sum to the histogram's total cycles;
+ *  - the Table 8 (row x column) decomposition conserves cycles;
+ *  - monitored cycles never exceed executed cycles (the monitor is
+ *    gated off while Null runs), likewise instructions;
+ *  - cache/TB reference counts agree with the EBOX operation counts
+ *    (reads exactly; writes within the one write the buffer may
+ *    still be draining at the end of the run);
+ *  - misses never exceed references.
+ *
+ * @param cs The control store the histogram was recorded against
+ *           (a reference machine's control store works: the microcode
+ *           build is deterministic).
+ */
+SelfCheckReport selfCheckResult(const ControlStore &cs,
+                                const ExperimentResult &r);
+
+/**
+ * Check a composite: every surviving part individually, plus the
+ * merge identities (composite totals equal the weighted sums of the
+ * surviving parts).
+ *
+ * @param weights Per-part weights; missing entries default to 1.
+ */
+SelfCheckReport selfCheckComposite(const ControlStore &cs,
+                                   const CompositeResult &comp,
+                                   const std::vector<uint64_t> &weights =
+                                       {});
+
+} // namespace vax
+
+#endif // UPC780_UPC_SELFCHECK_HH

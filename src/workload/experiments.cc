@@ -1,12 +1,15 @@
 #include "workload/experiments.hh"
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "cpu/cpu.hh"
 #include "os/vms.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
+#include "support/sim_error.hh"
 #include "support/stats.hh"
 #include "workload/codegen.hh"
 
@@ -19,6 +22,7 @@ HwTotals::add(const HwTotals &other, uint64_t weight)
     counters.accumulate(other.counters, weight);
     cache.accumulate(other.cache, weight);
     tb.accumulate(other.tb, weight);
+    faults.accumulate(other.faults, weight);
     ibLongwordFetches += other.ibLongwordFetches * weight;
     dataReads += other.dataReads * weight;
     dataWrites += other.dataWrites * weight;
@@ -33,6 +37,11 @@ HwTotals::regStats(stats::Registry &r, const std::string &prefix) const
     counters.regStats(r, prefix);
     cache.regStats(r, prefix + ".cache");
     tb.regStats(r, prefix + ".tb");
+    // Registered only when something actually fired: a fault-free
+    // run's stats dump stays byte-identical to one built before
+    // fault injection existed.
+    if (faults.any())
+        faults.regStats(r, prefix + ".faults");
     r.addScalar(prefix + ".ibLongwordFetches",
                 "I-stream longwords fetched into the IB",
                 &ibLongwordFetches);
@@ -55,10 +64,15 @@ registerCompositeStats(stats::Registry &r, const CompositeResult &comp)
 {
     comp.hw.regStats(r, "composite");
     comp.hist.regStats(r, "composite.upc");
-    for (size_t i = 0; i < comp.parts.size(); ++i) {
-        const ExperimentResult &part = comp.parts[i];
+    // Failed parts carry no measurements; numbering only the
+    // survivors keeps a run with one failed job byte-identical to a
+    // run that never had it.
+    size_t reg = 0;
+    for (const ExperimentResult &part : comp.parts) {
+        if (part.failed)
+            continue;
         std::string prefix =
-            "part" + std::to_string(i) + "." + part.name;
+            "part" + std::to_string(reg++) + "." + part.name;
         part.hw.regStats(r, prefix);
         part.hist.regStats(r, prefix + ".upc");
     }
@@ -85,6 +99,14 @@ runExperiment(const WorkloadProfile &profile, uint64_t cycles,
 ExperimentResult
 runExperiment(const WorkloadProfile &profile, uint64_t cycles,
               const SimConfig &sim, const VmsConfig &vcfg)
+{
+    return runExperiment(profile, cycles, sim, vcfg, RunLimits());
+}
+
+ExperimentResult
+runExperiment(const WorkloadProfile &profile, uint64_t cycles,
+              const SimConfig &sim, const VmsConfig &vcfg,
+              const RunLimits &limits)
 {
     Cpu780 cpu(sim);
     UpcMonitor monitor;
@@ -133,12 +155,29 @@ runExperiment(const WorkloadProfile &profile, uint64_t cycles,
     for (unsigned u = 0; u < profile.numUsers; ++u)
         next_line[u] = think();
 
+    ForwardProgressWatchdog watchdog(limits.watchdogCycles);
+    auto wall_start = std::chrono::steady_clock::now();
+
     constexpr uint64_t rte_poll = 512;
     uint64_t next_poll = rte_poll;
     while (cpu.cycles() < cycles) {
         cpu.tick();
         if (cpu.cycles() >= next_poll) {
             next_poll = cpu.cycles() + rte_poll;
+            watchdog.poke(cpu.hw().instructions, cpu.cycles(),
+                          cpu.ebox().currentUpc());
+            if (limits.timeoutSeconds > 0.0) {
+                std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - wall_start;
+                if (elapsed.count() > limits.timeoutSeconds) {
+                    char msg[96];
+                    std::snprintf(msg, sizeof(msg),
+                                  "wall-clock budget of %.1fs exceeded",
+                                  limits.timeoutSeconds);
+                    throw SimError::fromGuard(SimErrorCause::Timeout,
+                                              msg);
+                }
+            }
             for (unsigned u = 0; u < profile.numUsers; ++u) {
                 if (next_line[u] <= cpu.cycles()) {
                     os.postTerminalLine(u);
@@ -169,6 +208,10 @@ runExperiment(const WorkloadProfile &profile, uint64_t cycles,
     result.hw.ibLongwordFetches = cpu.mem().ibLongwordFetches();
     result.hw.dataReads = cpu.mem().dataReads();
     result.hw.dataWrites = cpu.mem().dataWrites();
+    if (const FaultInjector *fi = cpu.mem().faultInjector()) {
+        result.hw.faults = fi->stats();
+        result.hw.faults.osMachineChecks = os.machineChecks();
+    }
     return result;
 }
 

@@ -34,6 +34,7 @@ struct HwTotals
     HwCounters counters;
     CacheStats cache;
     TbStats tb;
+    FaultStats faults; ///< injected-fault counters (all zero when off)
     uint64_t ibLongwordFetches = 0;
     uint64_t dataReads = 0;
     uint64_t dataWrites = 0;
@@ -61,6 +62,25 @@ struct ExperimentResult
     double startSeconds = 0.0;
     /** Worker-thread index that ran the job (0 outside a pool). */
     unsigned worker = 0;
+    /** @{ Guarded execution: set by the pool when the job's simulation
+     *  raised a SimError even after its deterministic retry. */
+    bool failed = false;
+    std::string error;   ///< SimError::what() of the final failure
+    unsigned retries = 0; ///< retry attempts consumed (0 or 1)
+    /** @} */
+};
+
+/**
+ * Runtime guard-rails for one experiment.  Both default off, so the
+ * plain overloads behave exactly as before.
+ */
+struct RunLimits
+{
+    /** Cycles without a retired instruction before the forward-
+     *  progress watchdog raises a SimError (0 = disabled). */
+    uint64_t watchdogCycles = 0;
+    /** Wall-clock budget per experiment in seconds (0 = disabled). */
+    double timeoutSeconds = 0.0;
 };
 
 /**
@@ -80,6 +100,12 @@ ExperimentResult runExperiment(const WorkloadProfile &profile,
 ExperimentResult runExperiment(const WorkloadProfile &profile,
                                uint64_t cycles, const SimConfig &sim,
                                const VmsConfig &vms);
+
+/** Same, with watchdog / wall-clock guard-rails. */
+ExperimentResult runExperiment(const WorkloadProfile &profile,
+                               uint64_t cycles, const SimConfig &sim,
+                               const VmsConfig &vms,
+                               const RunLimits &limits);
 
 struct CompositeResult
 {
