@@ -18,8 +18,10 @@
 #include <string>
 
 #include "cpu/cpu.hh"
+#include "driver/checkpoint.hh"
 #include "driver/sim_pool.hh"
 #include "support/faultinject.hh"
+#include "support/interrupt.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
@@ -51,6 +53,19 @@ printBenchUsage(const char *prog, std::FILE *out)
         " (also UPC780_STRICT)\n"
         "  --selfcheck        verify accounting identities after the"
         " run\n"
+        "  --checkpoint-dir D rolling per-job checkpoints in D;"
+        " retries resume\n"
+        "                     from the last checkpoint, Ctrl-C drains"
+        " to a final one\n"
+        "  --checkpoint-interval N\n"
+        "                     cycles between checkpoints (default"
+        " 250000)\n"
+        "  --resume           continue an interrupted run from"
+        " --checkpoint-dir\n"
+        "  --watchdog-cycles N\n"
+        "                     forward-progress watchdog window per"
+        " job\n"
+        "  --job-timeout S    wall-clock budget per job in seconds\n"
         "  --help             this message\n"
         "Cycles per experiment come from UPC780_CYCLES"
         " (default 2000000).\n",
@@ -111,13 +126,17 @@ runBench(int *argc, char **argv, const char *title)
     unsigned jobs = parseJobsFlag(argc, argv, envJobs());
     std::string stats_path = stats::parseStatsJsonFlag(argc, argv);
     FaultConfig faults = FaultConfig::parseFlag(argc, argv);
+    CheckpointConfig ckpt = CheckpointConfig::parseFlags(argc, argv);
+    RunLimits limits = parseLimitsFlags(argc, argv);
     bool strict = parseBoolFlag(argc, argv, "strict");
     bool selfcheck = parseBoolFlag(argc, argv, "selfcheck");
     rejectUnknownArgs(*argc, argv);
     uint64_t cycles = benchCycles();
+    interrupt::install();
     SimPool pool(jobs);
     if (strict)
         pool.setStrict(true);
+    pool.setCheckpoint(ckpt);
     std::printf("upc780 bench: %s\n", title);
     std::printf("(composite of 5 workloads, %llu cycles each, "
                 "%u worker threads; set UPC780_CYCLES / UPC780_JOBS "
@@ -126,22 +145,46 @@ runBench(int *argc, char **argv, const char *title)
                 pool.workers());
     BenchRun r;
     std::vector<SimJob> jobs_list = compositeJobs(cycles);
-    if (faults.enabled())
-        for (SimJob &j : jobs_list)
+    for (SimJob &j : jobs_list) {
+        if (faults.enabled())
             j.sim.mem.faults = faults;
+        if (limits.watchdogCycles)
+            j.limits.watchdogCycles = limits.watchdogCycles;
+        if (limits.timeoutSeconds > 0.0)
+            j.limits.timeoutSeconds = limits.timeoutSeconds;
+    }
     r.composite = pool.runComposite(jobs_list);
     r.ref = std::make_unique<Cpu780>();
     r.analyzer = std::make_unique<HistogramAnalyzer>(
         r.ref->controlStore(), r.composite.hist);
     PoolTelemetry tele = computeTelemetry(r.composite.parts);
     for (const auto &j : tele.jobs) {
+        std::string marks;
+        if (j.resumeCycle) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf),
+                          "  resumed@%llu",
+                          static_cast<unsigned long long>(
+                              j.resumeCycle));
+            marks += buf;
+        }
+        if (j.retries) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "  %u retried",
+                          j.retries);
+            marks += buf;
+        }
+        if (j.failed)
+            marks += "  FAILED";
+        if (j.interrupted)
+            marks += "  INTERRUPTED";
         std::printf("  %-22s %9.2fs wall, %6.2f Msimcycles/s "
                     "(worker %u)%s\n",
                     j.name.c_str(), j.wallSeconds,
                     j.wallSeconds > 0
                         ? j.simCycles / j.wallSeconds * 1e-6
                         : 0.0,
-                    j.worker, j.failed ? "  FAILED" : "");
+                    j.worker, marks.c_str());
     }
     std::printf("pool: %s\n", tele.summary().c_str());
     std::printf("composite: %llu instructions, %llu cycles, "
@@ -151,6 +194,20 @@ runBench(int *argc, char **argv, const char *title)
                 static_cast<unsigned long long>(
                     r.analyzer->totalCycles()),
                 r.analyzer->cyclesPerInstruction());
+    if (interrupt::requested()) {
+        // Partial stats were printed above; the drain already left a
+        // final checkpoint per running job when --checkpoint-dir was
+        // given.  Exit with the conventional 128+SIGINT status so
+        // scripts can tell an interrupted run from a finished one.
+        std::printf("*** INTERRUPTED: composite above is partial "
+                    "(%u job(s) unfinished)%s ***\n",
+                    tele.interruptedJobs,
+                    ckpt.enabled()
+                        ? "; rerun with --resume to continue"
+                        : "; add --checkpoint-dir to make runs "
+                          "resumable");
+        std::exit(interrupt::exitCode);
+    }
     if (selfcheck) {
         std::vector<uint64_t> weights;
         for (const SimJob &j : jobs_list)

@@ -6,6 +6,7 @@
  *
  * Usage: full_report [--jobs N] [--trace LIST] [--stats-json PATH]
  *                    [--faults SPEC] [--strict] [--selfcheck]
+ *                    [--checkpoint-dir D] [--resume]
  *                    [cycles-per-experiment]
  */
 
@@ -13,8 +14,10 @@
 #include <cstdlib>
 
 #include "cpu/cpu.hh"
+#include "driver/checkpoint.hh"
 #include "driver/sim_pool.hh"
 #include "support/faultinject.hh"
+#include "support/interrupt.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
@@ -46,6 +49,16 @@ usage(const char *prog, std::FILE *out)
         " (also UPC780_STRICT)\n"
         "  --selfcheck        verify accounting identities after the"
         " run\n"
+        "  --checkpoint-dir D rolling per-job checkpoints in D\n"
+        "  --checkpoint-interval N\n"
+        "                     cycles between checkpoints (default"
+        " 250000)\n"
+        "  --resume           continue an interrupted run from"
+        " --checkpoint-dir\n"
+        "  --watchdog-cycles N\n"
+        "                     forward-progress watchdog window per"
+        " job\n"
+        "  --job-timeout S    wall-clock budget per job in seconds\n"
         "  --help             this message\n",
         prog);
 }
@@ -162,6 +175,8 @@ main(int argc, char **argv)
     unsigned jobs = parseJobsFlag(&argc, argv, envJobs());
     std::string stats_path = stats::parseStatsJsonFlag(&argc, argv);
     FaultConfig faults = FaultConfig::parseFlag(&argc, argv);
+    CheckpointConfig ckpt = CheckpointConfig::parseFlags(&argc, argv);
+    RunLimits limits = parseLimitsFlags(&argc, argv);
     bool strict = parseBoolFlag(&argc, argv, "strict");
     bool selfcheck = parseBoolFlag(&argc, argv, "selfcheck");
 
@@ -189,14 +204,36 @@ main(int argc, char **argv)
                 "(%llu cycles per experiment)\n\n",
                 (unsigned long long)cycles);
 
+    interrupt::install();
     SimPool pool(jobs);
     if (strict)
         pool.setStrict(true);
+    pool.setCheckpoint(ckpt);
     std::vector<SimJob> job_list = compositeJobs(cycles);
-    if (faults.enabled())
-        for (SimJob &j : job_list)
+    for (SimJob &j : job_list) {
+        if (faults.enabled())
             j.sim.mem.faults = faults;
+        if (limits.watchdogCycles)
+            j.limits.watchdogCycles = limits.watchdogCycles;
+        if (limits.timeoutSeconds > 0.0)
+            j.limits.timeoutSeconds = limits.timeoutSeconds;
+    }
     CompositeResult comp = pool.runComposite(job_list);
+    if (interrupt::requested()) {
+        // The tables below would be computed from a partial merge;
+        // print the loud marker and the resumable-state hint instead
+        // of numbers that look like a finished reproduction.
+        PoolTelemetry tele = computeTelemetry(comp.parts);
+        std::printf("pool: %s\n", tele.summary().c_str());
+        std::printf("*** INTERRUPTED: report abandoned "
+                    "(%u job(s) unfinished)%s ***\n",
+                    tele.interruptedJobs,
+                    ckpt.enabled()
+                        ? "; rerun with --resume to continue"
+                        : "; add --checkpoint-dir to make runs "
+                          "resumable");
+        return interrupt::exitCode;
+    }
     Cpu780 ref;
     HistogramAnalyzer an(ref.controlStore(), comp.hist);
 

@@ -14,6 +14,7 @@
  *
  * Usage: observability_demo [--jobs N] [--trace LIST]
  *                           [--stats-json PATH] [--perfetto PATH]
+ *                           [--checkpoint-dir D] [--resume]
  */
 
 #include <cstdio>
@@ -21,7 +22,9 @@
 #include <string>
 
 #include "cpu/cpu.hh"
+#include "driver/checkpoint.hh"
 #include "driver/sim_pool.hh"
+#include "support/interrupt.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
 #include "workload/experiments.hh"
@@ -60,6 +63,7 @@ main(int argc, char **argv)
     unsigned jobs = parseJobsFlag(&argc, argv, envJobs());
     std::string stats_path = stats::parseStatsJsonFlag(&argc, argv);
     std::string perfetto_path = parsePerfettoFlag(&argc, argv);
+    CheckpointConfig ckpt = CheckpointConfig::parseFlags(&argc, argv);
 
     uint64_t cycles = benchCycles(500'000);
     std::printf("upc780 observability demo "
@@ -67,8 +71,10 @@ main(int argc, char **argv)
                 (unsigned long long)cycles);
 
     // ---- 1+3. A pooled composite with telemetry. ----
+    interrupt::install();
     SimPool pool(jobs);
     pool.setProgress(true); // heartbeat on stderr as jobs finish
+    pool.setCheckpoint(ckpt);
     std::vector<SimJob> job_list = compositeJobs(cycles);
     std::vector<ExperimentResult> results = pool.run(job_list);
 
@@ -77,18 +83,33 @@ main(int argc, char **argv)
                 tele.summary().c_str());
     for (const auto &j : tele.jobs) {
         std::printf("  %-22s worker %u  +%6.2fs  %6.2fs wall  "
-                    "%6.1f kIPS\n",
+                    "%6.1f kIPS%s\n",
                     j.name.c_str(), j.worker, j.startSeconds,
                     j.wallSeconds,
                     j.wallSeconds > 0
                         ? j.instructions / j.wallSeconds / 1e3
-                        : 0.0);
+                        : 0.0,
+                    j.failed          ? "  FAILED"
+                    : j.interrupted ? "  INTERRUPTED"
+                                    : "");
+    }
+    if (interrupt::requested()) {
+        std::printf("*** INTERRUPTED: telemetry above is partial "
+                    "(%u job(s) unfinished)%s ***\n",
+                    tele.interruptedJobs,
+                    ckpt.enabled()
+                        ? "; rerun with --resume to continue"
+                        : "; add --checkpoint-dir to make runs "
+                          "resumable");
+        return interrupt::exitCode;
     }
 
     CompositeResult comp;
     for (size_t i = 0; i < results.size(); ++i) {
-        comp.hist.merge(results[i].hist, job_list[i].weight);
-        comp.hw.add(results[i].hw, job_list[i].weight);
+        if (!results[i].failed && !results[i].interrupted) {
+            comp.hist.merge(results[i].hist, job_list[i].weight);
+            comp.hw.add(results[i].hw, job_list[i].weight);
+        }
         comp.parts.push_back(std::move(results[i]));
     }
 

@@ -26,6 +26,8 @@
 namespace vax
 {
 
+namespace snap { class Serializer; class Deserializer; }
+
 /** Whole-machine configuration. */
 struct SimConfig
 {
@@ -66,6 +68,16 @@ class Cpu780
     /** Register the whole machine's statistics under prefix
      *  (hardware counters, CPI, memory subsystem). */
     void regStats(stats::Registry &r, const std::string &prefix) const;
+
+    /** @{ Checkpoint/restore of the whole machine.  save() writes
+     *  the configuration fingerprint plus every component's mutable
+     *  state; restore() must be called on a machine built from the
+     *  same SimConfig (the fingerprint is verified, mismatch is a
+     *  SnapshotError) and afterwards the cycle stream continues
+     *  bit-identically to the saved machine's future. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
     /** Post a device interrupt (terminals, disks...). */
     void

@@ -42,6 +42,7 @@ namespace vax
 {
 
 class IntervalTimer;
+namespace snap { class Serializer; class Deserializer; }
 
 /** Simulator-fatal architectural faults (workloads must avoid these). */
 enum class FaultKind : uint8_t {
@@ -272,6 +273,15 @@ class Ebox
 
     /** The halted flag (HALT instruction in kernel mode). */
     void setHalted() { halted_ = true; }
+
+    /** @{ Checkpoint/restore: the complete execution state -- PSL,
+     *  GPRs, processor registers, micro-PC, decode latches, trap and
+     *  micro-call stacks, in-flight memory-op bookkeeping.  The attached
+     *  sink and instruction hook are wiring, not state; the restoring
+     *  harness re-attaches them. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     enum class State : uint8_t {

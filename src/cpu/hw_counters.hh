@@ -20,6 +20,8 @@
 namespace vax
 {
 
+namespace snap { class Serializer; class Deserializer; }
+
 struct HwCounters
 {
     uint64_t cycles = 0;
@@ -63,6 +65,11 @@ struct HwCounters
         accumulate(o);
         return *this;
     }
+
+    /** @{ Checkpoint/restore: every counter, in declaration order. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
     /** Mirror every counter into the registry under prefix. */
     void

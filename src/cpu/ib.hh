@@ -20,6 +20,8 @@
 namespace vax
 {
 
+namespace snap { class Serializer; class Deserializer; }
+
 class InstructionBuffer
 {
   public:
@@ -94,6 +96,11 @@ class InstructionBuffer
         count_ = 0;
         pendingSkip_ = 0;
     }
+
+    /** @{ Checkpoint/restore (capacity is config, checked only). */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     std::vector<uint8_t> bytes_;

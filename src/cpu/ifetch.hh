@@ -21,6 +21,8 @@
 namespace vax
 {
 
+namespace snap { class Serializer; class Deserializer; }
+
 class IFetch
 {
   public:
@@ -39,6 +41,11 @@ class IFetch
     void clearItbMiss() { itbMiss_ = false; }
 
     VirtAddr viba() const { return viba_; }
+
+    /** @{ Checkpoint/restore. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     void acceptLongword(uint32_t data);

@@ -18,6 +18,8 @@
 namespace vax
 {
 
+namespace snap { class Serializer; class Deserializer; }
+
 class InterruptController
 {
   public:
@@ -41,6 +43,11 @@ class InterruptController
 
     uint64_t devicePosts() const { return devicePosts_; }
     uint64_t softwareRequests() const { return swRequests_; }
+
+    /** @{ Checkpoint/restore. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     uint32_t deviceLines_ = 0;  ///< bit per level 16-31
@@ -73,6 +80,11 @@ class IntervalTimer
 
     static constexpr uint32_t runBit = 1;
     static constexpr uint32_t intEnableBit = 1 << 6;
+
+    /** @{ Checkpoint/restore. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     uint32_t iccs_ = 0;

@@ -1,0 +1,310 @@
+#include "driver/checkpoint.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+
+#include "driver/sim_pool.hh"
+#include "support/logging.hh"
+#include "support/snapshot.hh"
+
+namespace vax
+{
+
+namespace
+{
+
+/** Parse a flag value as a positive integer, fatal on garbage. */
+uint64_t
+parseCount(const char *flag, const char *val)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(val, &end, 0);
+    if (errno || end == val || *end || !v)
+        fatal("%s: '%s' is not a positive count", flag, val);
+    return v;
+}
+
+/** Parse a flag value as a positive duration in seconds. */
+double
+parseSeconds(const char *flag, const char *val)
+{
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(val, &end);
+    if (errno || end == val || *end || !(v > 0.0))
+        fatal("%s: '%s' is not a positive duration in seconds",
+              flag, val);
+    return v;
+}
+
+/**
+ * Strip "--<name> V" / "--<name>=V" from argv; @return the value via
+ * @p val and whether the flag was seen.  A valued flag with no value
+ * is fatal rather than silently eating the next positional.
+ */
+bool
+parseValueFlag(int *argc, char **argv, const char *name,
+               std::string *val)
+{
+    std::string flag = std::string("--") + name;
+    std::string pref = flag + "=";
+    bool have = false;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *arg = argv[i];
+        if (flag == arg) {
+            if (i + 1 >= *argc)
+                fatal("%s requires a value", flag.c_str());
+            *val = argv[++i];
+            have = true;
+        } else if (std::strncmp(arg, pref.c_str(), pref.size()) == 0) {
+            *val = arg + pref.size();
+            have = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argv[out] = nullptr;
+    *argc = out;
+    return have;
+}
+
+/** Job-name characters that survive into a checkpoint filename. */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string s;
+    for (char c : name)
+        s += (std::isalnum(static_cast<unsigned char>(c)) ||
+              c == '-' || c == '_')
+            ? c
+            : '_';
+    return s.empty() ? std::string("job") : s;
+}
+
+std::string
+jobFile(const CheckpointConfig &ck, size_t index,
+        const std::string &name, const char *ext)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "job%03zu-", index);
+    return ck.dir + "/" + buf + sanitizeName(name) + ext;
+}
+
+} // anonymous namespace
+
+CheckpointConfig
+CheckpointConfig::parseFlags(int *argc, char **argv)
+{
+    CheckpointConfig ck;
+    std::string val;
+    if (parseValueFlag(argc, argv, "checkpoint-dir", &val)) {
+        if (val.empty())
+            fatal("--checkpoint-dir requires a directory path");
+        ck.dir = val;
+    }
+    bool have_interval =
+        parseValueFlag(argc, argv, "checkpoint-interval", &val);
+    if (have_interval)
+        ck.intervalCycles =
+            parseCount("--checkpoint-interval", val.c_str());
+    ck.resume = parseBoolFlag(argc, argv, "resume");
+    if (!ck.enabled()) {
+        if (have_interval)
+            fatal("--checkpoint-interval is meaningless without "
+                  "--checkpoint-dir");
+        if (ck.resume)
+            fatal("--resume needs --checkpoint-dir to know where the "
+                  "interrupted run left its checkpoints");
+    }
+    return ck;
+}
+
+RunLimits
+parseLimitsFlags(int *argc, char **argv)
+{
+    RunLimits limits;
+    std::string val;
+    if (parseValueFlag(argc, argv, "watchdog-cycles", &val))
+        limits.watchdogCycles =
+            parseCount("--watchdog-cycles", val.c_str());
+    if (parseValueFlag(argc, argv, "job-timeout", &val))
+        limits.timeoutSeconds =
+            parseSeconds("--job-timeout", val.c_str());
+    return limits;
+}
+
+std::string
+checkpointPath(const CheckpointConfig &ck, size_t index,
+               const std::string &name)
+{
+    return jobFile(ck, index, name, ".ckpt");
+}
+
+std::string
+resultPath(const CheckpointConfig &ck, size_t index,
+           const std::string &name)
+{
+    return jobFile(ck, index, name, ".result");
+}
+
+std::string
+manifestPath(const CheckpointConfig &ck)
+{
+    return ck.dir + "/manifest.ckpt";
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+void
+ensureCheckpointDir(const CheckpointConfig &ck)
+{
+    if (::mkdir(ck.dir.c_str(), 0777) == 0 || errno == EEXIST)
+        return;
+    fatal("cannot create checkpoint directory '%s': %s",
+          ck.dir.c_str(), std::strerror(errno));
+}
+
+bool
+writeResultFile(const std::string &path, const ExperimentResult &r)
+{
+    snap::Serializer s;
+    s.beginSection("result.meta");
+    s.putString(r.name);
+    s.putDouble(r.wallSeconds);
+    s.putDouble(r.startSeconds);
+    s.putU32(r.worker);
+    s.putU32(r.retries);
+    s.putU64(r.resumeCycle);
+    s.putDouble(r.retryWallSeconds);
+    s.endSection();
+
+    s.beginSection("result.hist");
+    r.hist.save(s);
+    s.endSection();
+
+    s.beginSection("result.hw");
+    r.hw.counters.save(s);
+    r.hw.cache.save(s);
+    r.hw.tb.save(s);
+    s.putU64(r.hw.faults.parityErrors);
+    s.putU64(r.hw.faults.tbCorruptions);
+    s.putU64(r.hw.faults.sbiTimeouts);
+    s.putU64(r.hw.faults.machineChecks);
+    s.putU64(r.hw.faults.cacheDisables);
+    s.putU64(r.hw.faults.osMachineChecks);
+    s.putU64(r.hw.ibLongwordFetches);
+    s.putU64(r.hw.dataReads);
+    s.putU64(r.hw.dataWrites);
+    s.putU64(r.hw.terminalLinesIn);
+    s.putU64(r.hw.terminalLinesOut);
+    s.putU64(r.hw.diskTransfers);
+    s.endSection();
+    return s.writeFile(path);
+}
+
+bool
+readResultFile(const std::string &path, ExperimentResult *out)
+{
+    if (!fileExists(path))
+        return false;
+    snap::Deserializer d = snap::Deserializer::fromFile(path);
+    ExperimentResult r;
+    d.beginSection("result.meta");
+    r.name = d.getString();
+    r.wallSeconds = d.getDouble();
+    r.startSeconds = d.getDouble();
+    r.worker = d.getU32();
+    r.retries = d.getU32();
+    r.resumeCycle = d.getU64();
+    r.retryWallSeconds = d.getDouble();
+    d.endSection();
+
+    d.beginSection("result.hist");
+    r.hist.restore(d);
+    d.endSection();
+
+    d.beginSection("result.hw");
+    r.hw.counters.restore(d);
+    r.hw.cache.restore(d);
+    r.hw.tb.restore(d);
+    r.hw.faults.parityErrors = d.getU64();
+    r.hw.faults.tbCorruptions = d.getU64();
+    r.hw.faults.sbiTimeouts = d.getU64();
+    r.hw.faults.machineChecks = d.getU64();
+    r.hw.faults.cacheDisables = d.getU64();
+    r.hw.faults.osMachineChecks = d.getU64();
+    r.hw.ibLongwordFetches = d.getU64();
+    r.hw.dataReads = d.getU64();
+    r.hw.dataWrites = d.getU64();
+    r.hw.terminalLinesIn = d.getU64();
+    r.hw.terminalLinesOut = d.getU64();
+    r.hw.diskTransfers = d.getU64();
+    d.endSection();
+    d.finish();
+    *out = std::move(r);
+    return true;
+}
+
+void
+writeManifest(const CheckpointConfig &ck,
+              const std::vector<SimJob> &jobs)
+{
+    snap::Serializer s;
+    s.beginSection("pool.manifest");
+    s.putU64(jobs.size());
+    for (const SimJob &j : jobs) {
+        s.putString(j.profile.name);
+        s.putU64(j.profile.seed);
+        s.putU64(j.sim.seed);
+        s.putU64(j.cycles);
+        s.putU64(j.weight);
+    }
+    s.endSection();
+    if (!s.writeFile(manifestPath(ck)))
+        fatal("cannot write checkpoint manifest to '%s'",
+              ck.dir.c_str());
+}
+
+void
+checkManifest(const CheckpointConfig &ck,
+              const std::vector<SimJob> &jobs)
+{
+    std::string path = manifestPath(ck);
+    if (!fileExists(path))
+        fatal("--resume: no manifest in '%s' (nothing to resume -- "
+              "was the directory ever used for a checkpointed run?)",
+              ck.dir.c_str());
+    try {
+        snap::Deserializer d = snap::Deserializer::fromFile(path);
+        d.beginSection("pool.manifest");
+        d.expectU64(jobs.size(), "job count");
+        for (const SimJob &j : jobs) {
+            std::string name = d.getString();
+            if (name != j.profile.name)
+                fatal("--resume: manifest job '%s' does not match "
+                      "this run's job '%s' (different composite)",
+                      name.c_str(), j.profile.name.c_str());
+            d.expectU64(j.profile.seed, "workload seed");
+            d.expectU64(j.sim.seed, "machine seed");
+            d.expectU64(j.cycles, "cycle budget");
+            d.expectU64(j.weight, "job weight");
+        }
+        d.endSection();
+        d.finish();
+    } catch (const snap::SnapshotError &e) {
+        fatal("--resume: %s", e.what());
+    }
+}
+
+} // namespace vax

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Pool-level checkpoint/recovery plumbing.
+ *
+ * The snapshot layer (support/snapshot.hh) knows how to freeze one
+ * Experiment; this module decides *when* and *where*.  A checkpointed
+ * pool run keeps, per job, a rolling "<dir>/jobNNN-<name>.ckpt"
+ * snapshot refreshed every intervalCycles, plus a
+ * "<dir>/jobNNN-<name>.result" file once the job completes.  A
+ * manifest fingerprinting the whole job list guards --resume: a
+ * killed process restarted with --resume skips completed jobs via
+ * their .result files and restores running ones from their .ckpt
+ * files, but only after the manifest proves it is the same composite.
+ *
+ * Everything here is best-effort durable and fail-loud: a checkpoint
+ * that cannot be written warns (the run continues, merely less
+ * resumable), while resuming against a missing or mismatched manifest
+ * is fatal -- silently re-running a different composite would be a
+ * measurement error, not a convenience.
+ */
+
+#ifndef UPC780_DRIVER_CHECKPOINT_HH
+#define UPC780_DRIVER_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/experiments.hh"
+
+namespace vax
+{
+
+struct SimJob;
+
+/** Where and how often pooled jobs checkpoint (off by default). */
+struct CheckpointConfig
+{
+    /** Checkpoint directory; empty disables checkpointing. */
+    std::string dir;
+    /** Cycles between rolling checkpoints of a running job. */
+    uint64_t intervalCycles = 250'000;
+    /** Resume a previously interrupted run from dir's manifest. */
+    bool resume = false;
+
+    bool enabled() const { return !dir.empty(); }
+
+    /**
+     * Strip --checkpoint-dir PATH, --checkpoint-interval N and
+     * --resume from argv (updating *argc, same contract as
+     * parseJobsFlag).  Malformed values and options that only make
+     * sense together (--resume without a directory) are fatal, so a
+     * typo cannot silently run an unresumable experiment.
+     */
+    static CheckpointConfig parseFlags(int *argc, char **argv);
+};
+
+/**
+ * Strip --watchdog-cycles N and --job-timeout SECONDS from argv and
+ * return them as RunLimits (zero fields = flag absent).  Malformed
+ * values are fatal, matching the --faults contract.
+ */
+RunLimits parseLimitsFlags(int *argc, char **argv);
+
+/** @{ Checkpoint-file naming for job @p index named @p name (the name
+ *  is sanitized for the filesystem; the index keeps duplicates
+ *  distinct). */
+std::string checkpointPath(const CheckpointConfig &ck, size_t index,
+                           const std::string &name);
+std::string resultPath(const CheckpointConfig &ck, size_t index,
+                       const std::string &name);
+std::string manifestPath(const CheckpointConfig &ck);
+/** @} */
+
+/** True when @p path exists and is readable. */
+bool fileExists(const std::string &path);
+
+/** Create the checkpoint directory if needed (fatal on failure). */
+void ensureCheckpointDir(const CheckpointConfig &ck);
+
+/**
+ * Persist a completed job's measurements so --resume can skip the
+ * job entirely.  @return False (with warn) on I/O failure.
+ */
+bool writeResultFile(const std::string &path,
+                     const ExperimentResult &r);
+
+/**
+ * Load a completed job's .result file into @p out.  @return False
+ * when the file is absent; damage in a file that *is* present raises
+ * SnapshotError (a half-read result must not be merged).
+ */
+bool readResultFile(const std::string &path, ExperimentResult *out);
+
+/** Write the job-list manifest for a fresh checkpointed run
+ *  (fatal on I/O failure -- without it the run cannot be resumed). */
+void writeManifest(const CheckpointConfig &ck,
+                   const std::vector<SimJob> &jobs);
+
+/**
+ * Verify that dir's manifest describes exactly @p jobs (count, names,
+ * seeds, cycle budgets, weights).  Fatal on a missing manifest or any
+ * mismatch: --resume against a different composite is refused, never
+ * papered over.
+ */
+void checkManifest(const CheckpointConfig &ck,
+                   const std::vector<SimJob> &jobs);
+
+} // namespace vax
+
+#endif // UPC780_DRIVER_CHECKPOINT_HH

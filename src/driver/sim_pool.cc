@@ -6,10 +6,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <thread>
 
+#include "support/interrupt.hh"
 #include "support/logging.hh"
 #include "support/sim_error.hh"
+#include "support/snapshot.hh"
 #include "support/trace.hh"
 
 namespace vax
@@ -50,12 +53,90 @@ emitHeartbeat(size_t done, size_t total, double elapsed)
 }
 
 /**
+ * Chunk size when checkpointing is off: small enough that a drain
+ * request is noticed promptly, large enough that the per-chunk
+ * bookkeeping (one branch, one relaxed atomic load) is invisible
+ * next to simulating 64k machine cycles.  Chunk boundaries never
+ * change the simulated cycle stream, so any value is
+ * byte-transparent.
+ */
+constexpr uint64_t drainChunkCycles = 65536;
+
+/**
+ * One execution attempt of a job, chunked so the experiment can be
+ * checkpointed between chunks and drained on an interrupt request.
+ *
+ * @param ckpt_path   Rolling checkpoint file ("" = checkpointing off).
+ * @param try_restore Resume from ckpt_path when it exists (retry
+ *                    after a failure, or --resume of a killed run).
+ *                    An unreadable checkpoint falls back, loudly, to
+ *                    a fresh run -- a damaged best-effort file should
+ *                    cost the saved cycles, not the job.
+ * @param clear_trip  Disarm a RunLimits::tripCycle recovery drill
+ *                    after a successful restore (the checkpointed-
+ *                    retry path the drill exists to exercise).
+ */
+ExperimentResult
+runJobAttempt(const SimJob &job, const std::string &ckpt_path,
+              uint64_t interval, bool try_restore, bool clear_trip)
+{
+    auto make = [&job] {
+        return std::make_unique<Experiment>(job.profile, job.cycles,
+                                            job.sim, job.vms,
+                                            job.limits);
+    };
+    std::unique_ptr<Experiment> exp = make();
+    uint64_t resume_cycle = 0;
+    if (try_restore && !ckpt_path.empty() && fileExists(ckpt_path)) {
+        try {
+            exp->restoreFile(ckpt_path);
+            resume_cycle = exp->cycle();
+            if (clear_trip)
+                exp->clearTrip();
+            TRACE(Pool, "job '%s' restored from checkpoint at "
+                  "cycle %llu",
+                  job.profile.name.c_str(),
+                  static_cast<unsigned long long>(resume_cycle));
+        } catch (const snap::SnapshotError &e) {
+            warn("pool: checkpoint '%s' unusable (%s); job '%s' "
+                 "restarts from its seed",
+                 ckpt_path.c_str(), e.what(),
+                 job.profile.name.c_str());
+            // A partially applied restore is not a valid machine:
+            // rebuild from scratch.
+            exp = make();
+            resume_cycle = 0;
+        }
+    }
+    const uint64_t chunk =
+        ckpt_path.empty() ? drainChunkCycles
+                          : std::max<uint64_t>(interval, 1);
+    bool interrupted = false;
+    while (!exp->runChunk(chunk)) {
+        if (!ckpt_path.empty())
+            exp->saveFile(ckpt_path);
+        if (interrupt::requested()) {
+            // The checkpoint just written is the final one; the
+            // partial result below carries the interrupted marker.
+            interrupted = true;
+            break;
+        }
+    }
+    ExperimentResult r = exp->takeResult();
+    r.resumeCycle = resume_cycle;
+    r.interrupted = interrupted;
+    return r;
+}
+
+/**
  * Run one job with pool bookkeeping.  When tracing is on, the job's
  * lines collect in a per-job buffer flushed in one write at the end,
  * so concurrent jobs' traces never interleave.
  */
 ExperimentResult
-runPooledJob(const SimJob &job, unsigned worker, Clock::time_point t0)
+runPooledJob(const SimJob &job, unsigned worker, Clock::time_point t0,
+             const std::string &ckpt_path, uint64_t interval,
+             bool try_restore, bool clear_trip)
 {
     trace::BufferSink buf;
     const bool buffering = trace::anyEnabled();
@@ -65,7 +146,11 @@ runPooledJob(const SimJob &job, unsigned worker, Clock::time_point t0)
     double start = secondsSince(t0);
     TRACE(Pool, "job '%s' start (worker %u)",
           job.profile.name.c_str(), worker);
-    ExperimentResult r = runJob(job);
+    auto a0 = Clock::now();
+    ExperimentResult r =
+        runJobAttempt(job, ckpt_path, interval, try_restore,
+                      clear_trip);
+    r.wallSeconds = secondsSince(a0);
     r.startSeconds = start;
     r.worker = worker;
     TRACE(Pool, "job '%s' done: %.2fs wall",
@@ -78,23 +163,38 @@ runPooledJob(const SimJob &job, unsigned worker, Clock::time_point t0)
 /**
  * Guarded variant: a panic()/fatal()/watchdog/timeout inside the job
  * surfaces as a SimError here instead of killing the process.  The
- * job is retried once -- it is pure by-value state, so the retry
- * replays the identical cycle stream and either reproduces the bug
- * deterministically or (for host-side causes like a timeout under
- * load) completes.  A second failure yields a zeroed, failed-marked
+ * job is retried once -- from its last checkpoint when one exists
+ * (the failed attempt's cycles up to that point are kept, and the
+ * recovery cost lands in resumeCycle/retryWallSeconds), else from
+ * its seed (pure by-value state, so the retry replays the identical
+ * cycle stream).  A second failure yields a zeroed, failed-marked
  * result so the siblings' merge is unaffected.
  */
 ExperimentResult
-runGuardedJob(const SimJob &job, unsigned worker, Clock::time_point t0)
+runGuardedJob(const SimJob &job, unsigned worker, Clock::time_point t0,
+              const std::string &ckpt_path, uint64_t interval,
+              bool resume)
 {
+    double retry_wall = 0.0;
     for (unsigned attempt = 0;; ++attempt) {
+        auto a0 = Clock::now();
         try {
             guard::Scope scope(job.profile.name, job.sim.seed);
-            return runPooledJob(job, worker, t0);
+            ExperimentResult r =
+                runPooledJob(job, worker, t0, ckpt_path, interval,
+                             attempt > 0 || resume, attempt > 0);
+            r.retries = attempt;
+            r.retryWallSeconds = retry_wall;
+            return r;
         } catch (const std::exception &e) {
+            retry_wall += secondsSince(a0);
+            bool have_ckpt =
+                !ckpt_path.empty() && fileExists(ckpt_path);
             warn("pool: job '%s' failed (%s)%s",
                  job.profile.name.c_str(), e.what(),
-                 attempt == 0 ? "; retrying once from its seed" : "");
+                 attempt > 0             ? ""
+                 : have_ckpt ? "; retrying from its last checkpoint"
+                             : "; retrying once from its seed");
             if (attempt == 0)
                 continue;
             ExperimentResult r;
@@ -102,6 +202,7 @@ runGuardedJob(const SimJob &job, unsigned worker, Clock::time_point t0)
             r.failed = true;
             r.error = e.what();
             r.retries = attempt;
+            r.retryWallSeconds = retry_wall;
             r.worker = worker;
             r.startSeconds = secondsSince(t0);
             return r;
@@ -166,45 +267,88 @@ SimPool::run(const std::vector<SimJob> &jobs) const
     if (jobs.empty())
         return results;
 
+    const CheckpointConfig &ck = checkpoint_;
+    if (ck.enabled()) {
+        ensureCheckpointDir(ck);
+        // --resume is only honored against the identical job list;
+        // a fresh run stamps the manifest the next resume will check.
+        if (ck.resume)
+            checkManifest(ck, jobs);
+        else
+            writeManifest(ck, jobs);
+    }
+
     unsigned nthreads = workers_;
     if (nthreads > jobs.size())
         nthreads = static_cast<unsigned>(jobs.size());
 
     Clock::time_point t0 = Clock::now();
     const bool progress = progress_;
-    // Strict mode restores fail-fast: no guard scope, so a job's
-    // panic()/fatal() aborts the process as it always did.
-    auto run_one = strict_ ? runPooledJob : runGuardedJob;
+    const bool strict = strict_;
+
+    auto run_one = [&jobs, &results, &ck, strict,
+                    t0](size_t i, unsigned w) {
+        const SimJob &job = jobs[i];
+        std::string cpath, rpath;
+        if (ck.enabled()) {
+            cpath = checkpointPath(ck, i, job.profile.name);
+            rpath = resultPath(ck, i, job.profile.name);
+            // A job the interrupted run already finished is not
+            // re-simulated: its measurements are on disk.
+            if (ck.resume && readResultFile(rpath, &results[i]))
+                return;
+        }
+        // Strict mode restores fail-fast: no guard scope, so a job's
+        // panic()/fatal() aborts the process as it always did.
+        results[i] = strict
+            ? runPooledJob(job, w, t0, cpath, ck.intervalCycles,
+                           ck.resume, false)
+            : runGuardedJob(job, w, t0, cpath, ck.intervalCycles,
+                            ck.resume);
+        if (ck.enabled() && !results[i].failed &&
+            !results[i].interrupted)
+            writeResultFile(rpath, results[i]);
+    };
 
     if (nthreads <= 1) {
-        for (size_t i = 0; i < jobs.size(); ++i) {
-            results[i] = run_one(jobs[i], 0, t0);
+        for (size_t i = 0;
+             i < jobs.size() && !interrupt::requested(); ++i) {
+            run_one(i, 0);
             if (progress)
                 emitHeartbeat(i + 1, jobs.size(), secondsSince(t0));
         }
-        return results;
+    } else {
+        // Dynamic work stealing over the job list: each worker claims
+        // the next unclaimed index.  Completion order varies; result
+        // order does not.  A drain request stops further claims.
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        auto worker = [&jobs, &next, &done, progress, t0,
+                       &run_one](unsigned w) {
+            for (size_t i; !interrupt::requested() &&
+                 (i = next.fetch_add(1)) < jobs.size();) {
+                run_one(i, w);
+                size_t d = done.fetch_add(1) + 1;
+                if (progress)
+                    emitHeartbeat(d, jobs.size(), secondsSince(t0));
+            }
+        };
+        std::vector<std::thread> threads;
+        threads.reserve(nthreads);
+        for (unsigned t = 0; t < nthreads; ++t)
+            threads.emplace_back(worker, t);
+        for (auto &t : threads)
+            t.join();
     }
 
-    // Dynamic work stealing over the job list: each worker claims the
-    // next unclaimed index.  Completion order varies; result order
-    // does not.
-    std::atomic<size_t> next{0};
-    std::atomic<size_t> done{0};
-    auto worker = [&jobs, &results, &next, &done, t0, progress,
-                   run_one](unsigned w) {
-        for (size_t i; (i = next.fetch_add(1)) < jobs.size();) {
-            results[i] = run_one(jobs[i], w, t0);
-            size_t d = done.fetch_add(1) + 1;
-            if (progress)
-                emitHeartbeat(d, jobs.size(), secondsSince(t0));
-        }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(nthreads);
-    for (unsigned t = 0; t < nthreads; ++t)
-        threads.emplace_back(worker, t);
-    for (auto &t : threads)
-        t.join();
+    // Jobs the drain kept from ever starting still need a name and
+    // the interrupted marker so telemetry and merges can see them.
+    if (interrupt::requested())
+        for (size_t i = 0; i < jobs.size(); ++i)
+            if (results[i].name.empty()) {
+                results[i].name = jobs[i].profile.name;
+                results[i].interrupted = true;
+            }
     return results;
 }
 
@@ -225,8 +369,17 @@ computeTelemetry(const std::vector<ExperimentResult> &results)
         j.instructions = r.hw.counters.instructions;
         j.failed = r.failed;
         j.error = r.error;
+        j.retries = r.retries;
+        j.resumeCycle = r.resumeCycle;
+        j.retryWallSeconds = r.retryWallSeconds;
+        j.interrupted = r.interrupted;
         if (r.failed)
             ++t.failedJobs;
+        if (r.retries)
+            ++t.retriedJobs;
+        if (r.interrupted)
+            ++t.interruptedJobs;
+        t.retryWallSeconds += r.retryWallSeconds;
         t.simCycles += j.simCycles;
         t.instructions += j.instructions;
         if (i == 0 || r.startSeconds < first_start)
@@ -263,8 +416,19 @@ PoolTelemetry::summary() const
                   jobs.size(), wallSeconds, cyclesPerSecond() / 1e6,
                   kips());
     std::string s = buf;
+    if (retriedJobs) {
+        std::snprintf(buf, sizeof(buf),
+                      ", %u retried (%.2fs lost)", retriedJobs,
+                      retryWallSeconds);
+        s += buf;
+    }
     if (failedJobs) {
         std::snprintf(buf, sizeof(buf), ", %u FAILED", failedJobs);
+        s += buf;
+    }
+    if (interruptedJobs) {
+        std::snprintf(buf, sizeof(buf), ", %u INTERRUPTED",
+                      interruptedJobs);
         s += buf;
     }
     return s;
@@ -282,14 +446,33 @@ writeChromeTrace(const std::string &path,
     std::fprintf(f, "{\"traceEvents\":[\n");
     for (size_t i = 0; i < results.size(); ++i) {
         const ExperimentResult &r = results[i];
+        // Recovery-cost args only when nonzero, so a clean run's
+        // trace is unchanged.
+        std::string extra;
+        char buf[96];
+        if (r.retries) {
+            std::snprintf(buf, sizeof(buf),
+                          ",\"retries\":%u,\"retryWallSeconds\":%.3f",
+                          r.retries, r.retryWallSeconds);
+            extra += buf;
+        }
+        if (r.resumeCycle) {
+            std::snprintf(buf, sizeof(buf), ",\"resumeCycle\":%llu",
+                          static_cast<unsigned long long>(
+                              r.resumeCycle));
+            extra += buf;
+        }
+        if (r.interrupted)
+            extra += ",\"interrupted\":true";
         std::fprintf(f,
                      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.0f,"
                      "\"dur\":%.0f,\"pid\":1,\"tid\":%u,"
-                     "\"args\":{\"simCycles\":%llu}}%s\n",
+                     "\"args\":{\"simCycles\":%llu%s}}%s\n",
                      r.name.c_str(), r.startSeconds * 1e6,
                      r.wallSeconds * 1e6, r.worker + 1,
                      static_cast<unsigned long long>(
                          r.hw.counters.cycles),
+                     extra.c_str(),
                      i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "]}\n");
@@ -306,7 +489,10 @@ SimPool::runComposite(const std::vector<SimJob> &jobs) const
     uint64_t lost_weight = 0;
     for (size_t i = 0; i < results.size(); ++i) {
         total_weight += jobs[i].weight;
-        if (results[i].failed) {
+        // Interrupted jobs are partial measurements: like failed
+        // ones, they stay out of the merge (but keep their marker in
+        // parts so the caller can report them).
+        if (results[i].failed || results[i].interrupted) {
             lost_weight += jobs[i].weight;
         } else {
             comp.hist.merge(results[i].hist, jobs[i].weight);
@@ -319,14 +505,15 @@ SimPool::runComposite(const std::vector<SimJob> &jobs) const
         // valid weighted measurement, but it is NOT the number the
         // caller asked for.
         warn("pool: composite renormalized over surviving weight "
-             "%llu of %llu -- %u job(s) failed; absolute totals cover "
-             "the survivors only, ratio stats remain comparable",
+             "%llu of %llu -- %u job(s) failed or interrupted; "
+             "absolute totals cover the survivors only, ratio stats "
+             "remain comparable",
              static_cast<unsigned long long>(total_weight - lost_weight),
              static_cast<unsigned long long>(total_weight),
              static_cast<unsigned>(
                  std::count_if(comp.parts.begin(), comp.parts.end(),
                                [](const ExperimentResult &r) {
-                                   return r.failed;
+                                   return r.failed || r.interrupted;
                                })));
     }
     return comp;

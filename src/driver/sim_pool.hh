@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cpu/cpu.hh"
+#include "driver/checkpoint.hh"
 #include "os/vms.hh"
 #include "workload/experiments.hh"
 #include "workload/profile.hh"
@@ -46,6 +47,12 @@ struct JobTelemetry
     uint64_t instructions = 0; ///< instructions retired
     bool failed = false;       ///< job raised a SimError (after retry)
     std::string error;         ///< final failure description
+    /** @{ Recovery cost, all zero for a clean first-try run. */
+    unsigned retries = 0;          ///< attempts thrown away
+    uint64_t resumeCycle = 0;      ///< cycle the kept attempt started at
+    double retryWallSeconds = 0.0; ///< host time burned in lost attempts
+    bool interrupted = false;      ///< abandoned by a graceful drain
+    /** @} */
 };
 
 /**
@@ -62,6 +69,12 @@ struct PoolTelemetry
     uint64_t simCycles = 0;
     uint64_t instructions = 0;
     unsigned failedJobs = 0; ///< jobs that failed even after retry
+    /** @{ Recovery cost across the run (zero when nothing went
+     *  wrong, so clean summaries are unchanged). */
+    unsigned retriedJobs = 0;      ///< jobs that needed a retry
+    unsigned interruptedJobs = 0;  ///< jobs abandoned by a drain
+    double retryWallSeconds = 0.0; ///< total host time lost to retries
+    /** @} */
 
     /** Simulated machine cycles per host second (0 when un-timed). */
     double cyclesPerSecond() const;
@@ -134,15 +147,34 @@ class SimPool
     void setStrict(bool on) { strict_ = on; }
     bool strict() const { return strict_; }
 
+    /** @{ Checkpointed recovery: when a checkpoint directory is
+     *  configured, every running job keeps a rolling snapshot there
+     *  (refreshed each intervalCycles), a SimError retry restores
+     *  from the job's last checkpoint instead of replaying from its
+     *  seed, completed jobs persist their measurements, and a
+     *  resume() run of the identical job list (manifest-verified)
+     *  continues an interrupted composite where it stopped. */
+    void setCheckpoint(const CheckpointConfig &ck) { checkpoint_ = ck; }
+    const CheckpointConfig &checkpoint() const { return checkpoint_; }
+    /** @} */
+
     /**
      * Run all jobs, at most workers() at a time.
      *
      * Unless strict() is set, each job runs guarded: a panic(),
-     * fatal(), watchdog or timeout inside the job becomes a SimError,
-     * the job is deterministically retried once from its seed (the
-     * job is pure by-value state, so the retry replays the identical
-     * cycle stream), and a second failure marks the result failed
-     * instead of taking down the siblings.
+     * fatal(), watchdog or timeout inside the job becomes a SimError
+     * and the job is deterministically retried once -- from its last
+     * checkpoint when checkpointing is on (the recovery cost lands in
+     * the result's resumeCycle/retryWallSeconds), else from its seed
+     * (the job is pure by-value state, so the retry replays the
+     * identical cycle stream).  A second failure marks the result
+     * failed instead of taking down the siblings.
+     *
+     * An interrupt request (SIGINT/SIGTERM via interrupt::install,
+     * or interrupt::request in tests) drains the pool gracefully:
+     * running jobs stop at the next chunk boundary behind a final
+     * checkpoint, unstarted jobs are never claimed, and every
+     * unfinished result is marked interrupted.
      *
      * @return Results in job order, independent of completion order.
      */
@@ -155,7 +187,8 @@ class SimPool
      * are commutative counter sums, the composite is bit-identical
      * to a serial run at any worker count.
      *
-     * Failed jobs are excluded from the merge: the composite is
+     * Failed and interrupted jobs are excluded from the merge: the
+     * composite is
      * renormalized over the surviving parts (loudly warned), so the
      * absolute totals cover the survivors only while ratio-style
      * stats (CPI, miss ratios) remain comparable.
@@ -169,6 +202,7 @@ class SimPool
     unsigned workers_;
     bool progress_;
     bool strict_;
+    CheckpointConfig checkpoint_;
 };
 
 /** The paper's five workloads as a job list (weight 1 each). */

@@ -27,6 +27,7 @@ namespace vax
 {
 
 namespace stats { class Registry; }
+namespace snap { class Serializer; class Deserializer; }
 
 class FaultInjector;
 
@@ -61,6 +62,11 @@ struct CacheStats
 
     /** Mirror every counter into the registry under prefix. */
     void regStats(stats::Registry &r, const std::string &prefix) const;
+
+    /** @{ Checkpoint/restore. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 };
 
 class Cache
@@ -105,6 +111,12 @@ class Cache
 
     uint32_t numSets() const { return sets_; }
     uint32_t numWays() const { return ways_; }
+
+    /** @{ Checkpoint/restore: tags, replacement RNG, parity-disable
+     *  state and stats (geometry is config, checked only). */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     struct Line

@@ -45,6 +45,8 @@
 namespace vax
 {
 
+namespace snap { class Serializer; class Deserializer; }
+
 /** Status of an EBOX data-stream access. */
 enum class MemStatus : uint8_t {
     Ok,              ///< completed this cycle (data valid for reads)
@@ -165,6 +167,14 @@ class MemSystem
 
     /** Register this subsystem (and every component) under prefix. */
     void regStats(stats::Registry &r, const std::string &prefix) const;
+
+    /** @{ Checkpoint/restore of the whole memory subsystem: physical
+     *  memory, cache, TB, write buffer, SBI, in-flight fill/write
+     *  bookkeeping and the fault injector's schedule position.  IO
+     *  write hooks are wiring (re-registered by the harness). */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     enum class FillKind : uint8_t { None, Ebox, Ib };

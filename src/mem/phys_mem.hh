@@ -14,6 +14,8 @@
 namespace vax
 {
 
+namespace snap { class Serializer; class Deserializer; }
+
 /**
  * The machine's physical memory.
  *
@@ -37,6 +39,12 @@ class PhysicalMemory
 
     /** Bulk-load an image (used by the OS loader). */
     void load(PhysAddr pa, const std::vector<uint8_t> &image);
+
+    /** @{ Checkpoint/restore.  Mostly-zero pages compress well, so
+     *  the image is stored run-length encoded. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     std::vector<uint8_t> data_;

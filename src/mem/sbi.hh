@@ -20,6 +20,8 @@
 namespace vax
 {
 
+namespace snap { class Serializer; class Deserializer; }
+
 class Sbi
 {
   public:
@@ -63,6 +65,11 @@ class Sbi
         r.addScalar(prefix + ".transactions",
                     "cache-fill transactions carried", &transactions_);
     }
+
+    /** @{ Checkpoint/restore (the injector pointer is wiring). */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     uint32_t remaining_ = 0;

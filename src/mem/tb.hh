@@ -25,6 +25,7 @@ namespace vax
 {
 
 namespace stats { class Registry; }
+namespace snap { class Serializer; class Deserializer; }
 
 class FaultInjector;
 
@@ -64,6 +65,11 @@ struct TbStats
 
     /** Mirror every counter into the registry under prefix. */
     void regStats(stats::Registry &r, const std::string &prefix) const;
+
+    /** @{ Checkpoint/restore. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 };
 
 class TranslationBuffer
@@ -102,6 +108,11 @@ class TranslationBuffer
 
     /** Register stats and derived miss ratios under prefix. */
     void regStats(stats::Registry &r, const std::string &prefix) const;
+
+    /** @{ Checkpoint/restore: both entry halves and the stats. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     struct Entry

@@ -19,6 +19,8 @@
 namespace vax
 {
 
+namespace snap { class Serializer; class Deserializer; }
+
 class WriteBuffer
 {
   public:
@@ -51,6 +53,11 @@ class WriteBuffer
                     "writes accepted by the one-longword buffer",
                     &writesAccepted_);
     }
+
+    /** @{ Checkpoint/restore. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     uint32_t remaining_ = 0;

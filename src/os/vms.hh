@@ -26,6 +26,8 @@
 namespace vax
 {
 
+namespace snap { class Serializer; class Deserializer; }
+
 /** A user program image to load as a process (P0 space, base 0). */
 struct UserProgram
 {
@@ -100,6 +102,15 @@ class VmsLite
 
     /** Physical address of process p's P0 image (for host checks). */
     PhysAddr processImagePa(unsigned p) const;
+
+    /** @{ Checkpoint/restore.  All kernel state lives in guest
+     *  physical memory (saved with the machine); the host side is a
+     *  deterministic function of boot(), so this records only a
+     *  layout fingerprint and verifies it on restore -- a snapshot
+     *  taken under one kernel build cannot be resumed under another. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     void buildKernel();

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "support/logging.hh"
+#include "support/snapshot.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
 
@@ -226,6 +227,38 @@ FaultInjector::takeMachineCheck()
               mcheckCauseName(c));
     }
     return c;
+}
+
+void
+FaultInjector::save(snap::Serializer &s) const
+{
+    // The config (rates, schedule, seed) is part of the machine's
+    // construction; only the draw position is state.
+    s.putU64(rng_.state());
+    s.putU64(cycle_);
+    s.putU64(nextParityCycle_);
+    s.putU8(static_cast<uint8_t>(pending_));
+    s.putU64(stats_.parityErrors);
+    s.putU64(stats_.tbCorruptions);
+    s.putU64(stats_.sbiTimeouts);
+    s.putU64(stats_.machineChecks);
+    s.putU64(stats_.cacheDisables);
+    s.putU64(stats_.osMachineChecks);
+}
+
+void
+FaultInjector::restore(snap::Deserializer &d)
+{
+    rng_.setState(d.getU64());
+    cycle_ = d.getU64();
+    nextParityCycle_ = static_cast<size_t>(d.getU64());
+    pending_ = static_cast<McheckCause>(d.getU8());
+    stats_.parityErrors = d.getU64();
+    stats_.tbCorruptions = d.getU64();
+    stats_.sbiTimeouts = d.getU64();
+    stats_.machineChecks = d.getU64();
+    stats_.cacheDisables = d.getU64();
+    stats_.osMachineChecks = d.getU64();
 }
 
 } // namespace vax

@@ -32,6 +32,7 @@ namespace vax
 {
 
 namespace stats { class Registry; }
+namespace snap { class Serializer; class Deserializer; }
 
 /** Machine-check cause codes (pushed to the guest handler). */
 enum class McheckCause : uint8_t {
@@ -156,6 +157,13 @@ class FaultInjector
 
     const FaultStats &stats() const { return stats_; }
     const FaultConfig &config() const { return cfg_; }
+
+    /** @{ Checkpoint/restore: RNG state, cycle clock, schedule
+     *  position, pending check and stats -- a restored machine sees
+     *  the identical remaining fault schedule. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     FaultConfig cfg_;

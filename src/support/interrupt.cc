@@ -1,0 +1,51 @@
+#include "support/interrupt.hh"
+
+#include <atomic>
+#include <csignal>
+
+namespace vax::interrupt
+{
+
+namespace
+{
+
+std::atomic<bool> g_requested{false};
+
+extern "C" void
+handleSignal(int)
+{
+    // Async-signal-safe: one relaxed store, nothing else.  The second
+    // signal falls through to the default disposition (see install).
+    g_requested.store(true, std::memory_order_relaxed);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+}
+
+} // anonymous namespace
+
+void
+install()
+{
+    std::signal(SIGINT, handleSignal);
+    std::signal(SIGTERM, handleSignal);
+}
+
+bool
+requested()
+{
+    return g_requested.load(std::memory_order_relaxed);
+}
+
+void
+request()
+{
+    g_requested.store(true, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    g_requested.store(false, std::memory_order_relaxed);
+}
+
+} // namespace vax::interrupt

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Graceful SIGINT/SIGTERM handling for long measurement runs.
+ *
+ * A pooled composite can spend minutes to hours simulating; before
+ * this module existed, Ctrl-C threw every simulated cycle away.  Now
+ * the drivers install a handler that only sets a flag; the experiment
+ * loop polls it at its RTE poll boundary (every ~512 cycles), workers
+ * drain to a final checkpoint, and the harness exits with the
+ * conventional 128+SIGINT code after printing a loud INTERRUPTED
+ * marker -- so an interrupted run is a resumable run, not a lost one.
+ *
+ * The flag is process-global and sticky: once requested, every
+ * experiment and pool in the process winds down.  Tests drive the
+ * same path programmatically through request()/reset().
+ */
+
+#ifndef UPC780_SUPPORT_INTERRUPT_HH
+#define UPC780_SUPPORT_INTERRUPT_HH
+
+namespace vax::interrupt
+{
+
+/** Conventional exit status for a SIGINT-terminated run (128 + 2). */
+constexpr int exitCode = 130;
+
+/**
+ * Install the SIGINT/SIGTERM handlers (idempotent).  The handler is
+ * async-signal-safe: it only sets the request flag; all draining and
+ * checkpoint I/O happens on the polling threads.  A second signal
+ * while a drain is in progress restores the default disposition, so
+ * a stuck run can still be killed the ordinary way.
+ */
+void install();
+
+/** True once an interrupt (signal or programmatic) was requested. */
+bool requested();
+
+/** Request an interrupt programmatically (tests, embedding code). */
+void request();
+
+/** Clear the flag (tests only; real runs stay interrupted). */
+void reset();
+
+} // namespace vax::interrupt
+
+#endif // UPC780_SUPPORT_INTERRUPT_HH

@@ -61,6 +61,14 @@ class Rng
      */
     size_t pickWeighted(const std::vector<double> &weights);
 
+    /** @{ Raw generator state, for checkpoint/restore: restoring the
+     *  state restores the exact future draw stream, which is what
+     *  makes a resumed simulation bit-identical to an uninterrupted
+     *  one.  setState() bypasses the constructor's warm-up. */
+    uint64_t state() const { return state_; }
+    void setState(uint64_t s) { state_ = s ? s : 1; }
+    /** @} */
+
   private:
     uint64_t state_;
 };

@@ -15,6 +15,7 @@ simErrorCauseName(SimErrorCause c)
       case SimErrorCause::Fatal:    return "fatal";
       case SimErrorCause::Watchdog: return "watchdog";
       case SimErrorCause::Timeout:  return "timeout";
+      case SimErrorCause::Drill:    return "drill";
     }
     return "?";
 }

@@ -34,6 +34,7 @@ enum class SimErrorCause : uint8_t {
     Fatal,    ///< fatal() fired inside a guarded worker
     Watchdog, ///< no instruction retired within the watchdog window
     Timeout,  ///< per-job wall-clock budget exceeded
+    Drill,    ///< scheduled recovery drill (RunLimits::tripCycle)
 };
 
 /** Printable cause name ("panic", "watchdog", ...). */
@@ -128,6 +129,19 @@ class ForwardProgressWatchdog
         : window_(window_cycles) {}
 
     void poke(uint64_t instructions, uint64_t cycle, uint16_t upc);
+
+    /** @{ Progress-window state, exposed so a checkpoint can carry
+     *  the watchdog across a restore without this header having to
+     *  know about the snapshot layer. */
+    uint64_t lastInstructions() const { return lastInstructions_; }
+    uint64_t lastProgressCycle() const { return lastProgressCycle_; }
+    void
+    restoreProgress(uint64_t instructions, uint64_t cycle)
+    {
+        lastInstructions_ = instructions;
+        lastProgressCycle_ = cycle;
+    }
+    /** @} */
 
   private:
     uint64_t window_;

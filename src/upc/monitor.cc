@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/snapshot.hh"
 #include "support/stats.hh"
 
 namespace vax
@@ -76,6 +77,44 @@ Histogram::regStats(stats::Registry &r, const std::string &prefix) const
                          ? double(h->stalledCycles()) / double(total)
                          : 0.0;
                  });
+}
+
+void
+Histogram::save(snap::Serializer &s) const
+{
+    s.putVecU64(normal);
+    s.putVecU64(stalled);
+}
+
+void
+Histogram::restore(snap::Deserializer &d)
+{
+    std::vector<uint64_t> n = d.getVecU64();
+    std::vector<uint64_t> st = d.getVecU64();
+    if (n.size() != normal.size() || st.size() != stalled.size())
+        throw snap::SnapshotError(
+            "snapshot: histogram bank size mismatch (snapshot from a "
+            "different control-store capacity)");
+    normal = std::move(n);
+    stalled = std::move(st);
+}
+
+void
+UpcMonitor::save(snap::Serializer &s) const
+{
+    s.beginSection("upc.monitor");
+    hist_.save(s);
+    s.putBool(collecting_);
+    s.endSection();
+}
+
+void
+UpcMonitor::restore(snap::Deserializer &d)
+{
+    d.beginSection("upc.monitor");
+    hist_.restore(d);
+    collecting_ = d.getBool();
+    d.endSection();
 }
 
 void

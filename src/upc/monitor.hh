@@ -32,6 +32,8 @@ namespace stats
 class Registry;
 } // namespace stats
 
+namespace snap { class Serializer; class Deserializer; }
+
 /** Raw histogram data: two counter banks. */
 struct Histogram
 {
@@ -65,6 +67,12 @@ struct Histogram
 
     /** Register bank totals and the stall fraction under prefix. */
     void regStats(stats::Registry &r, const std::string &prefix) const;
+
+    /** @{ Checkpoint/restore.  Banks are mostly zeros for short
+     *  runs, so they are stored run-length encoded. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 };
 
 /**
@@ -116,6 +124,11 @@ class UpcMonitor : public CycleSink
     {
         return hist_.stalled[a];
     }
+
+    /** @{ Checkpoint/restore: both banks and the collecting flag. */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** @} */
 
   private:
     Histogram hist_;

@@ -9,6 +9,7 @@
 #ifndef UPC780_WORKLOAD_EXPERIMENTS_HH
 #define UPC780_WORKLOAD_EXPERIMENTS_HH
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "os/vms.hh"
 #include "mem/cache.hh"
 #include "mem/tb.hh"
+#include "support/sim_error.hh"
 #include "upc/monitor.hh"
 #include "workload/profile.hh"
 
@@ -68,6 +70,15 @@ struct ExperimentResult
     std::string error;   ///< SimError::what() of the final failure
     unsigned retries = 0; ///< retry attempts consumed (0 or 1)
     /** @} */
+    /** @{ Recovery cost (pool telemetry).  resumeCycle is the machine
+     *  cycle the successful attempt restarted from (0 = ran from the
+     *  beginning); retryWallSeconds is host time burned in attempts
+     *  that were thrown away.  interrupted marks a job abandoned by a
+     *  graceful-drain request (its measurements are partial). */
+    uint64_t resumeCycle = 0;
+    double retryWallSeconds = 0.0;
+    bool interrupted = false;
+    /** @} */
 };
 
 /**
@@ -81,6 +92,92 @@ struct RunLimits
     uint64_t watchdogCycles = 0;
     /** Wall-clock budget per experiment in seconds (0 = disabled). */
     double timeoutSeconds = 0.0;
+    /** Recovery drill: deliberately raise a SimError at the first
+     *  poll at or after this cycle (0 = disabled).  Models a
+     *  transient host-side failure; the pool's checkpointed retry
+     *  clears it, which is how the checkpoint/recovery tests drive
+     *  the resume path deterministically. */
+    uint64_t tripCycle = 0;
+};
+
+/**
+ * One resumable measurement experiment: a freshly booted machine with
+ * the UPC monitor attached and the RTE injecting terminal traffic.
+ *
+ * Construction reproduces, in order, every deterministic step the
+ * original one-shot runner performed (machine build, process code
+ * generation, boot, initial think-time draws), so a fresh Experiment
+ * is always in the same state as a one-shot run at cycle 0.  The run
+ * loop is exposed in chunks whose boundaries fall only between whole
+ * tick-then-poll iterations -- chunked execution is therefore
+ * bit-identical to a single runChunk(0) call, which is what makes
+ * checkpoint/restore byte-transparent.
+ *
+ * Checkpointing: save() serializes the entire simulation (machine,
+ * monitor, OS fingerprint, RTE clocks and disk queue); restore() must
+ * be called on a freshly constructed Experiment with the same
+ * profile/config (fingerprints verified) and resumes the cycle stream
+ * exactly where save() left it.  Both are valid only between chunks.
+ */
+class Experiment
+{
+  public:
+    Experiment(const WorkloadProfile &profile, uint64_t cycles,
+               const SimConfig &sim, const VmsConfig &vms,
+               const RunLimits &limits = RunLimits());
+
+    /**
+     * Advance the simulation.  Throws SimError on watchdog, timeout
+     * or recovery-drill trips (when inside a guard::Scope).
+     *
+     * @param chunk Max cycles to advance (0 = run to the budget).
+     * @return True once the cycle budget is reached.
+     */
+    bool runChunk(uint64_t chunk = 0);
+
+    bool done() const { return cpu_.cycles() >= cycles_; }
+    uint64_t cycle() const { return cpu_.cycles(); }
+    uint64_t budget() const { return cycles_; }
+
+    /** Disarm a pending recovery drill (checkpointed retry path). */
+    void clearTrip() { limits_.tripCycle = 0; }
+
+    /** @{ Whole-simulation checkpoint (valid between chunks). */
+    void save(snap::Serializer &s) const;
+    void restore(snap::Deserializer &d);
+    /** Checkpoint straight to a file (atomic tmp+rename). */
+    bool saveFile(const std::string &path) const;
+    /** Restore from a file; SnapshotError on damage or mismatch. */
+    void restoreFile(const std::string &path);
+    /** @} */
+
+    /** Collect the measurements; call once, after done(). */
+    ExperimentResult takeResult();
+
+  private:
+    struct DiskOp
+    {
+        uint64_t due;
+        uint32_t proc;
+    };
+
+    uint64_t thinkDraw();
+    void pollRte();
+
+    WorkloadProfile profile_;
+    uint64_t cycles_;
+    RunLimits limits_;
+    Cpu780 cpu_;
+    UpcMonitor monitor_;
+    VmsLite os_;
+    ExperimentResult result_;
+    std::vector<DiskOp> diskQueue_;
+    Rng diskRng_;
+    Rng rte_;
+    std::vector<uint64_t> nextLine_;
+    ForwardProgressWatchdog watchdog_;
+    std::chrono::steady_clock::time_point wallStart_;
+    uint64_t nextPoll_;
 };
 
 /**
