@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "analysis/ulint.hh"
 #include "cpu/cpu.hh"
 #include "driver/checkpoint.hh"
 #include "driver/sim_pool.hh"
@@ -261,17 +262,31 @@ main(int argc, char **argv)
                  comp.hw.cache.readMissesD) / instr,
                 comp.hw.ibLongwordFetches / instr);
 
+    // The static verifier runs over the same control store the
+    // analyzer classifies with; its findings ride along in the
+    // selfcheck output and (when any exist) the stats dump.
+    LintReport lint = lintControlStore(ref.controlStore());
+
     if (selfcheck) {
         SelfCheckReport rep = selfCheckComposite(ref.controlStore(),
                                                  comp);
         std::printf("\n%s\n", rep.summary().c_str());
-        if (!rep.ok())
+        if (lint.clean()) {
+            std::printf("static verifier: clean (%zu microwords, "
+                        "%zu reachable)\n",
+                        lint.words, lint.reachable);
+        } else {
+            std::printf("static verifier: %zu diagnostic(s)\n%s",
+                        lint.diags.size(), lint.text().c_str());
+        }
+        if (!rep.ok() || !lint.clean())
             return 1;
     }
 
     if (!stats_path.empty()) {
         stats::Registry reg;
         registerCompositeStats(reg, comp);
+        regLintStats(lint, reg);
         if (!reg.saveJson(stats_path)) {
             std::fprintf(stderr,
                          "error: cannot write stats JSON to '%s'\n",

@@ -1,5 +1,9 @@
 #include "cpu/cpu.hh"
 
+#include <cstdlib>
+
+#include "analysis/ulint.hh"
+#include "support/logging.hh"
 #include "support/sim_error.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -22,6 +26,14 @@ Cpu780::Cpu780(const SimConfig &cfg)
     // Likewise let guarded-execution errors name the microword that
     // was executing when they fired.
     guard::setMicroPc(ebox_->upcPtr());
+    if (cfg_.strict || std::getenv("UPC780_STRICT") != nullptr) {
+        LintReport lint = lintControlStore(cs_);
+        if (!lint.clean())
+            panic("strict mode: the microcode verifier found %zu "
+                  "diagnostic(s):\n%s",
+                  lint.diags.size(), lint.text().c_str());
+        ebox_->setFlowCheck(true);
+    }
 }
 
 Cpu780::~Cpu780()

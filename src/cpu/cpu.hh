@@ -39,6 +39,15 @@ struct SimConfig
     unsigned timerIpl = 22;
     /** Interrupt level of the terminal multiplexer. */
     unsigned terminalIpl = 21;
+    /**
+     * Strict mode: run the static microcode verifier at construction
+     * (panic on any diagnostic) and validate every executed
+     * micro-transition against the declared flows.  Also enabled by
+     * the UPC780_STRICT environment variable.  Not part of the
+     * snapshot fingerprint: it changes what is checked, never what is
+     * simulated.
+     */
+    bool strict = false;
 };
 
 class Cpu780

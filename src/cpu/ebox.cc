@@ -255,6 +255,10 @@ Ebox::runMicroword()
             emitCycle(cs_.entries.abort, false);
             return;
         }
+        if (flowCheck_ && !w.ann.ibRequest)
+            panic("microword %s (upc=%u) IB-stalled but is not "
+                  "annotated ibRequest",
+                  w.ann.name, static_cast<unsigned>(upc_));
         emitCycle(upc_, true);
         return; // upc_ unchanged: retry next cycle
     }
@@ -271,6 +275,9 @@ Ebox::runMicroword()
         state_ = State::Reissue;
         return;
     }
+
+    if (flowCheck_)
+        checkDeclaredFlow(w);
 
     if (memIssued_ && memStatus_ == MemStatus::Stall) {
         afterMemIsEnd_ = pendingEnd_;
@@ -293,6 +300,50 @@ Ebox::runMicroword()
         return;
     }
     upc_ = resolveNext();
+}
+
+void
+Ebox::checkDeclaredFlow(const MicroWord &w)
+{
+    if (!cs_.flowsResolved())
+        return;
+    const UFlow &f = cs_.flow(upc_);
+    // Trap-return words resume through a trap frame; their successor
+    // is any word that can issue a memory op, so the check skips them.
+    if (f.trapRet)
+        return;
+    const unsigned at = upc_;
+    if (memIssued_) {
+        bool is_write = curOp_.kind == PendingMemOp::Kind::Write;
+        UMemKind want = is_write ? UMemKind::Write : UMemKind::Read;
+        if (w.ann.mem != want)
+            panic("microword %s (upc=%u) issued a %s but is annotated "
+                  "mem=%u", w.ann.name, at,
+                  is_write ? "write" : "read",
+                  static_cast<unsigned>(w.ann.mem));
+    }
+    if (halted_) {
+        if (!f.stop)
+            panic("microword %s (upc=%u) halted without a declared "
+                  "stop edge", w.ann.name, at);
+        return;
+    }
+    if (pendingEnd_) {
+        if (!f.end)
+            panic("microword %s (upc=%u) ended the instruction without "
+                  "a declared end edge", w.ann.name, at);
+        return;
+    }
+    if (seqSet_) {
+        if (!cs_.flowAllows(upc_, nextUpc_))
+            panic("microword %s (upc=%u) jumped to undeclared "
+                  "successor %u", w.ann.name, at,
+                  static_cast<unsigned>(nextUpc_));
+        return;
+    }
+    if (!f.fall)
+        panic("microword %s (upc=%u) fell through without a declared "
+              "fall edge", w.ann.name, at);
 }
 
 // ===================== sequencing services =====================
@@ -353,6 +404,10 @@ Ebox::nextSpecOrExec()
         nextUpc_ = target;
     } else {
         nextUpc_ = cs_.entries.exec[static_cast<size_t>(lat.info->flow)];
+        if (nextUpc_ == kInvalidUAddr)
+            panic("EntryPoints.exec[%s] is unset: opcode %s has no "
+                  "execute-flow microcode", lat.info->mnemonic,
+                  lat.info->mnemonic);
     }
 }
 
@@ -427,6 +482,10 @@ Ebox::decodeOpcode()
         nextUpc_ = target;
     } else {
         nextUpc_ = cs_.entries.exec[static_cast<size_t>(info.flow)];
+        if (nextUpc_ == kInvalidUAddr)
+            panic("EntryPoints.exec[%s] is unset: opcode %s has no "
+                  "execute-flow microcode", info.mnemonic,
+                  info.mnemonic);
     }
     return true;
 }
@@ -486,13 +545,20 @@ Ebox::trySpecDispatch(UAddr *target)
 
     if (indexed) {
         *target = cs_.entries.indexPrefix[pos];
+        if (*target == kInvalidUAddr)
+            panic("EntryPoints.indexPrefix[%u] is unset: no index-"
+                  "prefix routine for position class %u", pos, pos);
     } else {
+        SpecAccClass acc = specAccClass(od.access);
         *target = cs_.entries.spec[static_cast<size_t>(sb.mode)][pos]
-            [static_cast<size_t>(specAccClass(od.access))];
+            [static_cast<size_t>(acc)];
+        if (*target == kInvalidUAddr)
+            panic("EntryPoints.spec[%s][%u][%u] is unset: no specifier "
+                  "routine for mode %s access %u",
+                  addrModeName(sb.mode), pos,
+                  static_cast<unsigned>(acc), addrModeName(sb.mode),
+                  static_cast<unsigned>(od.access));
     }
-    if (*target == 0)
-        panic("no specifier routine for mode %s access %u",
-              addrModeName(sb.mode), static_cast<unsigned>(od.access));
     return true;
 }
 

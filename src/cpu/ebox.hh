@@ -274,6 +274,14 @@ class Ebox
     /** The halted flag (HALT instruction in kernel mode). */
     void setHalted() { halted_ = true; }
 
+    /**
+     * Validate every executed micro-transition against the control
+     * store's declared successor edges (strict mode).  Requires
+     * ControlStore::resolveFlows() to have run; words declared
+     * flowTrapRet() are exempt (their resume point is a trap frame).
+     */
+    void setFlowCheck(bool on) { flowCheck_ = on; }
+
     /** @{ Checkpoint/restore: the complete execution state -- PSL,
      *  GPRs, processor registers, micro-PC, decode latches, trap and
      *  micro-call stacks, in-flight memory-op bookkeeping.  The attached
@@ -316,6 +324,7 @@ class Ebox
     };
 
     void runMicroword();
+    void checkDeclaredFlow(const MicroWord &w);
     UAddr resolveNext();
     UAddr endTarget();
     UAddr handlerFor(TrapKind kind) const;
@@ -336,6 +345,7 @@ class Ebox
 
     State state_ = State::Halted;
     bool halted_ = true;
+    bool flowCheck_ = false;
     UAddr upc_ = 0;          ///< microword being executed / retried
     UAddr afterMem_ = 0;     ///< resume address once a stall resolves
     bool afterMemIsEnd_ = false;

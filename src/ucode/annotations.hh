@@ -95,6 +95,34 @@ struct UAnnotation
     const char *name = "";                  ///< routine/uword label
 };
 
+/** Columns of the paper's Table 8. */
+enum class TimeCol : uint8_t {
+    Compute, Read, RStall, Write, WStall, IbStall, NumCols,
+};
+
+/** Printable name of a Table 8 column. */
+const char *timeColName(TimeCol c);
+
+/**
+ * The (normal, stalled) Table 8 columns a word's histogram banks
+ * classify into, shared between the runtime HistogramAnalyzer and the
+ * static verifier so there is exactly one Row x TimeCol mapping.  A
+ * word that both requests IB bytes and references memory
+ * (displacement-mode operand fetch) has its stalled bank attributed
+ * to the memory column: the two-bank board cannot split it, exactly
+ * as on the real monitor.  stallLegal is false for words that neither
+ * reference memory nor request IB bytes -- a stalled count there is a
+ * simulator bug.
+ */
+struct TimeColPair
+{
+    TimeCol normal;
+    TimeCol stalled;
+    bool stallLegal;
+};
+
+TimeColPair timeColsFor(const UAnnotation &ann);
+
 } // namespace vax
 
 #endif // UPC780_UCODE_ANNOTATIONS_HH

@@ -10,6 +10,13 @@
  *
  * Micro-branch targets are label ids resolved through the store's
  * label table, so forward references inside a routine are cheap.
+ *
+ * Because the semantic action is an opaque callable, every microword
+ * also carries an explicit successor declaration (UFlow): the set of
+ * micro-CFG edges its action may take.  The declarations are what the
+ * static verifier (src/analysis) lints, and the EBOX can optionally
+ * check every executed transition against them (Ebox::setFlowCheck),
+ * so a declaration that disagrees with the lambda dies in the tests.
  */
 
 #ifndef UPC780_UCODE_CONTROL_STORE_HH
@@ -18,6 +25,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <vector>
 
 #include "arch/opcodes.hh"
@@ -35,6 +43,159 @@ using USem = std::function<void(Ebox &)>;
 /** A micro-branch label (index into the store's label table). */
 using ULabel = uint32_t;
 
+/**
+ * The "no such micro-address" sentinel.  Address 0 is a legal
+ * control-store location, so unset EntryPoints slots must be
+ * distinguishable from it; 0xFFFF is above the 16K histogram bound
+ * and can never name a real microword.
+ */
+constexpr UAddr kInvalidUAddr = 0xFFFF;
+
+/**
+ * Static successor declaration of one microword: which micro-CFG
+ * edges its semantic action may take.  Built with the flow*()
+ * factories below and the or*() combinators, e.g.
+ * flowTo(taken).orEnd() for "uJump(taken) or endInstruction()".
+ */
+struct UFlow
+{
+    bool fall = false;     ///< may fall through to address + 1
+    bool end = false;      ///< may endInstruction() (IID/INT/MCHK)
+    bool dispatch = false; ///< decode dispatch (spec or exec entries)
+    bool spec26 = false;   ///< index prefix: jump into a SPEC2-6 entry
+    bool ret = false;      ///< uRet() to a recorded call site + 1
+    bool trapRet = false;  ///< uTrapRet[Satisfied](): resumes trapper
+    bool stop = false;     ///< setHalted() or unconditional fault()
+    bool reserved = false; ///< intentionally unreachable guard word
+    std::vector<ULabel> targets;   ///< uJump()/uIf() label targets
+    std::vector<ULabel> calls;     ///< uCall() subroutine entries
+    std::vector<UAddr> rawTargets; ///< uJumpAddr() absolute targets
+
+    UFlow &orFall()          { fall = true; return *this; }
+    UFlow &orEnd()           { end = true; return *this; }
+    UFlow &orDispatch()      { dispatch = true; return *this; }
+    UFlow &orStop()          { stop = true; return *this; }
+    UFlow &orTrapRet()       { trapRet = true; return *this; }
+    UFlow &
+    orTo(ULabel l)
+    {
+        targets.push_back(l);
+        return *this;
+    }
+    UFlow &
+    orToAddr(UAddr a)
+    {
+        rawTargets.push_back(a);
+        return *this;
+    }
+
+    /** True when this word declares no successors at all (a terminal
+     *  or reserved word). */
+    bool
+    terminal() const
+    {
+        return !fall && !end && !dispatch && !spec26 && !ret &&
+            !trapRet && targets.empty() && calls.empty() &&
+            rawTargets.empty();
+    }
+};
+
+/** @{ UFlow factories, named for the dominant edge kind. */
+inline UFlow
+flowFall()
+{
+    UFlow f;
+    f.fall = true;
+    return f;
+}
+
+inline UFlow
+flowEnd()
+{
+    UFlow f;
+    f.end = true;
+    return f;
+}
+
+inline UFlow
+flowTo(std::initializer_list<ULabel> ls)
+{
+    UFlow f;
+    f.targets.assign(ls.begin(), ls.end());
+    return f;
+}
+
+inline UFlow
+flowTo(ULabel l)
+{
+    return flowTo({l});
+}
+
+inline UFlow
+flowToAddr(UAddr a)
+{
+    UFlow f;
+    f.rawTargets.push_back(a);
+    return f;
+}
+
+inline UFlow
+flowCall(ULabel sub)
+{
+    UFlow f;
+    f.calls.push_back(sub);
+    return f;
+}
+
+inline UFlow
+flowDispatch()
+{
+    UFlow f;
+    f.dispatch = true;
+    return f;
+}
+
+inline UFlow
+flowSpec26()
+{
+    UFlow f;
+    f.spec26 = true;
+    return f;
+}
+
+inline UFlow
+flowRet()
+{
+    UFlow f;
+    f.ret = true;
+    return f;
+}
+
+inline UFlow
+flowTrapRet()
+{
+    UFlow f;
+    f.trapRet = true;
+    return f;
+}
+
+inline UFlow
+flowStop()
+{
+    UFlow f;
+    f.stop = true;
+    return f;
+}
+
+inline UFlow
+flowReserved()
+{
+    UFlow f;
+    f.reserved = true;
+    return f;
+}
+/** @} */
+
 struct MicroWord
 {
     USem sem;
@@ -51,39 +212,52 @@ enum class SpecAccClass : uint8_t { Read, Write, Modify, Addr, NumClasses };
 /** Map an operand access type to its routine class. */
 SpecAccClass specAccClass(Access a);
 
+/** Out-of-line panic for an out-of-range micro-address (e.g. a
+ *  dispatch through an unset kInvalidUAddr entry slot). */
+[[noreturn]] void badMicroAddress(UAddr a, size_t size);
+
 struct EntryPoints
 {
-    UAddr iid = 0;             ///< instruction decode microinstruction
+    UAddr iid = kInvalidUAddr; ///< instruction decode microinstruction
     /**
      * The "insufficient bytes in the IB" dispatch locations for
      * specifier decode, one per position class.  Executions here are
      * IB-stall cycles, exactly as the paper describes the counting.
      */
-    std::array<UAddr, 2> specWait{};
-    UAddr abort = 0;           ///< counting location for abort cycles
-    UAddr tbMissD = 0;         ///< D-stream TB miss service
-    UAddr tbMissI = 0;         ///< I-stream TB miss service
-    UAddr alignRead = 0;       ///< unaligned read service
-    UAddr alignWrite = 0;      ///< unaligned write service
-    UAddr interrupt = 0;       ///< interrupt dispatch microcode
-    UAddr exception = 0;       ///< exception dispatch microcode
-    UAddr machineCheck = 0;    ///< machine-check (MCHK) dispatch
+    std::array<UAddr, 2> specWait{kInvalidUAddr, kInvalidUAddr};
+    UAddr abort = kInvalidUAddr;      ///< abort-cycle count location
+    UAddr tbMissD = kInvalidUAddr;    ///< D-stream TB miss service
+    UAddr tbMissI = kInvalidUAddr;    ///< I-stream TB miss service
+    UAddr alignRead = kInvalidUAddr;  ///< unaligned read service
+    UAddr alignWrite = kInvalidUAddr; ///< unaligned write service
+    UAddr interrupt = kInvalidUAddr;  ///< interrupt dispatch microcode
+    UAddr exception = kInvalidUAddr;  ///< exception dispatch microcode
+    UAddr machineCheck = kInvalidUAddr; ///< machine-check dispatch
     /** Execute-flow entries, indexed by ExecFlow. */
-    std::array<UAddr, static_cast<size_t>(ExecFlow::NumFlows)> exec{};
+    std::array<UAddr, static_cast<size_t>(ExecFlow::NumFlows)> exec;
     /**
      * Specifier-mode routine entries: [mode][0=spec1,1=spec2-6][class].
      * The decode hardware dispatches directly here (zero cycles), as
      * the real machine's decode ROM did.
      */
     UAddr spec[static_cast<size_t>(AddrMode::NumModes)][2]
-              [static_cast<size_t>(SpecAccClass::NumClasses)] = {};
+              [static_cast<size_t>(SpecAccClass::NumClasses)];
     /**
      * Index-prefix routines (per position class).  Both fall into the
      * SPEC2-6 copy of the base-mode routine -- the microcode sharing
      * that makes the paper report indexed first-specifier base
      * calculation under SPEC2-6.
      */
-    std::array<UAddr, 2> indexPrefix{};
+    std::array<UAddr, 2> indexPrefix{kInvalidUAddr, kInvalidUAddr};
+
+    EntryPoints()
+    {
+        exec.fill(kInvalidUAddr);
+        for (auto &mode : spec)
+            for (auto &pos : mode)
+                for (auto &cls : pos)
+                    cls = kInvalidUAddr;
+    }
 };
 
 class ControlStore
@@ -97,31 +271,80 @@ class ControlStore
     const MicroWord &
     word(UAddr a) const
     {
+        check(a);
         return words_[a];
     }
 
     const UAnnotation &
     annotation(UAddr a) const
     {
+        check(a);
         return words_[a].ann;
+    }
+
+    /** Declared successor set of a microword. */
+    const UFlow &
+    flow(UAddr a) const
+    {
+        check(a);
+        return flows_[a];
     }
 
     /** Resolve a label to its bound address (panics if unbound). */
     UAddr labelAddr(ULabel l) const;
 
+    /** @{ Label-table introspection for the static verifier. */
+    size_t labelCount() const { return labels_.size(); }
+    /** Bound address of a label, or -1 while unbound. */
+    int32_t
+    labelBinding(ULabel l) const
+    {
+        return l < labels_.size() ? labels_[l] : -1;
+    }
+    /** @} */
+
+    /**
+     * Resolve every declared edge to absolute addresses: per-word
+     * sorted successor sets with dispatch tables, end targets and
+     * micro-subroutine return sites expanded.  Called once by the ROM
+     * builder after all entries are registered; edges through unbound
+     * labels are skipped here (the verifier reports them).
+     */
+    void resolveFlows();
+
+    bool flowsResolved() const { return resolved_; }
+
+    /** Resolved successors of a word (resolveFlows() first). */
+    const std::vector<UAddr> &successors(UAddr a) const;
+
+    /** True when the declared flow of `from` admits a transition to
+     *  `to` (membership in the resolved successor set). */
+    bool flowAllows(UAddr from, UAddr to) const;
+
     EntryPoints entries;
 
   private:
     friend class MicroAssembler;
+
+    void
+    check(UAddr a) const
+    {
+        if (a >= words_.size())
+            badMicroAddress(a, words_.size());
+    }
+
     std::vector<MicroWord> words_;
+    std::vector<UFlow> flows_;
     std::vector<int32_t> labels_; ///< -1 = unbound
+    std::vector<std::vector<UAddr>> succ_;
+    bool resolved_ = false;
 };
 
 /**
  * Emits microinstructions into a ControlStore.
  *
  * The ROM builder functions (rom_*.cc) use this to lay down routines
- * and record entry points and annotations.
+ * and record entry points, annotations and successor declarations.
  */
 class MicroAssembler
 {
@@ -132,7 +355,7 @@ class MicroAssembler
     UAddr here() const { return cs_.size(); }
 
     /** Emit one microinstruction; returns its address. */
-    UAddr emit(const UAnnotation &ann, USem sem);
+    UAddr emit(const UAnnotation &ann, UFlow flow, USem sem);
 
     /** Allocate an unbound label. */
     ULabel newLabel();

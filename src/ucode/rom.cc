@@ -18,7 +18,7 @@ buildFramework(RomCtx &c)
         UAnnotation a = c.ann(Row::Decode, "IID");
         a.ibRequest = true;
         a.mark = UMark::Iid;
-        c.ep.iid = c.emitFull(a, [](Ebox &e) {
+        c.ep.iid = c.emitFull(a, flowDispatch(), [](Ebox &e) {
             if (!e.decodeOpcode())
                 return;
         });
@@ -29,13 +29,13 @@ buildFramework(RomCtx &c)
     {
         UAnnotation a = c.ann(Row::Spec1, "SPEC1.wait");
         a.ibRequest = true;
-        c.ep.specWait[0] = c.emitFull(a, [](Ebox &e) {
+        c.ep.specWait[0] = c.emitFull(a, flowDispatch(), [](Ebox &e) {
             if (!e.decodeSpec())
                 return;
         });
         UAnnotation b = c.ann(Row::Spec26, "SPEC26.wait");
         b.ibRequest = true;
-        c.ep.specWait[1] = c.emitFull(b, [](Ebox &e) {
+        c.ep.specWait[1] = c.emitFull(b, flowDispatch(), [](Ebox &e) {
             if (!e.decodeSpec())
                 return;
         });
@@ -44,15 +44,16 @@ buildFramework(RomCtx &c)
     // The abort location.  Never executed: the EBOX counts the cycle
     // in which a microtrap is recognized here (Table 8's Abort row)
     // and enters the service microcode directly.
-    c.ep.abort = c.emit(Row::Abort, "ABORT", [](Ebox &) {
+    c.ep.abort = c.emit(Row::Abort, "ABORT", flowReserved(), [](Ebox &) {
         panic("the abort count location is not executable microcode");
     });
 
     // Exceptions other than microtraps are not survivable for our
     // synthetic workloads; the EBOX faults before reaching here.
-    c.ep.exception = c.emit(Row::IntExcept, "EXC.stub", [](Ebox &) {
-        panic("exception microcode entered");
-    });
+    c.ep.exception =
+        c.emit(Row::IntExcept, "EXC.stub", flowReserved(), [](Ebox &) {
+            panic("exception microcode entered");
+        });
 }
 
 StoreTail
@@ -70,14 +71,14 @@ makeStoreTail(RomCtx &c, Row row, const char *name)
     // Condition codes are set by the flow's compute microword (so that
     // arithmetic V/C survive); these words only store and end.
     c.bind(st.reg);
-    c.emit(row, rn, [](Ebox &e) {
+    c.emit(row, rn, flowEnd(), [](Ebox &e) {
         DstLatch &d = e.lat.dst[0];
         writeRegSized(&e.r(d.reg), e.lat.t[0], d.type);
         e.endInstruction();
     });
 
     c.bind(st.mem);
-    c.emitWrite(row, mn, [](Ebox &e) {
+    c.emitWrite(row, mn, flowEnd(), [](Ebox &e) {
         DstLatch &d = e.lat.dst[0];
         e.memWrite(d.addr, truncTo(e.lat.t[0], d.type),
                    dataTypeBytes(d.type));
@@ -101,7 +102,7 @@ makeTakenTail(RomCtx &c, Row exec_row, PcChangeKind pck, const char *name)
         UAnnotation a = c.ann(Row::Bdisp, bn);
         a.ibRequest = true;
         a.mark = UMark::BdispFetch;
-        c.emitFull(a, [](Ebox &e) {
+        c.emitFull(a, flowFall(), [](Ebox &e) {
             unsigned n = e.lat.info->bdispBytes;
             if (!e.ibGet(n, true))
                 return;
@@ -113,7 +114,7 @@ makeTakenTail(RomCtx &c, Row exec_row, PcChangeKind pck, const char *name)
         UAnnotation a = c.ann(exec_row, tn);
         a.mark = UMark::BranchTaken;
         a.pck = pck;
-        c.emitFull(a, [](Ebox &e) {
+        c.emitFull(a, flowEnd(), [](Ebox &e) {
             e.redirect(e.lat.t[7]);
             e.endInstruction();
         });
@@ -127,8 +128,10 @@ buildMicrocodeRom(ControlStore &cs)
     upc_assert(cs.size() == 0);
     RomCtx c(cs);
 
-    // Address 0 is reserved so that "entry == 0" means "missing".
-    c.emit(Row::Abort, "RESERVED0", [](Ebox &) {
+    // Address 0 stays a reserved guard word: a jump that decodes to 0
+    // by accident (cleared latches) lands on a loud panic rather than
+    // on real microcode.  Unset entry slots are kInvalidUAddr.
+    c.emit(Row::Abort, "RESERVED0", flowReserved(), [](Ebox &) {
         panic("control store location 0 executed");
     });
 
@@ -147,11 +150,17 @@ buildMicrocodeRom(ControlStore &cs)
     for (unsigned i = 0; i < 256; ++i) {
         const OpcodeInfo &info = opcodeInfo(static_cast<uint8_t>(i));
         if (info.valid &&
-            cs.entries.exec[static_cast<size_t>(info.flow)] == 0) {
+            cs.entries.exec[static_cast<size_t>(info.flow)] ==
+                kInvalidUAddr) {
             panic("opcode %s has no execute-flow microcode",
                   info.mnemonic);
         }
     }
+
+    // Resolve the declared successor edges now that every label is
+    // bound and every entry slot registered: the EBOX's optional
+    // flow check and the static verifier both read the result.
+    cs.resolveFlows();
 }
 
 } // namespace vax

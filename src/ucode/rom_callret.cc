@@ -48,26 +48,26 @@ buildCall(RomCtx &c)
     ULabel scan = c.lbl(), pushr = c.lbl(), pushpc = c.lbl();
 
     // CALLS numarg.rl, dst.ab
-    execEntry(c, ExecFlow::CallS, G, "CALLS", [](Ebox &e) {
+    execEntry(c, ExecFlow::CallS, G, "CALLS", flowFall(), [](Ebox &e) {
         e.memRead(e.lat.op[1], 2); // entry mask
     }, UMemKind::Read);
-    c.emitWrite(R, "CALLS.pushn", [](Ebox &e) {
+    c.emitWrite(R, "CALLS.pushn", flowFall(), [](Ebox &e) {
         e.lat.t[0] = e.md() & 0x0FFF;
         e.lat.t[1] = e.lat.op[1];
         e.lat.t[5] = 1; // S flag
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.lat.op[0], 4);
     });
-    c.emit(R, "CALLS.setap", [shared](Ebox &e) {
+    c.emit(R, "CALLS.setap", flowTo(shared), [shared](Ebox &e) {
         e.lat.t[2] = e.r(SP);
         e.uJump(shared);
     });
 
     // CALLG arglist.ab, dst.ab
-    execEntry(c, ExecFlow::CallG, G, "CALLG", [](Ebox &e) {
+    execEntry(c, ExecFlow::CallG, G, "CALLG", flowFall(), [](Ebox &e) {
         e.memRead(e.lat.op[1], 2);
     }, UMemKind::Read);
-    c.emit(R, "CALLG.setup", [shared](Ebox &e) {
+    c.emit(R, "CALLG.setup", flowTo(shared), [shared](Ebox &e) {
         e.lat.t[0] = e.md() & 0x0FFF;
         e.lat.t[1] = e.lat.op[1];
         e.lat.t[2] = e.lat.op[0]; // AP = arglist
@@ -77,12 +77,12 @@ buildCall(RomCtx &c)
 
     // Shared: push registers per mask (descending), then the frame.
     c.bind(shared);
-    c.emit(R, "CALL.init", [](Ebox &e) {
+    c.emit(R, "CALL.init", flowFall(), [](Ebox &e) {
         e.lat.t[3] = e.lat.t[0]; // working mask
         e.lat.t[6] = e.md();     // keep the raw mask word
     });
     c.bind(scan);
-    c.emit(R, "CALL.scan", [pushr, pushpc](Ebox &e) {
+    c.emit(R, "CALL.scan", flowTo({pushr, pushpc}), [pushr, pushpc](Ebox &e) {
         int bit = highestBit(e.lat.t[3], 11);
         if (bit < 0) {
             e.uJump(pushpc);
@@ -92,7 +92,7 @@ buildCall(RomCtx &c)
         }
     });
     c.bind(pushr);
-    c.emitWrite(R, "CALL.pushr", [scan](Ebox &e) {
+    c.emitWrite(R, "CALL.pushr", flowTo(scan), [scan](Ebox &e) {
         e.lat.t[3] &= ~(1u << e.lat.sc);
         e.r(SP) -= 4;
         e.uJump(scan);
@@ -100,30 +100,30 @@ buildCall(RomCtx &c)
     });
     c.bind(pushpc);
     // Stack alignment and probe cycles of the real CALL microcode.
-    c.emit(R, "CALL.salign", [](Ebox &e) { (void)e; });
-    c.emit(R, "CALL.sprobe", [](Ebox &e) { (void)e; });
-    c.emitWrite(R, "CALL.pushpc", [](Ebox &e) {
+    c.emit(R, "CALL.salign", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(R, "CALL.sprobe", flowFall(), [](Ebox &e) { (void)e; });
+    c.emitWrite(R, "CALL.pushpc", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.decodePc(), 4);
     });
-    c.emitWrite(R, "CALL.pushfp", [](Ebox &e) {
+    c.emitWrite(R, "CALL.pushfp", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.r(FP), 4);
     });
-    c.emitWrite(R, "CALL.pushap", [](Ebox &e) {
+    c.emitWrite(R, "CALL.pushap", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.r(AP), 4);
     });
-    c.emitWrite(R, "CALL.pushmsk", [](Ebox &e) {
+    c.emitWrite(R, "CALL.pushmsk", flowFall(), [](Ebox &e) {
         uint32_t w = e.lat.t[0] | (e.lat.t[5] << 29);
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), w, 4);
     });
-    c.emitWrite(R, "CALL.pushhnd", [](Ebox &e) {
+    c.emitWrite(R, "CALL.pushhnd", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), 0, 4);
     });
-    c.emit(R, "CALL.fin", [](Ebox &e) {
+    c.emit(R, "CALL.fin", flowEnd(), [](Ebox &e) {
         e.r(FP) = e.r(SP);
         e.r(AP) = e.lat.t[2];
         e.psl().cc = CondCodes();
@@ -138,38 +138,38 @@ buildRet(RomCtx &c)
     ULabel popscan = c.lbl(), popr = c.lbl(), popdone = c.lbl();
     ULabel popargs = c.lbl(), fin = c.lbl();
 
-    execEntry(c, ExecFlow::Ret, G, "RET", [](Ebox &e) {
+    execEntry(c, ExecFlow::Ret, G, "RET", flowFall(), [](Ebox &e) {
         e.memRead(e.r(FP) + 4, 4); // mask/flags longword
     }, UMemKind::Read);
-    c.emit(R, "RET.mask", [](Ebox &e) {
+    c.emit(R, "RET.mask", flowFall(), [](Ebox &e) {
         e.lat.t[0] = e.md() & 0x0FFF;
         e.lat.t[5] = (e.md() >> 29) & 1;
         e.r(SP) = e.r(FP) + 8;
     });
     // Frame consistency checks and PSW restore of the real microcode.
-    c.emit(R, "RET.chk1", [](Ebox &e) { (void)e; });
-    c.emit(R, "RET.chk2", [](Ebox &e) { (void)e; });
-    c.emit(R, "RET.psw", [](Ebox &e) { (void)e; });
-    c.emitRead(R, "RET.rdap", [](Ebox &e) {
+    c.emit(R, "RET.chk1", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(R, "RET.chk2", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(R, "RET.psw", flowFall(), [](Ebox &e) { (void)e; });
+    c.emitRead(R, "RET.rdap", flowFall(), [](Ebox &e) {
         e.memRead(e.r(SP), 4);
         e.r(SP) += 4;
     });
-    c.emitRead(R, "RET.rdfp", [](Ebox &e) {
+    c.emitRead(R, "RET.rdfp", flowFall(), [](Ebox &e) {
         e.r(AP) = e.md();
         e.memRead(e.r(SP), 4);
         e.r(SP) += 4;
     });
-    c.emitRead(R, "RET.rdpc", [](Ebox &e) {
+    c.emitRead(R, "RET.rdpc", flowFall(), [](Ebox &e) {
         e.r(FP) = e.md();
         e.memRead(e.r(SP), 4);
         e.r(SP) += 4;
     });
-    c.emit(R, "RET.savepc", [popscan](Ebox &e) {
+    c.emit(R, "RET.savepc", flowTo(popscan), [popscan](Ebox &e) {
         e.lat.t[4] = e.md();
         e.uJump(popscan);
     });
     c.bind(popscan);
-    c.emit(R, "RET.scan", [popr, popdone](Ebox &e) {
+    c.emit(R, "RET.scan", flowTo({popr, popdone}), [popr, popdone](Ebox &e) {
         int bit = lowestBit(e.lat.t[0]);
         if (bit < 0) {
             e.uJump(popdone);
@@ -179,27 +179,27 @@ buildRet(RomCtx &c)
         }
     });
     c.bind(popr);
-    c.emitRead(R, "RET.popr", [](Ebox &e) {
+    c.emitRead(R, "RET.popr", flowFall(), [](Ebox &e) {
         e.memRead(e.r(SP), 4);
         e.r(SP) += 4;
     });
-    c.emit(R, "RET.wreg", [popscan](Ebox &e) {
+    c.emit(R, "RET.wreg", flowTo(popscan), [popscan](Ebox &e) {
         e.r(e.lat.sc) = e.md();
         e.lat.t[0] &= ~(1u << e.lat.sc);
         e.uJump(popscan);
     });
     c.bind(popdone);
-    c.emit(R, "RET.sflag", [popargs, fin](Ebox &e) {
+    c.emit(R, "RET.sflag", flowTo({popargs, fin}), [popargs, fin](Ebox &e) {
         e.uJump(e.lat.t[5] ? popargs : fin);
     });
     c.bind(popargs);
-    c.emitRead(R, "RET.rdn", [](Ebox &e) { e.memRead(e.r(SP), 4); });
-    c.emit(R, "RET.popn", [fin](Ebox &e) {
+    c.emitRead(R, "RET.rdn", flowFall(), [](Ebox &e) { e.memRead(e.r(SP), 4); });
+    c.emit(R, "RET.popn", flowTo(fin), [fin](Ebox &e) {
         e.r(SP) += 4 + 4 * (e.md() & 0xFF);
         e.uJump(fin);
     });
     c.bind(fin);
-    c.emit(R, "RET.go", [](Ebox &e) {
+    c.emit(R, "RET.go", flowEnd(), [](Ebox &e) {
         e.redirect(e.lat.t[4]);
         e.endInstruction();
     });
@@ -211,12 +211,12 @@ buildPushPopR(RomCtx &c)
     // PUSHR mask.rw: push registers per mask, descending.
     {
         ULabel scan = c.lbl(), push = c.lbl(), done = c.lbl();
-        execEntry(c, ExecFlow::PushR, G, "PUSHR", [scan](Ebox &e) {
+        execEntry(c, ExecFlow::PushR, G, "PUSHR", flowTo(scan), [scan](Ebox &e) {
             e.lat.t[0] = e.lat.op[0] & 0x7FFF;
             e.uJump(scan);
         });
         c.bind(scan);
-        c.emit(R, "PUSHR.scan", [push, done](Ebox &e) {
+        c.emit(R, "PUSHR.scan", flowTo({push, done}), [push, done](Ebox &e) {
             int bit = highestBit(e.lat.t[0], 14);
             if (bit < 0) {
                 e.uJump(done);
@@ -226,25 +226,25 @@ buildPushPopR(RomCtx &c)
             }
         });
         c.bind(push);
-        c.emitWrite(R, "PUSHR.push", [scan](Ebox &e) {
+        c.emitWrite(R, "PUSHR.push", flowTo(scan), [scan](Ebox &e) {
             e.lat.t[0] &= ~(1u << e.lat.sc);
             e.r(SP) -= 4;
             e.uJump(scan);
             e.memWrite(e.r(SP), e.r(e.lat.sc), 4);
         });
         c.bind(done);
-        c.emit(R, "PUSHR.fin", [](Ebox &e) { e.endInstruction(); });
+        c.emit(R, "PUSHR.fin", flowEnd(), [](Ebox &e) { e.endInstruction(); });
     }
 
     // POPR mask.rw: pop registers per mask, ascending.
     {
         ULabel scan = c.lbl(), pop = c.lbl(), done = c.lbl();
-        execEntry(c, ExecFlow::PopR, G, "POPR", [scan](Ebox &e) {
+        execEntry(c, ExecFlow::PopR, G, "POPR", flowTo(scan), [scan](Ebox &e) {
             e.lat.t[0] = e.lat.op[0] & 0x7FFF;
             e.uJump(scan);
         });
         c.bind(scan);
-        c.emit(R, "POPR.scan", [pop, done](Ebox &e) {
+        c.emit(R, "POPR.scan", flowTo({pop, done}), [pop, done](Ebox &e) {
             int bit = lowestBit(e.lat.t[0]);
             if (bit < 0) {
                 e.uJump(done);
@@ -254,17 +254,17 @@ buildPushPopR(RomCtx &c)
             }
         });
         c.bind(pop);
-        c.emitRead(R, "POPR.pop", [](Ebox &e) {
+        c.emitRead(R, "POPR.pop", flowFall(), [](Ebox &e) {
             e.memRead(e.r(SP), 4);
             e.r(SP) += 4;
         });
-        c.emit(R, "POPR.wreg", [scan](Ebox &e) {
+        c.emit(R, "POPR.wreg", flowTo(scan), [scan](Ebox &e) {
             e.r(e.lat.sc) = e.md();
             e.lat.t[0] &= ~(1u << e.lat.sc);
             e.uJump(scan);
         });
         c.bind(done);
-        c.emit(R, "POPR.fin", [](Ebox &e) { e.endInstruction(); });
+        c.emit(R, "POPR.fin", flowEnd(), [](Ebox &e) { e.endInstruction(); });
     }
 }
 

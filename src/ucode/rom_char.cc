@@ -34,35 +34,36 @@ buildMovc(RomCtx &c)
     // R0 = remaining length, R1 = src, R3 = dst (per the architecture).
     {
         ULabel loop = c.lbl(), done = c.lbl();
-        execEntry(c, ExecFlow::MovC3, G, "MOVC3", [loop, done](Ebox &e) {
+        execEntry(c, ExecFlow::MovC3, G, "MOVC3",
+                  flowTo({loop, done}), [loop, done](Ebox &e) {
             e.r(R0) = e.lat.op[0] & 0xFFFF;
             e.r(R1) = e.lat.op[1];
             e.r(R3) = e.lat.op[2];
             e.uJump(e.r(R0) ? loop : done);
         });
         c.bind(loop);
-        c.emit(R, "MOVC3.l0", [](Ebox &e) {
+        c.emit(R, "MOVC3.l0", flowFall(), [](Ebox &e) {
             e.lat.sc = moveUnit(e.r(R0), e.r(R1), e.r(R3));
         });
-        c.emitRead(R, "MOVC3.read", [](Ebox &e) {
+        c.emitRead(R, "MOVC3.read", flowFall(), [](Ebox &e) {
             e.memRead(e.r(R1), e.lat.sc);
         });
-        c.emit(R, "MOVC3.hold", [](Ebox &e) { e.lat.t[1] = e.md(); });
-        c.emit(R, "MOVC3.pad", [](Ebox &e) {
+        c.emit(R, "MOVC3.hold", flowFall(), [](Ebox &e) { e.lat.t[1] = e.md(); });
+        c.emit(R, "MOVC3.pad", flowFall(), [](Ebox &e) {
             // Pointer update bookkeeping; spaces the writes six cycles
             // apart so they never stall on the write buffer.
             e.r(R1) += e.lat.sc;
         });
-        c.emitWrite(R, "MOVC3.write", [](Ebox &e) {
+        c.emitWrite(R, "MOVC3.write", flowFall(), [](Ebox &e) {
             e.memWrite(e.r(R3), e.lat.t[1], e.lat.sc);
         });
-        c.emit(R, "MOVC3.next", [loop, done](Ebox &e) {
+        c.emit(R, "MOVC3.next", flowTo({loop, done}), [loop, done](Ebox &e) {
             e.r(R3) += e.lat.sc;
             e.r(R0) -= e.lat.sc;
             e.uJump(e.r(R0) ? loop : done);
         });
         c.bind(done);
-        c.emit(R, "MOVC3.fin", [](Ebox &e) {
+        c.emit(R, "MOVC3.fin", flowEnd(), [](Ebox &e) {
             e.r(R2) = 0;
             e.r(R4) = 0;
             e.r(R5) = 0;
@@ -76,7 +77,7 @@ buildMovc(RomCtx &c)
     {
         ULabel loop = c.lbl(), fill = c.lbl(), done = c.lbl();
         execEntry(c, ExecFlow::MovC5, G, "MOVC5",
-                  [loop, fill, done](Ebox &e) {
+                  flowTo({loop, fill, done}), [loop, fill, done](Ebox &e) {
                       uint32_t srclen = e.lat.op[0] & 0xFFFF;
                       uint32_t dstlen = e.lat.op[3] & 0xFFFF;
                       e.r(R1) = e.lat.op[1];
@@ -95,18 +96,19 @@ buildMovc(RomCtx &c)
                           e.uJump(done);
                   });
         c.bind(loop);
-        c.emit(R, "MOVC5.l0", [](Ebox &e) {
+        c.emit(R, "MOVC5.l0", flowFall(), [](Ebox &e) {
             e.lat.sc = moveUnit(e.lat.t[0], e.r(R1), e.r(R3));
         });
-        c.emitRead(R, "MOVC5.read", [](Ebox &e) {
+        c.emitRead(R, "MOVC5.read", flowFall(), [](Ebox &e) {
             e.memRead(e.r(R1), e.lat.sc);
         });
-        c.emit(R, "MOVC5.hold", [](Ebox &e) { e.lat.t[1] = e.md(); });
-        c.emit(R, "MOVC5.pad", [](Ebox &e) { e.r(R1) += e.lat.sc; });
-        c.emitWrite(R, "MOVC5.write", [](Ebox &e) {
+        c.emit(R, "MOVC5.hold", flowFall(), [](Ebox &e) { e.lat.t[1] = e.md(); });
+        c.emit(R, "MOVC5.pad", flowFall(), [](Ebox &e) { e.r(R1) += e.lat.sc; });
+        c.emitWrite(R, "MOVC5.write", flowFall(), [](Ebox &e) {
             e.memWrite(e.r(R3), e.lat.t[1], e.lat.sc);
         });
-        c.emit(R, "MOVC5.next", [loop, fill, done](Ebox &e) {
+        c.emit(R, "MOVC5.next", flowTo({loop, fill, done}),
+               [loop, fill, done](Ebox &e) {
             e.r(R3) += e.lat.sc;
             e.lat.t[0] -= e.lat.sc;
             if (e.lat.t[0])
@@ -117,24 +119,24 @@ buildMovc(RomCtx &c)
                 e.uJump(done);
         });
         c.bind(fill);
-        c.emit(R, "MOVC5.f0", [](Ebox &e) {
+        c.emit(R, "MOVC5.f0", flowFall(), [](Ebox &e) {
             uint32_t u = (e.lat.t[2] >= 4 && (e.r(R3) & 3) == 0) ? 4
                                                                  : 1;
             e.lat.sc = u;
             uint32_t f = e.lat.op[2] & 0xFF;
             e.lat.t[1] = f | (f << 8) | (f << 16) | (f << 24);
         });
-        c.emit(R, "MOVC5.fpad", [](Ebox &e) { (void)e; });
-        c.emitWrite(R, "MOVC5.fwrite", [](Ebox &e) {
+        c.emit(R, "MOVC5.fpad", flowFall(), [](Ebox &e) { (void)e; });
+        c.emitWrite(R, "MOVC5.fwrite", flowFall(), [](Ebox &e) {
             e.memWrite(e.r(R3), e.lat.t[1], e.lat.sc);
         });
-        c.emit(R, "MOVC5.fnext", [fill, done](Ebox &e) {
+        c.emit(R, "MOVC5.fnext", flowTo({fill, done}), [fill, done](Ebox &e) {
             e.r(R3) += e.lat.sc;
             e.lat.t[2] -= e.lat.sc;
             e.uJump(e.lat.t[2] ? fill : done);
         });
         c.bind(done);
-        c.emit(R, "MOVC5.fin", [](Ebox &e) {
+        c.emit(R, "MOVC5.fin", flowEnd(), [](Ebox &e) {
             e.r(R2) = 0;
             e.r(R4) = 0;
             e.r(R5) = 0;
@@ -150,7 +152,8 @@ buildCmpc(RomCtx &c)
     // its extra operands make the lengths differ and add a fill
     // comparison, which we fold into the same loop semantics).
     ULabel loop = c.lbl(), done = c.lbl(), neq = c.lbl();
-    execEntry(c, ExecFlow::CmpC, G, "CMPC", [loop, done](Ebox &e) {
+    execEntry(c, ExecFlow::CmpC, G, "CMPC", flowTo({loop, done}),
+              [loop, done](Ebox &e) {
         bool five = e.lat.opcode == op::CMPC5;
         uint32_t len1 = e.lat.op[0] & 0xFFFF;
         e.r(R1) = e.lat.op[1];
@@ -169,7 +172,7 @@ buildCmpc(RomCtx &c)
         e.uJump((e.r(R0) || e.r(R2)) ? loop : done);
     });
     c.bind(loop);
-    c.emitRead(R, "CMPC.read1", [](Ebox &e) {
+    c.emitRead(R, "CMPC.read1", flowFall(), [](Ebox &e) {
         // Reading past a string's end compares against the fill byte;
         // model the read only when bytes remain.
         if (e.r(R0))
@@ -177,14 +180,15 @@ buildCmpc(RomCtx &c)
         else
             e.setMd(e.lat.t[3]);
     });
-    c.emit(R, "CMPC.hold", [](Ebox &e) { e.lat.t[1] = e.md() & 0xFF; });
-    c.emitRead(R, "CMPC.read2", [](Ebox &e) {
+    c.emit(R, "CMPC.hold", flowFall(), [](Ebox &e) { e.lat.t[1] = e.md() & 0xFF; });
+    c.emitRead(R, "CMPC.read2", flowFall(), [](Ebox &e) {
         if (e.r(R2))
             e.memRead(e.r(R3), 1);
         else
             e.setMd(e.lat.t[3]);
     });
-    c.emit(R, "CMPC.cmp", [loop, done, neq](Ebox &e) {
+    c.emit(R, "CMPC.cmp", flowTo({loop, done, neq}),
+           [loop, done, neq](Ebox &e) {
         uint32_t b2 = e.md() & 0xFF;
         if (e.lat.t[1] != b2) {
             e.uJump(neq);
@@ -201,12 +205,12 @@ buildCmpc(RomCtx &c)
         e.uJump((e.r(R0) || e.r(R2)) ? loop : done);
     });
     c.bind(neq);
-    c.emit(R, "CMPC.neq", [](Ebox &e) {
+    c.emit(R, "CMPC.neq", flowEnd(), [](Ebox &e) {
         cmpCc(e.lat.t[1], e.md() & 0xFF, DataType::Byte, &e.psl());
         e.endInstruction();
     });
     c.bind(done);
-    c.emit(R, "CMPC.fin", [](Ebox &e) { e.endInstruction(); });
+    c.emit(R, "CMPC.fin", flowEnd(), [](Ebox &e) { e.endInstruction(); });
 }
 
 void
@@ -216,20 +220,22 @@ buildScan(RomCtx &c)
     // char) / (first byte != char).  R0 = remaining, R1 = location.
     {
         ULabel loop = c.lbl(), found = c.lbl(), done = c.lbl();
-        execEntry(c, ExecFlow::Locc, G, "LOCC", [loop, done](Ebox &e) {
+        execEntry(c, ExecFlow::Locc, G, "LOCC", flowTo({loop, done}),
+                  [loop, done](Ebox &e) {
             e.r(R0) = e.lat.op[1] & 0xFFFF;
             e.r(R1) = e.lat.op[2];
             e.lat.t[0] = e.lat.op[0] & 0xFF;
             e.uJump(e.r(R0) ? loop : done);
         });
         c.bind(loop);
-        c.emit(R, "LOCC.l0", [](Ebox &e) {
+        c.emit(R, "LOCC.l0", flowFall(), [](Ebox &e) {
             e.lat.sc = (e.r(R0) >= 4 && (e.r(R1) & 3) == 0) ? 4 : 1;
         });
-        c.emitRead(R, "LOCC.read", [](Ebox &e) {
+        c.emitRead(R, "LOCC.read", flowFall(), [](Ebox &e) {
             e.memRead(e.r(R1), e.lat.sc);
         });
-        c.emit(R, "LOCC.scan", [loop, found, done](Ebox &e) {
+        c.emit(R, "LOCC.scan", flowTo({loop, found, done}),
+               [loop, found, done](Ebox &e) {
             bool want_eq = e.lat.opcode == op::LOCC;
             for (uint32_t i = 0; i < e.lat.sc; ++i) {
                 uint32_t b = (e.md() >> (8 * i)) & 0xFF;
@@ -245,13 +251,13 @@ buildScan(RomCtx &c)
             e.uJump(e.r(R0) ? loop : done);
         });
         c.bind(found);
-        c.emit(R, "LOCC.found", [](Ebox &e) {
+        c.emit(R, "LOCC.found", flowEnd(), [](Ebox &e) {
             e.psl().cc = CondCodes();
             e.psl().cc.z = false;
             e.endInstruction();
         });
         c.bind(done);
-        c.emit(R, "LOCC.done", [](Ebox &e) {
+        c.emit(R, "LOCC.done", flowEnd(), [](Ebox &e) {
             e.psl().cc = CondCodes();
             e.psl().cc.z = true; // not found: R0 == 0
             e.endInstruction();
@@ -262,7 +268,8 @@ buildScan(RomCtx &c)
     // table lookup (two reads per byte, as on the real machine).
     {
         ULabel loop = c.lbl(), found = c.lbl(), done = c.lbl();
-        execEntry(c, ExecFlow::Scanc, G, "SCANC", [loop, done](Ebox &e) {
+        execEntry(c, ExecFlow::Scanc, G, "SCANC", flowTo({loop, done}),
+                  [loop, done](Ebox &e) {
             e.r(R0) = e.lat.op[0] & 0xFFFF;
             e.r(R1) = e.lat.op[1];
             e.r(R3) = e.lat.op[2];         // table
@@ -270,13 +277,14 @@ buildScan(RomCtx &c)
             e.uJump(e.r(R0) ? loop : done);
         });
         c.bind(loop);
-        c.emitRead(R, "SCANC.rbyte", [](Ebox &e) {
+        c.emitRead(R, "SCANC.rbyte", flowFall(), [](Ebox &e) {
             e.memRead(e.r(R1), 1);
         });
-        c.emitRead(R, "SCANC.rtbl", [](Ebox &e) {
+        c.emitRead(R, "SCANC.rtbl", flowFall(), [](Ebox &e) {
             e.memRead(e.r(R3) + (e.md() & 0xFF), 1);
         });
-        c.emit(R, "SCANC.test", [loop, found, done](Ebox &e) {
+        c.emit(R, "SCANC.test", flowTo({loop, found, done}),
+               [loop, found, done](Ebox &e) {
             bool hit = (e.md() & e.lat.t[0]) != 0;
             if (e.lat.opcode == op::SPANC)
                 hit = !hit;
@@ -289,13 +297,13 @@ buildScan(RomCtx &c)
             e.uJump(e.r(R0) ? loop : done);
         });
         c.bind(found);
-        c.emit(R, "SCANC.found", [](Ebox &e) {
+        c.emit(R, "SCANC.found", flowEnd(), [](Ebox &e) {
             e.psl().cc = CondCodes();
             e.psl().cc.z = false;
             e.endInstruction();
         });
         c.bind(done);
-        c.emit(R, "SCANC.done", [](Ebox &e) {
+        c.emit(R, "SCANC.done", flowEnd(), [](Ebox &e) {
             e.psl().cc = CondCodes();
             e.psl().cc.z = true;
             e.endInstruction();

@@ -1,6 +1,11 @@
 /**
  * @file
  * Internal context shared by the rom_*.cc microcode builders.
+ *
+ * Every emit helper takes an explicit UFlow: the builder declares the
+ * successor edges of each microword alongside its annotation, and the
+ * static verifier (src/analysis) lints the declared micro-CFG while
+ * the EBOX can check executed transitions against it.
  */
 
 #ifndef UPC780_UCODE_ROM_CTX_HH
@@ -31,43 +36,43 @@ struct RomCtx
 
     /** Plain compute microword. */
     UAddr
-    emit(Row row, const char *name, USem s)
+    emit(Row row, const char *name, UFlow f, USem s)
     {
-        return ua.emit(ann(row, name), std::move(s));
+        return ua.emit(ann(row, name), std::move(f), std::move(s));
     }
 
     /** Microword that issues a D-stream (or physical) read. */
     UAddr
-    emitRead(Row row, const char *name, USem s)
+    emitRead(Row row, const char *name, UFlow f, USem s)
     {
         UAnnotation a = ann(row, name);
         a.mem = UMemKind::Read;
-        return ua.emit(a, std::move(s));
+        return ua.emit(a, std::move(f), std::move(s));
     }
 
     /** Microword that issues a write. */
     UAddr
-    emitWrite(Row row, const char *name, USem s)
+    emitWrite(Row row, const char *name, UFlow f, USem s)
     {
         UAnnotation a = ann(row, name);
         a.mem = UMemKind::Write;
-        return ua.emit(a, std::move(s));
+        return ua.emit(a, std::move(f), std::move(s));
     }
 
     /** Microword that requests bytes from the IB (may IB-stall). */
     UAddr
-    emitIb(Row row, const char *name, USem s)
+    emitIb(Row row, const char *name, UFlow f, USem s)
     {
         UAnnotation a = ann(row, name);
         a.ibRequest = true;
-        return ua.emit(a, std::move(s));
+        return ua.emit(a, std::move(f), std::move(s));
     }
 
     /** Fully-specified microword. */
     UAddr
-    emitFull(UAnnotation a, USem s)
+    emitFull(UAnnotation a, UFlow f, USem s)
     {
-        return ua.emit(a, std::move(s));
+        return ua.emit(a, std::move(f), std::move(s));
     }
 
     ULabel lbl() { return ua.newLabel(); }
@@ -92,15 +97,16 @@ void buildDecimalFlows(RomCtx &c);
  * the ExecEntry mark so the analyzer can count Table 1 frequencies.
  */
 inline UAddr
-execEntry(RomCtx &c, ExecFlow flow, Group group, const char *name, USem s,
-          UMemKind mem = UMemKind::None, bool ib_request = false)
+execEntry(RomCtx &c, ExecFlow flow, Group group, const char *name,
+          UFlow f, USem s, UMemKind mem = UMemKind::None,
+          bool ib_request = false)
 {
     UAnnotation a = c.ann(execRowFor(group), name);
     a.mark = UMark::ExecEntry;
     a.flow = flow;
     a.mem = mem;
     a.ibRequest = ib_request;
-    UAddr addr = c.ua.emit(a, std::move(s));
+    UAddr addr = c.ua.emit(a, std::move(f), std::move(s));
     c.ep.exec[static_cast<size_t>(flow)] = addr;
     return addr;
 }
@@ -127,6 +133,13 @@ jumpStore(Ebox &e, const StoreTail &st, unsigned dst_idx = 0)
 {
     e.uJump(e.lat.dst[dst_idx].kind == DstLatch::Kind::Reg ? st.reg
                                                            : st.mem);
+}
+
+/** Successor declaration matching jumpStore(): either tail. */
+inline UFlow
+flowStore(const StoreTail &st)
+{
+    return flowTo({st.reg, st.mem});
 }
 
 /**

@@ -41,10 +41,10 @@ emitReadLoop(RomCtx &c, const char *name, ULabel after)
     ULabel loop = c.lbl();
     std::string n(name);
     c.bind(loop);
-    c.emitRead(R, strdup((n + ".rd").c_str()), [](Ebox &e) {
-        e.memRead(e.lat.t[0], 1);
-    });
-    c.emit(R, strdup((n + ".st").c_str()), [loop, after](Ebox &e) {
+    c.emitRead(R, strdup((n + ".rd").c_str()), flowFall(),
+               [](Ebox &e) { e.memRead(e.lat.t[0], 1); });
+    c.emit(R, strdup((n + ".st").c_str()), flowTo({loop, after}),
+           [loop, after](Ebox &e) {
         e.lat.strBuf[e.lat.t[2]++] = static_cast<uint8_t>(e.md());
         ++e.lat.t[0];
         if (--e.lat.t[1])
@@ -63,10 +63,11 @@ emitWriteLoop(RomCtx &c, const char *name, ULabel after)
     ULabel loop = c.lbl();
     std::string n(name);
     c.bind(loop);
-    c.emitWrite(R, strdup((n + ".wr").c_str()), [](Ebox &e) {
+    c.emitWrite(R, strdup((n + ".wr").c_str()), flowFall(), [](Ebox &e) {
         e.memWrite(e.lat.t[0], e.lat.strBuf[e.lat.t[2]], 1);
     });
-    c.emit(R, strdup((n + ".nx").c_str()), [loop, after](Ebox &e) {
+    c.emit(R, strdup((n + ".nx").c_str()), flowTo({loop, after}),
+           [loop, after](Ebox &e) {
         ++e.lat.t[2];
         ++e.lat.t[0];
         if (--e.lat.t[1])
@@ -83,7 +84,7 @@ emitDigitLoop(RomCtx &c, const char *name, ULabel after)
 {
     ULabel loop = c.lbl();
     c.bind(loop);
-    c.emit(R, name, [loop, after](Ebox &e) {
+    c.emit(R, name, flowTo({loop, after}), [loop, after](Ebox &e) {
         if (e.lat.sc > 1) {
             --e.lat.sc;
             e.uJump(loop);
@@ -130,7 +131,7 @@ buildAddP(RomCtx &c)
     ULabel wb_setup = c.lbl(), fin = c.lbl();
 
     ULabel rd_src = c.lbl();
-    execEntry(c, ExecFlow::AddP, G, "ADDP", [rd_src](Ebox &e) {
+    execEntry(c, ExecFlow::AddP, G, "ADDP", flowTo(rd_src), [rd_src](Ebox &e) {
         e.lat.t[4] = e.lat.op[0] & 31;      // src digits
         e.lat.t[5] = e.lat.op[2] & 31;      // dst digits
         e.lat.t[0] = e.lat.op[1];
@@ -142,7 +143,7 @@ buildAddP(RomCtx &c)
     emitReadLoop(c, "ADDP.src", rd_dst_setup);
 
     c.bind(rd_dst_setup);
-    c.emit(R, "ADDP.dsetup", [](Ebox &e) {
+    c.emit(R, "ADDP.dsetup", flowFall(), [](Ebox &e) {
         e.lat.wide[0] = decodeBuf(e, 0, e.lat.t[4]);
         e.lat.t[0] = e.lat.op[3];
         e.lat.t[1] = packedBytes(e.lat.t[5]);
@@ -151,7 +152,7 @@ buildAddP(RomCtx &c)
     emitReadLoop(c, "ADDP.dst", decode);
 
     c.bind(decode);
-    c.emit(R, "ADDP.compute", [digits](Ebox &e) {
+    c.emit(R, "ADDP.compute", flowTo(digits), [digits](Ebox &e) {
         int64_t src = e.lat.wide[0];
         int64_t dst = decodeBuf(e, 32, e.lat.t[5]);
         bool sub = e.lat.opcode == op::SUBP4;
@@ -163,7 +164,7 @@ buildAddP(RomCtx &c)
     emitDigitLoop(c, "ADDP.digit", wb_setup);
 
     c.bind(wb_setup);
-    c.emit(R, "ADDP.wsetup", [](Ebox &e) {
+    c.emit(R, "ADDP.wsetup", flowFall(), [](Ebox &e) {
         encodeBuf(e, 32, e.lat.t[5], e.lat.wide[1]);
         setDecimalCc(e, e.lat.wide[1]);
         e.lat.t[0] = e.lat.op[3];
@@ -173,7 +174,7 @@ buildAddP(RomCtx &c)
     emitWriteLoop(c, "ADDP.wb", fin);
 
     c.bind(fin);
-    c.emit(R, "ADDP.fin", [](Ebox &e) {
+    c.emit(R, "ADDP.fin", flowEnd(), [](Ebox &e) {
         e.r(R0) = 0;
         e.r(R1) = e.lat.op[1];
         e.r(R2) = 0;
@@ -188,7 +189,7 @@ buildCmpMovP(RomCtx &c)
     // CMPP3 len.rw, src1addr.ab, src2addr.ab.
     {
         ULabel rd2_setup = c.lbl(), fin = c.lbl(), rd1 = c.lbl();
-        execEntry(c, ExecFlow::CmpP, G, "CMPP", [rd1](Ebox &e) {
+        execEntry(c, ExecFlow::CmpP, G, "CMPP", flowTo(rd1), [rd1](Ebox &e) {
             e.lat.t[4] = e.lat.op[0] & 31;
             e.lat.t[0] = e.lat.op[1];
             e.lat.t[1] = packedBytes(e.lat.t[4]);
@@ -198,7 +199,7 @@ buildCmpMovP(RomCtx &c)
         c.ua.bindAt(rd1, c.ua.here());
         emitReadLoop(c, "CMPP.s1", rd2_setup);
         c.bind(rd2_setup);
-        c.emit(R, "CMPP.s2setup", [](Ebox &e) {
+        c.emit(R, "CMPP.s2setup", flowFall(), [](Ebox &e) {
             e.lat.wide[0] = decodeBuf(e, 0, e.lat.t[4]);
             e.lat.t[0] = e.lat.op[2];
             e.lat.t[1] = packedBytes(e.lat.t[4]);
@@ -206,7 +207,7 @@ buildCmpMovP(RomCtx &c)
         });
         emitReadLoop(c, "CMPP.s2", fin);
         c.bind(fin);
-        c.emit(R, "CMPP.fin", [](Ebox &e) {
+        c.emit(R, "CMPP.fin", flowEnd(), [](Ebox &e) {
             int64_t a = e.lat.wide[0];
             int64_t b = decodeBuf(e, 32, e.lat.t[4]);
             e.psl().cc.n = a < b;
@@ -220,7 +221,7 @@ buildCmpMovP(RomCtx &c)
     // MOVP len.rw, srcaddr.ab, dstaddr.ab.
     {
         ULabel wb_setup = c.lbl(), fin = c.lbl(), rd = c.lbl();
-        execEntry(c, ExecFlow::MovP, G, "MOVP", [rd](Ebox &e) {
+        execEntry(c, ExecFlow::MovP, G, "MOVP", flowTo(rd), [rd](Ebox &e) {
             e.lat.t[4] = e.lat.op[0] & 31;
             e.lat.t[0] = e.lat.op[1];
             e.lat.t[1] = packedBytes(e.lat.t[4]);
@@ -230,7 +231,7 @@ buildCmpMovP(RomCtx &c)
         c.ua.bindAt(rd, c.ua.here());
         emitReadLoop(c, "MOVP.rd", wb_setup);
         c.bind(wb_setup);
-        c.emit(R, "MOVP.wsetup", [](Ebox &e) {
+        c.emit(R, "MOVP.wsetup", flowFall(), [](Ebox &e) {
             setDecimalCc(e, decodeBuf(e, 0, e.lat.t[4]));
             e.lat.t[0] = e.lat.op[2];
             e.lat.t[1] = packedBytes(e.lat.t[4]);
@@ -238,7 +239,7 @@ buildCmpMovP(RomCtx &c)
         });
         emitWriteLoop(c, "MOVP.wb", fin);
         c.bind(fin);
-        c.emit(R, "MOVP.fin", [](Ebox &e) {
+        c.emit(R, "MOVP.fin", flowEnd(), [](Ebox &e) {
             e.r(R0) = 0;
             e.r(R1) = e.lat.op[1];
             e.r(R2) = 0;
@@ -255,7 +256,7 @@ buildCvtAshP(RomCtx &c)
     {
         StoreTail st = makeStoreTail(c, R, "CVTPL");
         ULabel digits = c.lbl(), fin = c.lbl(), rd = c.lbl();
-        execEntry(c, ExecFlow::CvtPL, G, "CVTPL", [rd](Ebox &e) {
+        execEntry(c, ExecFlow::CvtPL, G, "CVTPL", flowTo(rd), [rd](Ebox &e) {
             e.lat.t[4] = e.lat.op[0] & 31;
             e.lat.t[0] = e.lat.op[1];
             e.lat.t[1] = packedBytes(e.lat.t[4]);
@@ -265,13 +266,13 @@ buildCvtAshP(RomCtx &c)
         c.ua.bindAt(rd, c.ua.here());
         emitReadLoop(c, "CVTPL.rd", digits);
         c.bind(digits);
-        c.emit(R, "CVTPL.dec", [](Ebox &e) {
+        c.emit(R, "CVTPL.dec", flowFall(), [](Ebox &e) {
             e.lat.wide[0] = decodeBuf(e, 0, e.lat.t[4]);
             e.lat.sc = e.lat.t[4] ? e.lat.t[4] : 1;
         });
         emitDigitLoop(c, "CVTPL.digit", fin);
         c.bind(fin);
-        c.emit(R, "CVTPL.fin", [st](Ebox &e) {
+        c.emit(R, "CVTPL.fin", flowStore(st), [st](Ebox &e) {
             e.lat.t[0] = static_cast<uint32_t>(e.lat.wide[0]);
             setDecimalCc(e, e.lat.wide[0]);
             jumpStore(e, st);
@@ -281,7 +282,8 @@ buildCvtAshP(RomCtx &c)
     // CVTLP src.rl, len.rw, dstaddr.ab.
     {
         ULabel wb = c.lbl(), fin = c.lbl(), digits = c.lbl();
-        execEntry(c, ExecFlow::CvtLP, G, "CVTLP", [digits](Ebox &e) {
+        execEntry(c, ExecFlow::CvtLP, G, "CVTLP", flowTo(digits),
+                  [digits](Ebox &e) {
             e.lat.t[4] = e.lat.op[1] & 31;
             e.lat.wide[0] = static_cast<int32_t>(e.lat.op[0]);
             e.lat.sc = e.lat.t[4] ? e.lat.t[4] : 1;
@@ -290,7 +292,7 @@ buildCvtAshP(RomCtx &c)
         c.ua.bindAt(digits, c.ua.here());
         emitDigitLoop(c, "CVTLP.digit", wb);
         c.bind(wb);
-        c.emit(R, "CVTLP.wsetup", [](Ebox &e) {
+        c.emit(R, "CVTLP.wsetup", flowFall(), [](Ebox &e) {
             encodeBuf(e, 0, e.lat.t[4], e.lat.wide[0]);
             setDecimalCc(e, e.lat.wide[0]);
             e.lat.t[0] = e.lat.op[2];
@@ -299,7 +301,7 @@ buildCvtAshP(RomCtx &c)
         });
         emitWriteLoop(c, "CVTLP.wb", fin);
         c.bind(fin);
-        c.emit(R, "CVTLP.fin", [](Ebox &e) {
+        c.emit(R, "CVTLP.fin", flowEnd(), [](Ebox &e) {
             e.r(R0) = 0;
             e.r(R1) = 0;
             e.r(R2) = 0;
@@ -313,7 +315,7 @@ buildCvtAshP(RomCtx &c)
     {
         ULabel decode = c.lbl(), digits = c.lbl(), wb = c.lbl();
         ULabel fin = c.lbl(), rd = c.lbl();
-        execEntry(c, ExecFlow::AshP, G, "ASHP", [rd](Ebox &e) {
+        execEntry(c, ExecFlow::AshP, G, "ASHP", flowTo(rd), [rd](Ebox &e) {
             e.lat.t[4] = e.lat.op[1] & 31; // src digits
             e.lat.t[5] = e.lat.op[4] & 31; // dst digits
             e.lat.t[0] = e.lat.op[2];
@@ -324,7 +326,7 @@ buildCvtAshP(RomCtx &c)
         c.ua.bindAt(rd, c.ua.here());
         emitReadLoop(c, "ASHP.rd", decode);
         c.bind(decode);
-        c.emit(R, "ASHP.scale", [digits](Ebox &e) {
+        c.emit(R, "ASHP.scale", flowTo(digits), [digits](Ebox &e) {
             int64_t v = decodeBuf(e, 0, e.lat.t[4]);
             int8_t cnt = static_cast<int8_t>(e.lat.op[0]);
             if (cnt >= 0) {
@@ -346,7 +348,7 @@ buildCvtAshP(RomCtx &c)
         c.ua.bindAt(digits, c.ua.here());
         emitDigitLoop(c, "ASHP.digit", wb);
         c.bind(wb);
-        c.emit(R, "ASHP.wsetup", [](Ebox &e) {
+        c.emit(R, "ASHP.wsetup", flowFall(), [](Ebox &e) {
             encodeBuf(e, 0, e.lat.t[5], e.lat.wide[0]);
             setDecimalCc(e, e.lat.wide[0]);
             e.lat.t[0] = e.lat.op[5];
@@ -355,7 +357,7 @@ buildCvtAshP(RomCtx &c)
         });
         emitWriteLoop(c, "ASHP.wb", fin);
         c.bind(fin);
-        c.emit(R, "ASHP.fin", [](Ebox &e) {
+        c.emit(R, "ASHP.fin", flowEnd(), [](Ebox &e) {
             e.r(R0) = 0;
             e.r(R1) = e.lat.op[2];
             e.endInstruction();

@@ -39,7 +39,7 @@ emitFieldExtract(RomCtx &c)
     ULabel reg = c.lbl(), two = c.lbl(), done = c.lbl();
 
     c.bind(entry);
-    c.emit(R, "FLD.x0", [reg, two](Ebox &e) {
+    c.emit(R, "FLD.x0", flowTo({reg, two}).orFall(), [reg, two](Ebox &e) {
         e.lat.t[4] = e.lat.op[1] & 63; // size
         upc_assert(e.lat.t[4] <= 32);
         if (e.lat.vIsReg) {
@@ -54,19 +54,19 @@ emitFieldExtract(RomCtx &c)
         if (shift + e.lat.t[4] > 32)
             e.uJump(two);
     });
-    c.emitRead(R, "FLD.x1", [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
-    c.emit(R, "FLD.x2", [done](Ebox &e) {
+    c.emitRead(R, "FLD.x1", flowFall(), [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
+    c.emit(R, "FLD.x2", flowTo(done), [done](Ebox &e) {
         e.lat.t[5] = (e.md() >> e.lat.t[3]) & fieldMask(e.lat.t[4]);
         e.uJump(done);
     });
 
     c.bind(two);
-    c.emitRead(R, "FLD.x2a", [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
-    c.emitRead(R, "FLD.x2b", [](Ebox &e) {
+    c.emitRead(R, "FLD.x2a", flowFall(), [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
+    c.emitRead(R, "FLD.x2b", flowFall(), [](Ebox &e) {
         e.lat.t[6] = e.md();
         e.memRead(e.lat.t[2] + 4, 4);
     });
-    c.emit(R, "FLD.x2c", [done](Ebox &e) {
+    c.emit(R, "FLD.x2c", flowTo(done), [done](Ebox &e) {
         uint64_t window = (static_cast<uint64_t>(e.md()) << 32) |
             e.lat.t[6];
         e.lat.t[5] = static_cast<uint32_t>(window >> e.lat.t[3]) &
@@ -75,14 +75,14 @@ emitFieldExtract(RomCtx &c)
     });
 
     c.bind(reg);
-    c.emit(R, "FLD.xreg", [](Ebox &e) {
+    c.emit(R, "FLD.xreg", flowFall(), [](Ebox &e) {
         uint32_t pos = e.lat.op[0];
         upc_assert(pos < 32 && pos + e.lat.t[4] <= 32);
         e.lat.t[5] = (e.r(e.lat.vReg) >> pos) & fieldMask(e.lat.t[4]);
     });
 
     c.bind(done);
-    c.emit(R, "FLD.xret", [](Ebox &e) { e.uRet(); });
+    c.emit(R, "FLD.xret", flowRet(), [](Ebox &e) { e.uRet(); });
     return entry;
 }
 
@@ -92,12 +92,13 @@ buildExtract(RomCtx &c, ULabel extract)
     // EXTV / EXTZV.
     StoreTail st = makeStoreTail(c, R, "EXT");
     ULabel fin = c.lbl();
-    execEntry(c, ExecFlow::Ext, G, "EXT", [extract](Ebox &e) {
+    execEntry(c, ExecFlow::Ext, G, "EXT", flowCall(extract),
+              [extract](Ebox &e) {
         e.uCall(extract);
     });
     c.bind(fin);
     // (uCall returns to the word after the entry, which is this one.)
-    c.emit(R, "EXT.fin", [st](Ebox &e) {
+    c.emit(R, "EXT.fin", flowStore(st), [st](Ebox &e) {
         uint32_t v = e.lat.t[5];
         if (e.lat.opcode == op::EXTV && e.lat.t[4] > 0 &&
             e.lat.t[4] < 32 && (v >> (e.lat.t[4] - 1)) & 1) {
@@ -109,10 +110,11 @@ buildExtract(RomCtx &c, ULabel extract)
     });
 
     // CMPV / CMPZV.
-    execEntry(c, ExecFlow::CmpV, G, "CMPV", [extract](Ebox &e) {
+    execEntry(c, ExecFlow::CmpV, G, "CMPV", flowCall(extract),
+              [extract](Ebox &e) {
         e.uCall(extract);
     });
-    c.emit(R, "CMPV.fin", [](Ebox &e) {
+    c.emit(R, "CMPV.fin", flowEnd(), [](Ebox &e) {
         uint32_t v = e.lat.t[5];
         if (e.lat.opcode == op::CMPV && e.lat.t[4] > 0 &&
             e.lat.t[4] < 32 && (v >> (e.lat.t[4] - 1)) & 1) {
@@ -124,10 +126,11 @@ buildExtract(RomCtx &c, ULabel extract)
 
     // FFS / FFC.
     StoreTail ffs_st = makeStoreTail(c, R, "FFS");
-    execEntry(c, ExecFlow::Ffs, G, "FFS", [extract](Ebox &e) {
+    execEntry(c, ExecFlow::Ffs, G, "FFS", flowCall(extract),
+              [extract](Ebox &e) {
         e.uCall(extract);
     });
-    c.emit(R, "FFS.scan", [](Ebox &e) {
+    c.emit(R, "FFS.scan", flowFall(), [](Ebox &e) {
         uint32_t v = e.lat.t[5];
         if (e.lat.opcode == op::FFC)
             v = ~v & fieldMask(e.lat.t[4]);
@@ -141,7 +144,7 @@ buildExtract(RomCtx &c, ULabel extract)
             }
         }
     });
-    c.emit(R, "FFS.fin", [ffs_st](Ebox &e) {
+    c.emit(R, "FFS.fin", flowStore(ffs_st), [ffs_st](Ebox &e) {
         e.lat.t[0] = e.lat.op[0] +
             (e.psl().cc.z ? e.lat.t[4] : e.lat.t[6]);
         e.psl().cc.n = false;
@@ -156,7 +159,8 @@ buildInsv(RomCtx &c)
 {
     ULabel reg = c.lbl(), two = c.lbl();
     // INSV src.rl, pos.rl, size.rb, base.vb
-    execEntry(c, ExecFlow::Insv, G, "INSV", [reg, two](Ebox &e) {
+    execEntry(c, ExecFlow::Insv, G, "INSV",
+              flowTo({reg, two}).orFall(), [reg, two](Ebox &e) {
         e.lat.t[4] = e.lat.op[2] & 63; // size
         upc_assert(e.lat.t[4] <= 32);
         if (e.lat.vIsReg) {
@@ -171,25 +175,25 @@ buildInsv(RomCtx &c)
             e.uJump(two);
     });
     // Single-longword case.
-    c.emitRead(R, "INSV.r1", [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
-    c.emit(R, "INSV.m1", [](Ebox &e) {
+    c.emitRead(R, "INSV.r1", flowFall(), [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
+    c.emit(R, "INSV.m1", flowFall(), [](Ebox &e) {
         uint32_t m = fieldMask(e.lat.t[4]) << e.lat.t[3];
         e.lat.t[5] = (e.md() & ~m) |
             ((e.lat.op[0] << e.lat.t[3]) & m);
     });
-    c.emitWrite(R, "INSV.w1", [](Ebox &e) {
+    c.emitWrite(R, "INSV.w1", flowEnd(), [](Ebox &e) {
         e.memWrite(e.lat.t[2], e.lat.t[5], 4);
         e.endInstruction();
     });
 
     // Two-longword case.
     c.bind(two);
-    c.emitRead(R, "INSV.r2a", [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
-    c.emitRead(R, "INSV.r2b", [](Ebox &e) {
+    c.emitRead(R, "INSV.r2a", flowFall(), [](Ebox &e) { e.memRead(e.lat.t[2], 4); });
+    c.emitRead(R, "INSV.r2b", flowFall(), [](Ebox &e) {
         e.lat.t[6] = e.md();
         e.memRead(e.lat.t[2] + 4, 4);
     });
-    c.emit(R, "INSV.m2", [](Ebox &e) {
+    c.emit(R, "INSV.m2", flowFall(), [](Ebox &e) {
         uint64_t window = (static_cast<uint64_t>(e.md()) << 32) |
             e.lat.t[6];
         uint64_t m = static_cast<uint64_t>(fieldMask(e.lat.t[4]))
@@ -199,17 +203,17 @@ buildInsv(RomCtx &c)
         e.lat.t[5] = static_cast<uint32_t>(window);
         e.lat.t[6] = static_cast<uint32_t>(window >> 32);
     });
-    c.emitWrite(R, "INSV.w2a", [](Ebox &e) {
+    c.emitWrite(R, "INSV.w2a", flowFall(), [](Ebox &e) {
         e.memWrite(e.lat.t[2], e.lat.t[5], 4);
     });
-    c.emitWrite(R, "INSV.w2b", [](Ebox &e) {
+    c.emitWrite(R, "INSV.w2b", flowEnd(), [](Ebox &e) {
         e.memWrite(e.lat.t[2] + 4, e.lat.t[6], 4);
         e.endInstruction();
     });
 
     // Register case.
     c.bind(reg);
-    c.emit(R, "INSV.mreg", [](Ebox &e) {
+    c.emit(R, "INSV.mreg", flowEnd(), [](Ebox &e) {
         uint32_t pos = e.lat.op[1];
         upc_assert(pos < 32 && pos + e.lat.t[4] <= 32);
         uint32_t m = fieldMask(e.lat.t[4]) << pos;
@@ -230,7 +234,7 @@ buildBitBranches(RomCtx &c)
         // t5 = old bit value; decide branch (and for the modify forms
         // the write already happened).
         (void)modify;
-        return c.emit(R, name, [taken](Ebox &e) {
+        return c.emit(R, name, flowTo(taken).orEnd(), [taken](Ebox &e) {
             bool on_set = e.lat.opcode == op::BBS ||
                 e.lat.opcode == op::BBSS || e.lat.opcode == op::BBSC;
             if ((e.lat.t[5] != 0) == on_set)
@@ -243,7 +247,8 @@ buildBitBranches(RomCtx &c)
     // BBS / BBC (test only).
     {
         ULabel regc = c.lbl(), decide = c.lbl();
-        execEntry(c, ExecFlow::BitBr, G, "BB", [regc](Ebox &e) {
+        execEntry(c, ExecFlow::BitBr, G, "BB",
+              flowTo(regc).orFall(), [regc](Ebox &e) {
             if (e.lat.vIsReg) {
                 e.uJump(regc);
                 return;
@@ -251,15 +256,15 @@ buildBitBranches(RomCtx &c)
             e.lat.t[2] = e.lat.vAddr + (e.lat.op[0] >> 3);
             e.lat.t[3] = e.lat.op[0] & 7;
         }, UMemKind::None);
-        c.emitRead(R, "BB.read", [](Ebox &e) {
+        c.emitRead(R, "BB.read", flowFall(), [](Ebox &e) {
             e.memRead(e.lat.t[2], 1);
         });
-        c.emit(R, "BB.test", [decide](Ebox &e) {
+        c.emit(R, "BB.test", flowTo(decide), [decide](Ebox &e) {
             e.lat.t[5] = (e.md() >> e.lat.t[3]) & 1;
             e.uJump(decide);
         });
         c.bind(regc);
-        c.emit(R, "BB.treg", [decide](Ebox &e) {
+        c.emit(R, "BB.treg", flowTo(decide), [decide](Ebox &e) {
             upc_assert(e.lat.op[0] < 32);
             e.lat.t[5] = (e.r(e.lat.vReg) >> e.lat.op[0]) & 1;
             e.uJump(decide);
@@ -271,7 +276,8 @@ buildBitBranches(RomCtx &c)
     // BBSS/BBCS/BBSC/BBCC (test and modify).
     {
         ULabel regc = c.lbl(), decide = c.lbl();
-        execEntry(c, ExecFlow::BitBrMod, G, "BBM", [regc](Ebox &e) {
+        execEntry(c, ExecFlow::BitBrMod, G, "BBM",
+              flowTo(regc).orFall(), [regc](Ebox &e) {
             if (e.lat.vIsReg) {
                 e.uJump(regc);
                 return;
@@ -279,10 +285,10 @@ buildBitBranches(RomCtx &c)
             e.lat.t[2] = e.lat.vAddr + (e.lat.op[0] >> 3);
             e.lat.t[3] = e.lat.op[0] & 7;
         });
-        c.emitRead(R, "BBM.read", [](Ebox &e) {
+        c.emitRead(R, "BBM.read", flowFall(), [](Ebox &e) {
             e.memRead(e.lat.t[2], 1);
         });
-        c.emit(R, "BBM.mod", [](Ebox &e) {
+        c.emit(R, "BBM.mod", flowFall(), [](Ebox &e) {
             e.lat.t[5] = (e.md() >> e.lat.t[3]) & 1;
             bool set = e.lat.opcode == op::BBSS ||
                 e.lat.opcode == op::BBCS;
@@ -293,12 +299,12 @@ buildBitBranches(RomCtx &c)
                 b &= ~(1u << e.lat.t[3]);
             e.lat.t[6] = b;
         });
-        c.emitWrite(R, "BBM.write", [decide](Ebox &e) {
+        c.emitWrite(R, "BBM.write", flowTo(decide), [decide](Ebox &e) {
             e.uJump(decide);
             e.memWrite(e.lat.t[2], e.lat.t[6] & 0xFF, 1);
         });
         c.bind(regc);
-        c.emit(R, "BBM.treg", [decide](Ebox &e) {
+        c.emit(R, "BBM.treg", flowTo(decide), [decide](Ebox &e) {
             upc_assert(e.lat.op[0] < 32);
             uint32_t &reg_val = e.r(e.lat.vReg);
             e.lat.t[5] = (reg_val >> e.lat.op[0]) & 1;

@@ -27,7 +27,7 @@ emitStepLoop(RomCtx &c, const char *name)
 {
     ULabel step = c.lbl();
     c.bind(step);
-    c.emit(R, name, [step](Ebox &e) {
+    c.emit(R, name, flowTo(step).orFall(), [step](Ebox &e) {
         if (e.lat.sc > 1) {
             --e.lat.sc;
             e.uJump(step);
@@ -41,7 +41,7 @@ buildFFlows(RomCtx &c)
 {
     // ADDF/SUBF (shared; FPA does the work in a couple of passes).
     StoreTail st = makeStoreTail(c, R, "FADD");
-    execEntry(c, ExecFlow::FAddSub, G, "FADD", [](Ebox &e) {
+    execEntry(c, ExecFlow::FAddSub, G, "FADD", flowFall(), [](Ebox &e) {
         double a = fToDouble(e.lat.op[0]);
         double b = fToDouble(e.lat.op[1]);
         bool sub = e.lat.opcode == op::SUBF2 ||
@@ -50,9 +50,9 @@ buildFFlows(RomCtx &c)
         e.lat.t[0] = doubleToF(r);
         e.setCcFromF(r);
     });
-    c.emit(R, "FADD.align", [](Ebox &e) { (void)e; });
-    c.emit(R, "FADD.add", [](Ebox &e) { (void)e; });
-    c.emit(R, "FADD.norm", [st](Ebox &e) {
+    c.emit(R, "FADD.align", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(R, "FADD.add", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(R, "FADD.norm", flowStore(st), [st](Ebox &e) {
         // Normalization / round pass.
         jumpStore(e, st);
     });
@@ -60,7 +60,8 @@ buildFFlows(RomCtx &c)
     // MULF: three FPA multiply passes.
     StoreTail mul_st = makeStoreTail(c, R, "FMUL");
     ULabel mul_step = c.lbl();
-    execEntry(c, ExecFlow::FMul, G, "FMUL", [mul_step](Ebox &e) {
+    execEntry(c, ExecFlow::FMul, G, "FMUL", flowTo(mul_step),
+              [mul_step](Ebox &e) {
         double r = fToDouble(e.lat.op[0]) * fToDouble(e.lat.op[1]);
         e.lat.t[0] = doubleToF(r);
         e.setCcFromF(r);
@@ -71,18 +72,18 @@ buildFFlows(RomCtx &c)
     {
         ULabel self = c.lbl();
         c.ua.bindAt(self, c.ua.here());
-        c.emit(R, "FMUL.step", [self](Ebox &e) {
+        c.emit(R, "FMUL.step", flowTo(self).orFall(), [self](Ebox &e) {
             if (e.lat.sc > 1) {
                 --e.lat.sc;
                 e.uJump(self);
             }
         });
     }
-    c.emit(R, "FMUL.fin", [mul_st](Ebox &e) { jumpStore(e, mul_st); });
+    c.emit(R, "FMUL.fin", flowStore(mul_st), [mul_st](Ebox &e) { jumpStore(e, mul_st); });
 
     // DIVF: six divide passes.
     StoreTail div_st = makeStoreTail(c, R, "FDIV");
-    execEntry(c, ExecFlow::FDiv, G, "FDIV", [](Ebox &e) {
+    execEntry(c, ExecFlow::FDiv, G, "FDIV", flowFall(), [](Ebox &e) {
         double a = fToDouble(e.lat.op[0]);
         double b = fToDouble(e.lat.op[1]);
         double r;
@@ -99,11 +100,12 @@ buildFFlows(RomCtx &c)
         e.lat.sc = 9;
     });
     emitStepLoop(c, "FDIV.step");
-    c.emit(R, "FDIV.fin", [div_st](Ebox &e) { jumpStore(e, div_st); });
+    c.emit(R, "FDIV.fin", flowStore(div_st), [div_st](Ebox &e) { jumpStore(e, div_st); });
 
     // MOVF / MNEGF.
     StoreTail fmov_st = makeStoreTail(c, R, "FMOV");
-    execEntry(c, ExecFlow::FMov, G, "FMOV", [fmov_st](Ebox &e) {
+    execEntry(c, ExecFlow::FMov, G, "FMOV", flowStore(fmov_st),
+              [fmov_st](Ebox &e) {
         uint32_t v = e.lat.op[0];
         if (e.lat.opcode == op::MNEGF && !(v == 0))
             v ^= 0x8000u; // flip the F_floating sign bit
@@ -113,7 +115,7 @@ buildFFlows(RomCtx &c)
     });
 
     // CMPF / TSTF.
-    execEntry(c, ExecFlow::FCmp, G, "FCMP", [](Ebox &e) {
+    execEntry(c, ExecFlow::FCmp, G, "FCMP", flowEnd(), [](Ebox &e) {
         double a = fToDouble(e.lat.op[0]);
         double b = e.lat.opcode == op::CMPF ? fToDouble(e.lat.op[1])
                                             : 0.0;
@@ -126,18 +128,18 @@ buildFFlows(RomCtx &c)
 
     // CVTFL / CVTLF.
     StoreTail cvt_st = makeStoreTail(c, R, "FCVT");
-    execEntry(c, ExecFlow::CvtFI, G, "CVTFL", [](Ebox &e) {
+    execEntry(c, ExecFlow::CvtFI, G, "CVTFL", flowFall(), [](Ebox &e) {
         double d = fToDouble(e.lat.op[0]);
         e.lat.t[0] = static_cast<uint32_t>(static_cast<int64_t>(d));
         e.setCcNz(e.lat.t[0], DataType::Long);
     });
-    c.emit(R, "CVTFL.fin", [cvt_st](Ebox &e) { jumpStore(e, cvt_st); });
-    execEntry(c, ExecFlow::CvtIF, G, "CVTLF", [](Ebox &e) {
+    c.emit(R, "CVTFL.fin", flowStore(cvt_st), [cvt_st](Ebox &e) { jumpStore(e, cvt_st); });
+    execEntry(c, ExecFlow::CvtIF, G, "CVTLF", flowFall(), [](Ebox &e) {
         double d = static_cast<int32_t>(e.lat.op[0]);
         e.lat.t[0] = doubleToF(d);
         e.setCcFromF(d);
     });
-    c.emit(R, "CVTLF.fin", [cvt_st](Ebox &e) { jumpStore(e, cvt_st); });
+    c.emit(R, "CVTLF.fin", flowStore(cvt_st), [cvt_st](Ebox &e) { jumpStore(e, cvt_st); });
 }
 
 void
@@ -145,7 +147,7 @@ buildIntegerMulDiv(RomCtx &c)
 {
     // MULL: eight 4-bit multiply steps.
     StoreTail mull_st = makeStoreTail(c, R, "MULL");
-    execEntry(c, ExecFlow::MulL, G, "MULL", [](Ebox &e) {
+    execEntry(c, ExecFlow::MulL, G, "MULL", flowFall(), [](Ebox &e) {
         int64_t p = static_cast<int64_t>(
                         static_cast<int32_t>(e.lat.op[0])) *
             static_cast<int32_t>(e.lat.op[1]);
@@ -157,11 +159,11 @@ buildIntegerMulDiv(RomCtx &c)
         e.lat.sc = 10;
     });
     emitStepLoop(c, "MULL.step");
-    c.emit(R, "MULL.fin", [mull_st](Ebox &e) { jumpStore(e, mull_st); });
+    c.emit(R, "MULL.fin", flowStore(mull_st), [mull_st](Ebox &e) { jumpStore(e, mull_st); });
 
     // DIVL: sixteen divide steps.
     StoreTail divl_st = makeStoreTail(c, R, "DIVL");
-    execEntry(c, ExecFlow::DivL, G, "DIVL", [](Ebox &e) {
+    execEntry(c, ExecFlow::DivL, G, "DIVL", flowFall(), [](Ebox &e) {
         int32_t divisor = static_cast<int32_t>(e.lat.op[0]);
         int32_t dividend = static_cast<int32_t>(e.lat.op[1]);
         if (divisor == 0 ||
@@ -178,11 +180,11 @@ buildIntegerMulDiv(RomCtx &c)
         e.lat.sc = 18;
     });
     emitStepLoop(c, "DIVL.step");
-    c.emit(R, "DIVL.fin", [divl_st](Ebox &e) { jumpStore(e, divl_st); });
+    c.emit(R, "DIVL.fin", flowStore(divl_st), [divl_st](Ebox &e) { jumpStore(e, divl_st); });
 
     // EMUL mulr.rl, muld.rl, add.rl, prod.wq.
     ULabel emul_qreg = c.lbl(), emul_qmem = c.lbl();
-    execEntry(c, ExecFlow::Emul, G, "EMUL", [](Ebox &e) {
+    execEntry(c, ExecFlow::Emul, G, "EMUL", flowFall(), [](Ebox &e) {
         int64_t p = static_cast<int64_t>(
                         static_cast<int32_t>(e.lat.op[0])) *
             static_cast<int32_t>(e.lat.op[1]) +
@@ -195,21 +197,22 @@ buildIntegerMulDiv(RomCtx &c)
         e.lat.sc = 8;
     });
     emitStepLoop(c, "EMUL.step");
-    c.emit(R, "EMUL.fin", [emul_qreg, emul_qmem](Ebox &e) {
+    c.emit(R, "EMUL.fin", flowTo({emul_qreg, emul_qmem}),
+           [emul_qreg, emul_qmem](Ebox &e) {
         e.uJump(e.lat.dst[0].kind == DstLatch::Kind::Reg ? emul_qreg
                                                          : emul_qmem);
     });
     c.bind(emul_qreg);
-    c.emit(R, "EMUL.streg", [](Ebox &e) {
+    c.emit(R, "EMUL.streg", flowEnd(), [](Ebox &e) {
         e.r(e.lat.dst[0].reg) = e.lat.t[0];
         e.r((e.lat.dst[0].reg + 1) & 0xF) = e.lat.t[1];
         e.endInstruction();
     });
     c.bind(emul_qmem);
-    c.emitWrite(R, "EMUL.stmem1", [](Ebox &e) {
+    c.emitWrite(R, "EMUL.stmem1", flowFall(), [](Ebox &e) {
         e.memWrite(e.lat.dst[0].addr, e.lat.t[0], 4);
     });
-    c.emitWrite(R, "EMUL.stmem2", [](Ebox &e) {
+    c.emitWrite(R, "EMUL.stmem2", flowEnd(), [](Ebox &e) {
         e.memWrite(e.lat.dst[0].addr + 4, e.lat.t[1], 4);
         e.endInstruction();
     });
@@ -217,7 +220,7 @@ buildIntegerMulDiv(RomCtx &c)
     // EDIV divr.rl, divd.rq, quo.wl, rem.wl (two destinations).
     ULabel ediv_st0r = c.lbl(), ediv_st0m = c.lbl();
     ULabel ediv_st1 = c.lbl(), ediv_st1r = c.lbl(), ediv_st1m = c.lbl();
-    execEntry(c, ExecFlow::Ediv, G, "EDIV", [](Ebox &e) {
+    execEntry(c, ExecFlow::Ediv, G, "EDIV", flowFall(), [](Ebox &e) {
         int64_t dividend =
             (static_cast<int64_t>(e.lat.opHi[1]) << 32) |
             e.lat.op[1];
@@ -240,32 +243,34 @@ buildIntegerMulDiv(RomCtx &c)
         e.lat.sc = 16;
     });
     emitStepLoop(c, "EDIV.step");
-    c.emit(R, "EDIV.fin", [ediv_st0r, ediv_st0m](Ebox &e) {
+    c.emit(R, "EDIV.fin", flowTo({ediv_st0r, ediv_st0m}),
+           [ediv_st0r, ediv_st0m](Ebox &e) {
         e.uJump(e.lat.dst[0].kind == DstLatch::Kind::Reg ? ediv_st0r
                                                          : ediv_st0m);
     });
     c.bind(ediv_st0r);
-    c.emit(R, "EDIV.st0r", [ediv_st1](Ebox &e) {
+    c.emit(R, "EDIV.st0r", flowTo(ediv_st1), [ediv_st1](Ebox &e) {
         e.r(e.lat.dst[0].reg) = e.lat.t[0];
         e.uJump(ediv_st1);
     });
     c.bind(ediv_st0m);
-    c.emitWrite(R, "EDIV.st0m", [ediv_st1](Ebox &e) {
+    c.emitWrite(R, "EDIV.st0m", flowTo(ediv_st1), [ediv_st1](Ebox &e) {
         e.uJump(ediv_st1);
         e.memWrite(e.lat.dst[0].addr, e.lat.t[0], 4);
     });
     c.bind(ediv_st1);
-    c.emit(R, "EDIV.st1", [ediv_st1r, ediv_st1m](Ebox &e) {
+    c.emit(R, "EDIV.st1", flowTo({ediv_st1r, ediv_st1m}),
+           [ediv_st1r, ediv_st1m](Ebox &e) {
         e.uJump(e.lat.dst[1].kind == DstLatch::Kind::Reg ? ediv_st1r
                                                          : ediv_st1m);
     });
     c.bind(ediv_st1r);
-    c.emit(R, "EDIV.st1r", [](Ebox &e) {
+    c.emit(R, "EDIV.st1r", flowEnd(), [](Ebox &e) {
         e.r(e.lat.dst[1].reg) = e.lat.t[1];
         e.endInstruction();
     });
     c.bind(ediv_st1m);
-    c.emitWrite(R, "EDIV.st1m", [](Ebox &e) {
+    c.emitWrite(R, "EDIV.st1m", flowEnd(), [](Ebox &e) {
         e.memWrite(e.lat.dst[1].addr, e.lat.t[1], 4);
         e.endInstruction();
     });

@@ -36,14 +36,15 @@ emitTbFill(RomCtx &c, bool istream)
     // t0 = faulting VA, t1 = VPN, t2 = PTE system VA, t3 = PTE PA.
     UAnnotation entry_ann = c.ann(Row::MemMgmt, base);
     entry_ann.mark = istream ? UMark::TbMissI : UMark::TbMissD;
-    UAddr entry = c.emitFull(entry_ann, [sys](Ebox &e) {
+    UAddr entry = c.emitFull(entry_ann, flowTo(sys).orFall(),
+                             [sys](Ebox &e) {
         e.lat.mm[0] = e.trapVaTop();
         e.lat.mm[1] = vaVpn(e.lat.mm[0]);
         e.uIf(vaRegion(e.lat.mm[0]) == VaRegion::S0, sys);
     });
 
     // ---- Process-space path ----
-    c.emit(Row::MemMgmt, "MM.pbr", [](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.pbr", flowFall(), [](Ebox &e) {
         bool p1 = vaRegion(e.lat.mm[0]) == VaRegion::P1;
         uint32_t br = e.prRaw(p1 ? pr::P1BR : pr::P0BR);
         uint32_t lr = e.prRaw(p1 ? pr::P1LR : pr::P0LR);
@@ -51,17 +52,17 @@ emitTbFill(RomCtx &c, bool istream)
             e.fault(FaultKind::AccessViolation, "page-table length");
         e.lat.mm[2] = br + 4 * e.lat.mm[1];
     });
-    c.emit(Row::MemMgmt, "MM.save", [](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.save", flowFall(), [](Ebox &e) {
         // Internal-state save cycle (the real routine preserved its
         // working registers; ours are a dedicated bank).
         (void)e;
     });
-    c.emit(Row::MemMgmt, "MM.save2", [](Ebox &e) { (void)e; });
-    c.emit(Row::MemMgmt, "MM.save3", [](Ebox &e) { (void)e; });
-    c.emit(Row::MemMgmt, "MM.save4", [](Ebox &e) { (void)e; });
-    c.emit(Row::MemMgmt, "MM.save5", [](Ebox &e) { (void)e; });
-    c.emit(Row::MemMgmt, "MM.save6", [](Ebox &e) { (void)e; });
-    c.emit(Row::MemMgmt, "MM.probe", [have_spte](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.save2", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::MemMgmt, "MM.save3", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::MemMgmt, "MM.save4", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::MemMgmt, "MM.save5", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::MemMgmt, "MM.save6", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::MemMgmt, "MM.probe", flowTo(have_spte).orFall(), [have_spte](Ebox &e) {
         PhysAddr pa;
         if (e.tbProbeSystem(e.lat.mm[2], &pa)) {
             e.lat.mm[3] = pa;
@@ -69,18 +70,18 @@ emitTbFill(RomCtx &c, bool istream)
         }
     });
     // Double miss: fetch the system PTE mapping the page table page.
-    c.emit(Row::MemMgmt, "MM.sptadr", [](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.sptadr", flowFall(), [](Ebox &e) {
         uint32_t svpn = vaVpn(e.lat.mm[2]);
         if (svpn >= e.prRaw(pr::SLR))
             e.fault(FaultKind::AccessViolation, "system PT length");
         e.lat.mm[4] = e.prRaw(pr::SBR) + 4 * svpn;
     });
-    c.emitRead(Row::MemMgmt, "MM.sptread",
+    c.emitRead(Row::MemMgmt, "MM.sptread", flowFall(),
                [](Ebox &e) { e.memReadPhys(e.lat.mm[4]); });
-    c.emit(Row::MemMgmt, "MM.sptins", [](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.sptins", flowFall(), [](Ebox &e) {
         e.tbInsert(e.lat.mm[2], e.md());
     });
-    c.emit(Row::MemMgmt, "MM.reprobe", [](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.reprobe", flowFall(), [](Ebox &e) {
         PhysAddr pa;
         bool hit = e.tbProbeSystem(e.lat.mm[2], &pa);
         upc_assert(hit);
@@ -88,54 +89,54 @@ emitTbFill(RomCtx &c, bool istream)
     });
 
     c.bind(have_spte);
-    c.emitRead(Row::MemMgmt, "MM.pteread",
+    c.emitRead(Row::MemMgmt, "MM.pteread", flowFall(),
                [](Ebox &e) { e.memReadPhys(e.lat.mm[3]); });
-    c.emit(Row::MemMgmt, "MM.prot", [](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.prot", flowFall(), [](Ebox &e) {
         // Protection / valid check of the fetched PTE.
         if (!pte::valid(e.md()))
             e.fault(FaultKind::TranslationNotValid, "process page");
     });
-    c.emit(Row::MemMgmt, "MM.ins", [](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.ins", flowFall(), [](Ebox &e) {
         e.tbInsert(e.lat.mm[0], e.md());
     });
-    c.emit(Row::MemMgmt, "MM.mbit", [](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.mbit", flowFall(), [](Ebox &e) {
         // Modify-bit bookkeeping (modelled as a cycle, no state).
         (void)e;
     });
-    c.emit(Row::MemMgmt, "MM.rest1", [](Ebox &e) { (void)e; });
-    c.emit(Row::MemMgmt, "MM.rest2", [](Ebox &e) { (void)e; });
-    c.emit(Row::MemMgmt, "MM.rest3", [](Ebox &e) { (void)e; });
-    c.emit(Row::MemMgmt, "MM.rest4", [](Ebox &e) { (void)e; });
-    c.emit(Row::MemMgmt, "MM.rest5", [fin](Ebox &e) { e.uJump(fin); });
+    c.emit(Row::MemMgmt, "MM.rest1", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::MemMgmt, "MM.rest2", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::MemMgmt, "MM.rest3", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::MemMgmt, "MM.rest4", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::MemMgmt, "MM.rest5", flowTo(fin), [fin](Ebox &e) { e.uJump(fin); });
 
     // ---- System-space path ----
     c.bind(sys);
-    c.emit(Row::MemMgmt, "MM.sadr", [](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.sadr", flowFall(), [](Ebox &e) {
         if (e.lat.mm[1] >= e.prRaw(pr::SLR))
             e.fault(FaultKind::AccessViolation, "system PT length");
         e.lat.mm[3] = e.prRaw(pr::SBR) + 4 * e.lat.mm[1];
     });
-    c.emitRead(Row::MemMgmt, "MM.sread",
+    c.emitRead(Row::MemMgmt, "MM.sread", flowFall(),
                [](Ebox &e) { e.memReadPhys(e.lat.mm[3]); });
-    c.emit(Row::MemMgmt, "MM.scheck", [](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.scheck", flowFall(), [](Ebox &e) {
         if (!pte::valid(e.md()))
             e.fault(FaultKind::TranslationNotValid, "system page");
     });
-    c.emit(Row::MemMgmt, "MM.sins", [](Ebox &e) {
+    c.emit(Row::MemMgmt, "MM.sins", flowFall(), [](Ebox &e) {
         e.tbInsert(e.lat.mm[0], e.md());
     });
-    c.emit(Row::MemMgmt, "MM.spad1", [](Ebox &e) { (void)e; });
-    c.emit(Row::MemMgmt, "MM.spad2", [fin](Ebox &e) { e.uJump(fin); });
+    c.emit(Row::MemMgmt, "MM.spad1", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::MemMgmt, "MM.spad2", flowTo(fin), [fin](Ebox &e) { e.uJump(fin); });
 
     // ---- Common epilogue ----
     c.bind(fin);
     if (istream) {
-        c.emit(Row::MemMgmt, "MM.iclear", [](Ebox &e) {
+        c.emit(Row::MemMgmt, "MM.iclear", flowFall(), [](Ebox &e) {
             e.clearItbMissFlag();
         });
     }
     c.emit(Row::MemMgmt, istream ? "MM.iret" : "MM.dret",
-           [](Ebox &e) { e.uTrapRet(); });
+           flowTrapRet(), [](Ebox &e) { e.uTrapRet(); });
 
     return entry;
 }
@@ -148,7 +149,7 @@ emitAlignment(RomCtx &c)
     {
         UAnnotation a = c.ann(Row::MemMgmt, "MM.alignR");
         a.mark = UMark::UnalignedEntry;
-        c.ep.alignRead = c.emitFull(a, [](Ebox &e) {
+        c.ep.alignRead = c.emitFull(a, flowFall(), [](Ebox &e) {
             VirtAddr va;
             uint32_t data;
             unsigned bytes;
@@ -157,15 +158,15 @@ emitAlignment(RomCtx &c)
             e.lat.alg[1] = bytes;
             e.lat.alg[3] = 4 - (va & 3); // bytes in the first part
         });
-        c.emitRead(Row::MemMgmt, "MM.alignR1", [](Ebox &e) {
+        c.emitRead(Row::MemMgmt, "MM.alignR1", flowFall(), [](Ebox &e) {
             e.memRead(e.lat.alg[0], e.lat.alg[3]);
         });
-        c.emitRead(Row::MemMgmt, "MM.alignR2", [](Ebox &e) {
+        c.emitRead(Row::MemMgmt, "MM.alignR2", flowFall(), [](Ebox &e) {
             e.lat.alg[2] = e.md();
             e.memRead(e.lat.alg[0] + e.lat.alg[3],
                       e.lat.alg[1] - e.lat.alg[3]);
         });
-        c.emit(Row::MemMgmt, "MM.alignRm", [](Ebox &e) {
+        c.emit(Row::MemMgmt, "MM.alignRm", flowTrapRet(), [](Ebox &e) {
             e.setMd(e.lat.alg[2] | (e.md() << (8 * e.lat.alg[3])));
             e.uTrapRetSatisfied();
         });
@@ -175,7 +176,7 @@ emitAlignment(RomCtx &c)
     {
         UAnnotation a = c.ann(Row::MemMgmt, "MM.alignW");
         a.mark = UMark::UnalignedEntry;
-        c.ep.alignWrite = c.emitFull(a, [](Ebox &e) {
+        c.ep.alignWrite = c.emitFull(a, flowFall(), [](Ebox &e) {
             VirtAddr va;
             uint32_t data;
             unsigned bytes;
@@ -185,16 +186,16 @@ emitAlignment(RomCtx &c)
             e.lat.alg[2] = data;
             e.lat.alg[3] = 4 - (va & 3);
         });
-        c.emitWrite(Row::MemMgmt, "MM.alignW1", [](Ebox &e) {
+        c.emitWrite(Row::MemMgmt, "MM.alignW1", flowFall(), [](Ebox &e) {
             uint32_t mask = (1u << (8 * e.lat.alg[3])) - 1;
             e.memWrite(e.lat.alg[0], e.lat.alg[2] & mask, e.lat.alg[3]);
         });
-        c.emitWrite(Row::MemMgmt, "MM.alignW2", [](Ebox &e) {
+        c.emitWrite(Row::MemMgmt, "MM.alignW2", flowFall(), [](Ebox &e) {
             e.memWrite(e.lat.alg[0] + e.lat.alg[3],
                        e.lat.alg[2] >> (8 * e.lat.alg[3]),
                        e.lat.alg[1] - e.lat.alg[3]);
         });
-        c.emit(Row::MemMgmt, "MM.alignWf", [](Ebox &e) {
+        c.emit(Row::MemMgmt, "MM.alignWf", flowTrapRet(), [](Ebox &e) {
             e.uTrapRetSatisfied();
         });
     }
@@ -205,7 +206,7 @@ emitInterrupt(RomCtx &c)
 {
     UAnnotation a = c.ann(Row::IntExcept, "INT.entry");
     a.mark = UMark::InterruptEntry;
-    c.ep.interrupt = c.emitFull(a, [](Ebox &e) {
+    c.ep.interrupt = c.emitFull(a, flowFall(), [](Ebox &e) {
         // Pack the interrupted PSL/PC, then switch to kernel.
         e.lat.t[0] = e.psl().pack();
         e.lat.t[1] = e.decodePc();
@@ -213,33 +214,33 @@ emitInterrupt(RomCtx &c)
         e.switchMode(CpuMode::Kernel);
         e.psl().prev = old;
     });
-    c.emit(Row::IntExcept, "INT.vec", [](Ebox &e) {
+    c.emit(Row::IntExcept, "INT.vec", flowFall(), [](Ebox &e) {
         e.lat.t[2] = e.prRaw(pr::SCBB) +
             4 * e.pendingIntLevel();
     });
     // IPL arbitration, mode/stack selection and consistency checking
     // cycles of the real interrupt microcode.
-    c.emit(Row::IntExcept, "INT.arb1", [](Ebox &e) { (void)e; });
-    c.emit(Row::IntExcept, "INT.arb2", [](Ebox &e) { (void)e; });
-    c.emit(Row::IntExcept, "INT.stksel", [](Ebox &e) { (void)e; });
-    c.emit(Row::IntExcept, "INT.chk1", [](Ebox &e) { (void)e; });
-    c.emit(Row::IntExcept, "INT.chk2", [](Ebox &e) { (void)e; });
-    c.emit(Row::IntExcept, "INT.ast1", [](Ebox &e) { (void)e; });
-    c.emit(Row::IntExcept, "INT.ast2", [](Ebox &e) { (void)e; });
-    c.emit(Row::IntExcept, "INT.save1", [](Ebox &e) { (void)e; });
-    c.emit(Row::IntExcept, "INT.save2", [](Ebox &e) { (void)e; });
-    c.emit(Row::IntExcept, "INT.save3", [](Ebox &e) { (void)e; });
-    c.emitWrite(Row::IntExcept, "INT.pushpsl", [](Ebox &e) {
+    c.emit(Row::IntExcept, "INT.arb1", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::IntExcept, "INT.arb2", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::IntExcept, "INT.stksel", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::IntExcept, "INT.chk1", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::IntExcept, "INT.chk2", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::IntExcept, "INT.ast1", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::IntExcept, "INT.ast2", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::IntExcept, "INT.save1", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::IntExcept, "INT.save2", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::IntExcept, "INT.save3", flowFall(), [](Ebox &e) { (void)e; });
+    c.emitWrite(Row::IntExcept, "INT.pushpsl", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.lat.t[0], 4);
     });
-    c.emitWrite(Row::IntExcept, "INT.pushpc", [](Ebox &e) {
+    c.emitWrite(Row::IntExcept, "INT.pushpc", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.lat.t[1], 4);
     });
-    c.emitRead(Row::IntExcept, "INT.scbread",
+    c.emitRead(Row::IntExcept, "INT.scbread", flowFall(),
                [](Ebox &e) { e.memReadPhys(e.lat.t[2]); });
-    c.emit(Row::IntExcept, "INT.disp", [](Ebox &e) {
+    c.emit(Row::IntExcept, "INT.disp", flowEnd(), [](Ebox &e) {
         e.psl().ipl = static_cast<uint8_t>(e.pendingIntLevel());
         e.redirect(e.md());
         e.endInstruction();
@@ -261,35 +262,35 @@ emitMachineCheck(RomCtx &c)
 {
     UAnnotation a = c.ann(Row::IntExcept, "MCHK.entry");
     a.mark = UMark::InterruptEntry;
-    c.ep.machineCheck = c.emitFull(a, [](Ebox &e) {
+    c.ep.machineCheck = c.emitFull(a, flowFall(), [](Ebox &e) {
         e.lat.t[0] = e.psl().pack();
         e.lat.t[1] = e.decodePc();
         CpuMode old = e.psl().cur;
         e.switchMode(CpuMode::Kernel);
         e.psl().prev = old;
     });
-    c.emit(Row::IntExcept, "MCHK.vec", [](Ebox &e) {
+    c.emit(Row::IntExcept, "MCHK.vec", flowFall(), [](Ebox &e) {
         e.lat.t[2] = e.prRaw(pr::SCBB) + 4 * scbMachineCheck;
     });
     // Error-register scan cycles: the real MCHK flow read out the
     // cache/TB/SBI error status before building its stack frame.
-    c.emit(Row::IntExcept, "MCHK.scan1", [](Ebox &e) { (void)e; });
-    c.emit(Row::IntExcept, "MCHK.scan2", [](Ebox &e) { (void)e; });
-    c.emitWrite(Row::IntExcept, "MCHK.pushpsl", [](Ebox &e) {
+    c.emit(Row::IntExcept, "MCHK.scan1", flowFall(), [](Ebox &e) { (void)e; });
+    c.emit(Row::IntExcept, "MCHK.scan2", flowFall(), [](Ebox &e) { (void)e; });
+    c.emitWrite(Row::IntExcept, "MCHK.pushpsl", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.lat.t[0], 4);
     });
-    c.emitWrite(Row::IntExcept, "MCHK.pushpc", [](Ebox &e) {
+    c.emitWrite(Row::IntExcept, "MCHK.pushpc", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.lat.t[1], 4);
     });
-    c.emitWrite(Row::IntExcept, "MCHK.pushcause", [](Ebox &e) {
+    c.emitWrite(Row::IntExcept, "MCHK.pushcause", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.mcheckCause(), 4);
     });
-    c.emitRead(Row::IntExcept, "MCHK.scbread",
+    c.emitRead(Row::IntExcept, "MCHK.scbread", flowFall(),
                [](Ebox &e) { e.memReadPhys(e.lat.t[2]); });
-    c.emit(Row::IntExcept, "MCHK.disp", [](Ebox &e) {
+    c.emit(Row::IntExcept, "MCHK.disp", flowEnd(), [](Ebox &e) {
         e.psl().ipl = 31;
         e.redirect(e.md());
         e.endInstruction();

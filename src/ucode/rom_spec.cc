@@ -205,8 +205,9 @@ UAddr
 emitQuadReadTail(RomCtx &c, AddrMode mode, unsigned pos)
 {
     UAddr a0 = c.emitFull(bodyAnn(c, mode, pos, ".q1", UMemKind::Read),
+                          flowFall(),
                           [](Ebox &e) { e.memRead(e.lat.va + 4, 4); });
-    c.emitFull(bodyAnn(c, mode, pos, ".q2"), [](Ebox &e) {
+    c.emitFull(bodyAnn(c, mode, pos, ".q2"), flowDispatch(), [](Ebox &e) {
         e.lat.opHi[e.lat.specOpIndex] = e.md();
         e.nextSpecOrExec();
     });
@@ -223,6 +224,7 @@ buildDirectMode(RomCtx &c, AddrMode mode, unsigned pos, Former former,
     UAddr rd = c.emitFull(
         entryAnn(c, mode, pos, SpecAccClass::Read, uses_ib,
                  UMemKind::Read),
+        flowFall(),
         [former](Ebox &e) {
             if (!former(e))
                 return;
@@ -230,7 +232,8 @@ buildDirectMode(RomCtx &c, AddrMode mode, unsigned pos, Former former,
             e.memRead(e.lat.va, n > 4 ? 4 : n);
         });
     setEntry(c, mode, pos, SpecAccClass::Read, rd);
-    c.emitFull(bodyAnn(c, mode, pos, ".rmv"), [quad](Ebox &e) {
+    c.emitFull(bodyAnn(c, mode, pos, ".rmv"),
+               flowTo(quad).orDispatch(), [quad](Ebox &e) {
         e.lat.op[e.lat.specOpIndex] = e.md();
         if (e.lat.specType == DataType::Quad)
             e.uJump(quad);
@@ -243,6 +246,7 @@ buildDirectMode(RomCtx &c, AddrMode mode, unsigned pos, Former former,
     UAddr wr = c.emitFull(
         entryAnn(c, mode, pos, SpecAccClass::Write, uses_ib,
                  UMemKind::None),
+        flowDispatch(),
         [former](Ebox &e) {
             if (!former(e))
                 return;
@@ -255,6 +259,7 @@ buildDirectMode(RomCtx &c, AddrMode mode, unsigned pos, Former former,
     UAddr md = c.emitFull(
         entryAnn(c, mode, pos, SpecAccClass::Modify, uses_ib,
                  UMemKind::Read),
+        flowFall(),
         [former](Ebox &e) {
             if (!former(e))
                 return;
@@ -262,7 +267,8 @@ buildDirectMode(RomCtx &c, AddrMode mode, unsigned pos, Former former,
             e.memRead(e.lat.va, specSize(e));
         });
     setEntry(c, mode, pos, SpecAccClass::Modify, md);
-    c.emitFull(bodyAnn(c, mode, pos, ".mmv"), [](Ebox &e) {
+    c.emitFull(bodyAnn(c, mode, pos, ".mmv"), flowDispatch(),
+               [](Ebox &e) {
         e.lat.op[e.lat.specOpIndex] = e.md();
         recordDstMem(e);
         e.nextSpecOrExec();
@@ -272,6 +278,7 @@ buildDirectMode(RomCtx &c, AddrMode mode, unsigned pos, Former former,
     UAddr ad = c.emitFull(
         entryAnn(c, mode, pos, SpecAccClass::Addr, uses_ib,
                  UMemKind::None),
+        flowDispatch(),
         [former](Ebox &e) {
             if (!former(e))
                 return;
@@ -290,6 +297,7 @@ buildDeferredMode(RomCtx &c, AddrMode mode, unsigned pos, Former ptr_former,
     UAddr rd = c.emitFull(
         entryAnn(c, mode, pos, SpecAccClass::Read, uses_ib,
                  UMemKind::Read),
+        flowFall(),
         [ptr_former](Ebox &e) {
             if (!ptr_former(e))
                 return;
@@ -297,12 +305,14 @@ buildDeferredMode(RomCtx &c, AddrMode mode, unsigned pos, Former ptr_former,
         });
     setEntry(c, mode, pos, SpecAccClass::Read, rd);
     c.emitFull(bodyAnn(c, mode, pos, ".rd2", UMemKind::Read),
+               flowFall(),
                [](Ebox &e) {
                    e.lat.va = applyIdx(e, e.md());
                    unsigned n = specSize(e);
                    e.memRead(e.lat.va, n > 4 ? 4 : n);
                });
-    c.emitFull(bodyAnn(c, mode, pos, ".rmv"), [quad](Ebox &e) {
+    c.emitFull(bodyAnn(c, mode, pos, ".rmv"),
+               flowTo(quad).orDispatch(), [quad](Ebox &e) {
         e.lat.op[e.lat.specOpIndex] = e.md();
         if (e.lat.specType == DataType::Quad)
             e.uJump(quad);
@@ -315,13 +325,15 @@ buildDeferredMode(RomCtx &c, AddrMode mode, unsigned pos, Former ptr_former,
     UAddr wr = c.emitFull(
         entryAnn(c, mode, pos, SpecAccClass::Write, uses_ib,
                  UMemKind::Read),
+        flowFall(),
         [ptr_former](Ebox &e) {
             if (!ptr_former(e))
                 return;
             e.memRead(e.lat.va, 4);
         });
     setEntry(c, mode, pos, SpecAccClass::Write, wr);
-    c.emitFull(bodyAnn(c, mode, pos, ".wfin"), [](Ebox &e) {
+    c.emitFull(bodyAnn(c, mode, pos, ".wfin"), flowDispatch(),
+               [](Ebox &e) {
         e.lat.va = applyIdx(e, e.md());
         recordDstMem(e);
         e.nextSpecOrExec();
@@ -331,6 +343,7 @@ buildDeferredMode(RomCtx &c, AddrMode mode, unsigned pos, Former ptr_former,
     UAddr md = c.emitFull(
         entryAnn(c, mode, pos, SpecAccClass::Modify, uses_ib,
                  UMemKind::Read),
+        flowFall(),
         [ptr_former](Ebox &e) {
             if (!ptr_former(e))
                 return;
@@ -338,12 +351,14 @@ buildDeferredMode(RomCtx &c, AddrMode mode, unsigned pos, Former ptr_former,
         });
     setEntry(c, mode, pos, SpecAccClass::Modify, md);
     c.emitFull(bodyAnn(c, mode, pos, ".mrd2", UMemKind::Read),
+               flowFall(),
                [](Ebox &e) {
                    e.lat.va = applyIdx(e, e.md());
                    upc_assert(e.lat.specType != DataType::Quad);
                    e.memRead(e.lat.va, specSize(e));
                });
-    c.emitFull(bodyAnn(c, mode, pos, ".mmv"), [](Ebox &e) {
+    c.emitFull(bodyAnn(c, mode, pos, ".mmv"), flowDispatch(),
+               [](Ebox &e) {
         e.lat.op[e.lat.specOpIndex] = e.md();
         recordDstMem(e);
         e.nextSpecOrExec();
@@ -353,13 +368,15 @@ buildDeferredMode(RomCtx &c, AddrMode mode, unsigned pos, Former ptr_former,
     UAddr ad = c.emitFull(
         entryAnn(c, mode, pos, SpecAccClass::Addr, uses_ib,
                  UMemKind::Read),
+        flowFall(),
         [ptr_former](Ebox &e) {
             if (!ptr_former(e))
                 return;
             e.memRead(e.lat.va, 4);
         });
     setEntry(c, mode, pos, SpecAccClass::Addr, ad);
-    c.emitFull(bodyAnn(c, mode, pos, ".afin"), [](Ebox &e) {
+    c.emitFull(bodyAnn(c, mode, pos, ".afin"), flowDispatch(),
+               [](Ebox &e) {
         e.lat.va = applyIdx(e, e.md());
         finishAddrClass(e);
     });
@@ -371,6 +388,7 @@ buildRegisterMode(RomCtx &c, unsigned pos)
     AddrMode m = AddrMode::Register;
     UAddr rd = c.emitFull(
         entryAnn(c, m, pos, SpecAccClass::Read, false, UMemKind::None),
+        flowDispatch(),
         [](Ebox &e) {
             unsigned k = e.lat.specOpIndex;
             e.lat.op[k] = e.r(e.lat.specReg);
@@ -382,6 +400,7 @@ buildRegisterMode(RomCtx &c, unsigned pos)
 
     UAddr wr = c.emitFull(
         entryAnn(c, m, pos, SpecAccClass::Write, false, UMemKind::None),
+        flowDispatch(),
         [](Ebox &e) {
             recordDstReg(e);
             e.nextSpecOrExec();
@@ -390,6 +409,7 @@ buildRegisterMode(RomCtx &c, unsigned pos)
 
     UAddr md = c.emitFull(
         entryAnn(c, m, pos, SpecAccClass::Modify, false, UMemKind::None),
+        flowDispatch(),
         [](Ebox &e) {
             e.lat.op[e.lat.specOpIndex] = e.r(e.lat.specReg);
             recordDstReg(e);
@@ -401,6 +421,7 @@ buildRegisterMode(RomCtx &c, unsigned pos)
     // register is a fault caught at decode.
     UAddr ad = c.emitFull(
         entryAnn(c, m, pos, SpecAccClass::Addr, false, UMemKind::None),
+        flowDispatch(),
         [](Ebox &e) {
             upc_assert(e.lat.specAccess == Access::Field);
             e.lat.vIsReg = true;
@@ -416,6 +437,7 @@ buildLiteralMode(RomCtx &c, unsigned pos)
     AddrMode m = AddrMode::ShortLiteral;
     UAddr rd = c.emitFull(
         entryAnn(c, m, pos, SpecAccClass::Read, false, UMemKind::None),
+        flowDispatch(),
         [](Ebox &e) {
             unsigned k = e.lat.specOpIndex;
             e.lat.op[k] =
@@ -434,6 +456,7 @@ buildImmediateMode(RomCtx &c, unsigned pos)
     ULabel quad = c.lbl();
     UAddr rd = c.emitFull(
         entryAnn(c, m, pos, SpecAccClass::Read, true, UMemKind::None),
+        flowTo(quad).orDispatch(),
         [quad](Ebox &e) {
             unsigned n = specSize(e);
             unsigned take = n > 4 ? 4 : n;
@@ -450,7 +473,7 @@ buildImmediateMode(RomCtx &c, unsigned pos)
     c.bind(quad);
     UAnnotation qa = bodyAnn(c, m, pos, ".q");
     qa.ibRequest = true;
-    c.emitFull(qa, [](Ebox &e) {
+    c.emitFull(qa, flowDispatch(), [](Ebox &e) {
         if (!e.ibGet(4, false))
             return;
         e.hw().immediateBytes += 4;
@@ -468,7 +491,7 @@ buildIndexPrefix(RomCtx &c, unsigned pos)
                           leakName(name));
     a.mark = UMark::SpecIndexed;
     a.spec1 = pos == 0;
-    c.ep.indexPrefix[pos] = c.emitFull(a, [](Ebox &e) {
+    c.ep.indexPrefix[pos] = c.emitFull(a, flowSpec26(), [](Ebox &e) {
         e.lat.idxVal = e.r(e.lat.specIndexReg) * specSize(e);
         // Shared base processing: always the SPEC2-6 copy.
         e.uJumpAddr(e.spec26Entry(e.lat.specMode,

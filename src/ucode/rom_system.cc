@@ -38,7 +38,7 @@ void
 buildChmRei(RomCtx &c)
 {
     // CHMK code.rw: trap into the kernel through the SCB.
-    execEntry(c, ExecFlow::Chmk, G, "CHMK", [](Ebox &e) {
+    execEntry(c, ExecFlow::Chmk, G, "CHMK", flowFall(), [](Ebox &e) {
         ++e.hw().chmkCalls;
         e.lat.t[0] = e.psl().pack();
         e.lat.t[1] = e.decodePc();
@@ -46,41 +46,41 @@ buildChmRei(RomCtx &c)
         e.switchMode(CpuMode::Kernel);
         e.psl().prev = old;
     });
-    c.emitWrite(R, "CHMK.pushpsl", [](Ebox &e) {
+    c.emitWrite(R, "CHMK.pushpsl", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.lat.t[0], 4);
     });
-    c.emitWrite(R, "CHMK.pushpc", [](Ebox &e) {
+    c.emitWrite(R, "CHMK.pushpc", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.lat.t[1], 4);
     });
-    c.emitWrite(R, "CHMK.pushcode", [](Ebox &e) {
+    c.emitWrite(R, "CHMK.pushcode", flowFall(), [](Ebox &e) {
         e.r(SP) -= 4;
         e.memWrite(e.r(SP), e.lat.op[0], 4);
     });
-    c.emitRead(R, "CHMK.vec", [](Ebox &e) {
+    c.emitRead(R, "CHMK.vec", flowFall(), [](Ebox &e) {
         e.memReadPhys(e.prRaw(pr::SCBB) + 4 * scbChmk);
     });
-    c.emit(R, "CHMK.go", [](Ebox &e) {
+    c.emit(R, "CHMK.go", flowEnd(), [](Ebox &e) {
         e.redirect(e.md());
         e.endInstruction();
     });
 
     // REI: pop PC and PSL, drop back to the interrupted context.
-    execEntry(c, ExecFlow::Rei, G, "REI", [](Ebox &e) {
+    execEntry(c, ExecFlow::Rei, G, "REI", flowFall(), [](Ebox &e) {
         e.memRead(e.r(SP), 4);
         e.r(SP) += 4;
     }, UMemKind::Read);
-    c.emitRead(R, "REI.rdpsl", [](Ebox &e) {
+    c.emitRead(R, "REI.rdpsl", flowFall(), [](Ebox &e) {
         e.lat.t[1] = e.md();
         e.memRead(e.r(SP), 4);
         e.r(SP) += 4;
     });
-    c.emit(R, "REI.chk", [](Ebox &e) {
+    c.emit(R, "REI.chk", flowFall(), [](Ebox &e) {
         e.lat.t[2] = e.md();
         // Consistency checks of the restored PSL happen here.
     });
-    c.emit(R, "REI.go", [](Ebox &e) {
+    c.emit(R, "REI.go", flowEnd(), [](Ebox &e) {
         Psl np = Psl::unpack(e.lat.t[2]);
         e.switchMode(np.cur);
         e.psl() = np;
@@ -96,39 +96,39 @@ buildContextSwitch(RomCtx &c)
     // the general state.
     {
         ULabel loop = c.lbl();
-        execEntry(c, ExecFlow::SvPctx, G, "SVPCTX", [](Ebox &e) {
+        execEntry(c, ExecFlow::SvPctx, G, "SVPCTX", flowFall(), [](Ebox &e) {
             if (e.psl().cur != CpuMode::Kernel)
                 e.fault(FaultKind::PrivilegedInstruction, "SVPCTX");
             e.lat.t[0] = e.prRaw(pr::PCBB);
         });
-        c.emitRead(R, "SVPCTX.poppc", [](Ebox &e) {
+        c.emitRead(R, "SVPCTX.poppc", flowFall(), [](Ebox &e) {
             e.memRead(e.r(SP), 4);
             e.r(SP) += 4;
         });
-        c.emitRead(R, "SVPCTX.poppsl", [](Ebox &e) {
+        c.emitRead(R, "SVPCTX.poppsl", flowFall(), [](Ebox &e) {
             e.lat.t[1] = e.md();
             e.memRead(e.r(SP), 4);
             e.r(SP) += 4;
         });
-        c.emitWrite(R, "SVPCTX.wpc", [](Ebox &e) {
+        c.emitWrite(R, "SVPCTX.wpc", flowFall(), [](Ebox &e) {
             e.lat.t[2] = e.md();
             e.memWritePhys(e.lat.t[0] + pcbPc, e.lat.t[1], 4);
         });
-        c.emitWrite(R, "SVPCTX.wpsl", [](Ebox &e) {
+        c.emitWrite(R, "SVPCTX.wpsl", flowFall(), [](Ebox &e) {
             e.memWritePhys(e.lat.t[0] + pcbPsl, e.lat.t[2], 4);
         });
-        c.emitWrite(R, "SVPCTX.wksp", [](Ebox &e) {
+        c.emitWrite(R, "SVPCTX.wksp", flowFall(), [](Ebox &e) {
             e.memWritePhys(e.lat.t[0] + pcbKsp, e.r(SP), 4);
         });
-        c.emitWrite(R, "SVPCTX.wusp", [](Ebox &e) {
+        c.emitWrite(R, "SVPCTX.wusp", flowFall(), [](Ebox &e) {
             e.memWritePhys(e.lat.t[0] + pcbUsp, e.mfpr(pr::USP), 4);
         });
-        c.emit(R, "SVPCTX.linit", [loop](Ebox &e) {
+        c.emit(R, "SVPCTX.linit", flowTo(loop), [loop](Ebox &e) {
             e.lat.sc = 0;
             e.uJump(loop);
         });
         c.bind(loop);
-        c.emitWrite(R, "SVPCTX.wreg", [loop](Ebox &e) {
+        c.emitWrite(R, "SVPCTX.wreg", flowTo(loop).orEnd(), [loop](Ebox &e) {
             uint32_t r = e.lat.sc;
             if (r + 1 < 14) {
                 e.lat.sc = r + 1;
@@ -149,7 +149,7 @@ buildContextSwitch(RomCtx &c)
         a.flow = ExecFlow::LdPctx;
         // LDPCTX is both an execute entry and the context-switch
         // event marker; register the entry by hand.
-        UAddr entry = c.emitFull(a, [](Ebox &e) {
+        UAddr entry = c.emitFull(a, flowFall(), [](Ebox &e) {
             if (e.psl().cur != CpuMode::Kernel)
                 e.fault(FaultKind::PrivilegedInstruction, "LDPCTX");
             ++e.hw().contextSwitches;
@@ -158,64 +158,64 @@ buildContextSwitch(RomCtx &c)
         });
         c.ep.exec[static_cast<size_t>(ExecFlow::LdPctx)] = entry;
         c.bind(rloop);
-        c.emitRead(R, "LDPCTX.rreg", [](Ebox &e) {
+        c.emitRead(R, "LDPCTX.rreg", flowFall(), [](Ebox &e) {
             e.memReadPhys(e.lat.t[0] + pcbGpr + 4 * e.lat.sc);
         });
-        c.emit(R, "LDPCTX.wreg", [rloop](Ebox &e) {
+        c.emit(R, "LDPCTX.wreg", flowTo(rloop).orFall(), [rloop](Ebox &e) {
             e.r(e.lat.sc) = e.md();
             if (++e.lat.sc < 14)
                 e.uJump(rloop);
         });
-        c.emitRead(R, "LDPCTX.rusp", [](Ebox &e) {
+        c.emitRead(R, "LDPCTX.rusp", flowFall(), [](Ebox &e) {
             e.memReadPhys(e.lat.t[0] + pcbUsp);
         });
-        c.emit(R, "LDPCTX.wusp", [](Ebox &e) {
+        c.emit(R, "LDPCTX.wusp", flowFall(), [](Ebox &e) {
             e.mtpr(pr::USP, e.md());
         });
-        c.emitRead(R, "LDPCTX.rp0br", [](Ebox &e) {
+        c.emitRead(R, "LDPCTX.rp0br", flowFall(), [](Ebox &e) {
             e.memReadPhys(e.lat.t[0] + pcbP0br);
         });
-        c.emit(R, "LDPCTX.wp0br", [](Ebox &e) {
+        c.emit(R, "LDPCTX.wp0br", flowFall(), [](Ebox &e) {
             e.setPrRaw(pr::P0BR, e.md());
         });
-        c.emitRead(R, "LDPCTX.rp0lr", [](Ebox &e) {
+        c.emitRead(R, "LDPCTX.rp0lr", flowFall(), [](Ebox &e) {
             e.memReadPhys(e.lat.t[0] + pcbP0lr);
         });
-        c.emit(R, "LDPCTX.wp0lr", [](Ebox &e) {
+        c.emit(R, "LDPCTX.wp0lr", flowFall(), [](Ebox &e) {
             e.setPrRaw(pr::P0LR, e.md());
         });
-        c.emitRead(R, "LDPCTX.rp1br", [](Ebox &e) {
+        c.emitRead(R, "LDPCTX.rp1br", flowFall(), [](Ebox &e) {
             e.memReadPhys(e.lat.t[0] + pcbP1br);
         });
-        c.emit(R, "LDPCTX.wp1br", [](Ebox &e) {
+        c.emit(R, "LDPCTX.wp1br", flowFall(), [](Ebox &e) {
             e.setPrRaw(pr::P1BR, e.md());
         });
-        c.emitRead(R, "LDPCTX.rp1lr", [](Ebox &e) {
+        c.emitRead(R, "LDPCTX.rp1lr", flowFall(), [](Ebox &e) {
             e.memReadPhys(e.lat.t[0] + pcbP1lr);
         });
-        c.emit(R, "LDPCTX.wp1lr", [](Ebox &e) {
+        c.emit(R, "LDPCTX.wp1lr", flowFall(), [](Ebox &e) {
             e.setPrRaw(pr::P1LR, e.md());
         });
-        c.emit(R, "LDPCTX.tbflush", [](Ebox &e) {
+        c.emit(R, "LDPCTX.tbflush", flowFall(), [](Ebox &e) {
             e.tbInvalidateProcess();
         });
-        c.emitRead(R, "LDPCTX.rksp", [](Ebox &e) {
+        c.emitRead(R, "LDPCTX.rksp", flowFall(), [](Ebox &e) {
             e.memReadPhys(e.lat.t[0] + pcbKsp);
         });
-        c.emit(R, "LDPCTX.wksp", [](Ebox &e) { e.r(SP) = e.md(); });
-        c.emitRead(R, "LDPCTX.rpc", [](Ebox &e) {
+        c.emit(R, "LDPCTX.wksp", flowFall(), [](Ebox &e) { e.r(SP) = e.md(); });
+        c.emitRead(R, "LDPCTX.rpc", flowFall(), [](Ebox &e) {
             e.memReadPhys(e.lat.t[0] + pcbPc);
         });
-        c.emitRead(R, "LDPCTX.rpsl", [](Ebox &e) {
+        c.emitRead(R, "LDPCTX.rpsl", flowFall(), [](Ebox &e) {
             e.lat.t[1] = e.md();
             e.memReadPhys(e.lat.t[0] + pcbPsl);
         });
-        c.emitWrite(R, "LDPCTX.pushpsl", [](Ebox &e) {
+        c.emitWrite(R, "LDPCTX.pushpsl", flowFall(), [](Ebox &e) {
             e.lat.t[2] = e.md();
             e.r(SP) -= 4;
             e.memWrite(e.r(SP), e.lat.t[2], 4);
         });
-        c.emitWrite(R, "LDPCTX.pushpc", [](Ebox &e) {
+        c.emitWrite(R, "LDPCTX.pushpc", flowEnd(), [](Ebox &e) {
             e.r(SP) -= 4;
             e.memWrite(e.r(SP), e.lat.t[1], 4);
             e.endInstruction();
@@ -227,7 +227,7 @@ void
 buildQueueProbeMisc(RomCtx &c)
 {
     // PROBER/PROBEW mode.rb, len.rw, base.ab.
-    execEntry(c, ExecFlow::Probe, G, "PROBE", [](Ebox &e) {
+    execEntry(c, ExecFlow::Probe, G, "PROBE", flowFall(), [](Ebox &e) {
         CpuMode m = static_cast<CpuMode>(e.lat.op[0] & 3);
         // Check against the less privileged of operand/previous mode.
         if (static_cast<unsigned>(e.psl().prev) >
@@ -238,7 +238,7 @@ buildQueueProbeMisc(RomCtx &c)
         e.lat.t[0] = e.probeAccess(e.lat.op[2], is_write, m);
         e.lat.t[1] = static_cast<uint32_t>(m);
     });
-    c.emit(R, "PROBE.fin", [](Ebox &e) {
+    c.emit(R, "PROBE.fin", flowEnd(), [](Ebox &e) {
         bool last_ok = e.probeAccess(
             e.lat.op[2] + (e.lat.op[1] & 0xFFFF) - 1,
             e.lat.opcode == op::PROBEW,
@@ -249,20 +249,20 @@ buildQueueProbeMisc(RomCtx &c)
     });
 
     // INSQUE entry.ab, pred.ab.
-    execEntry(c, ExecFlow::InsQue, G, "INSQUE", [](Ebox &e) {
+    execEntry(c, ExecFlow::InsQue, G, "INSQUE", flowFall(), [](Ebox &e) {
         e.memRead(e.lat.op[1], 4); // successor = pred.flink
     }, UMemKind::Read);
-    c.emit(R, "INSQUE.t", [](Ebox &e) { e.lat.t[0] = e.md(); });
-    c.emitWrite(R, "INSQUE.w1", [](Ebox &e) {
+    c.emit(R, "INSQUE.t", flowFall(), [](Ebox &e) { e.lat.t[0] = e.md(); });
+    c.emitWrite(R, "INSQUE.w1", flowFall(), [](Ebox &e) {
         e.memWrite(e.lat.op[0], e.lat.t[0], 4); // entry.flink
     });
-    c.emitWrite(R, "INSQUE.w2", [](Ebox &e) {
+    c.emitWrite(R, "INSQUE.w2", flowFall(), [](Ebox &e) {
         e.memWrite(e.lat.op[0] + 4, e.lat.op[1], 4); // entry.blink
     });
-    c.emitWrite(R, "INSQUE.w3", [](Ebox &e) {
+    c.emitWrite(R, "INSQUE.w3", flowFall(), [](Ebox &e) {
         e.memWrite(e.lat.op[1], e.lat.op[0], 4); // pred.flink
     });
-    c.emitWrite(R, "INSQUE.w4", [](Ebox &e) {
+    c.emitWrite(R, "INSQUE.w4", flowEnd(), [](Ebox &e) {
         e.memWrite(e.lat.t[0] + 4, e.lat.op[0], 4); // succ.blink
         e.psl().cc.z = e.lat.t[0] == e.lat.op[1]; // queue was empty
         e.endInstruction();
@@ -270,21 +270,21 @@ buildQueueProbeMisc(RomCtx &c)
 
     // REMQUE entry.ab, addr.wl.
     StoreTail rq_st = makeStoreTail(c, R, "REMQUE");
-    execEntry(c, ExecFlow::RemQue, G, "REMQUE", [](Ebox &e) {
+    execEntry(c, ExecFlow::RemQue, G, "REMQUE", flowFall(), [](Ebox &e) {
         e.memRead(e.lat.op[0], 4); // flink
     }, UMemKind::Read);
-    c.emitRead(R, "REMQUE.r2", [](Ebox &e) {
+    c.emitRead(R, "REMQUE.r2", flowFall(), [](Ebox &e) {
         e.lat.t[1] = e.md();
         e.memRead(e.lat.op[0] + 4, 4); // blink
     });
-    c.emit(R, "REMQUE.t", [](Ebox &e) { e.lat.t[2] = e.md(); });
-    c.emitWrite(R, "REMQUE.w1", [](Ebox &e) {
+    c.emit(R, "REMQUE.t", flowFall(), [](Ebox &e) { e.lat.t[2] = e.md(); });
+    c.emitWrite(R, "REMQUE.w1", flowFall(), [](Ebox &e) {
         e.memWrite(e.lat.t[2], e.lat.t[1], 4); // blink.flink = flink
     });
-    c.emitWrite(R, "REMQUE.w2", [](Ebox &e) {
+    c.emitWrite(R, "REMQUE.w2", flowFall(), [](Ebox &e) {
         e.memWrite(e.lat.t[1] + 4, e.lat.t[2], 4); // flink.blink
     });
-    c.emit(R, "REMQUE.fin", [rq_st](Ebox &e) {
+    c.emit(R, "REMQUE.fin", flowStore(rq_st), [rq_st](Ebox &e) {
         e.lat.t[0] = e.lat.op[0];
         e.psl().cc.z = e.lat.t[1] == e.lat.t[2]; // queue now empty
         jumpStore(e, rq_st);
@@ -294,7 +294,8 @@ buildQueueProbeMisc(RomCtx &c)
     // analyzer can count software-interrupt requests (Table 7).
     {
         ULabel sirr = c.lbl();
-        execEntry(c, ExecFlow::Mtpr, G, "MTPR", [sirr](Ebox &e) {
+        execEntry(c, ExecFlow::Mtpr, G, "MTPR",
+                  flowTo(sirr).orEnd(), [sirr](Ebox &e) {
             if (e.lat.op[1] == pr::SIRR) {
                 e.uJump(sirr);
                 return;
@@ -305,14 +306,15 @@ buildQueueProbeMisc(RomCtx &c)
         c.bind(sirr);
         UAnnotation a = c.ann(R, "MTPR.sirr");
         a.mark = UMark::SwIntRequest;
-        c.emitFull(a, [](Ebox &e) {
+        c.emitFull(a, flowEnd(), [](Ebox &e) {
             e.mtpr(pr::SIRR, e.lat.op[0]);
             e.endInstruction();
         });
     }
 
     StoreTail mfpr_st = makeStoreTail(c, R, "MFPR");
-    execEntry(c, ExecFlow::Mfpr, G, "MFPR", [mfpr_st](Ebox &e) {
+    execEntry(c, ExecFlow::Mfpr, G, "MFPR", flowStore(mfpr_st),
+              [mfpr_st](Ebox &e) {
         e.lat.t[0] = e.mfpr(e.lat.op[0]);
         e.setCcNz(e.lat.t[0], DataType::Long);
         jumpStore(e, mfpr_st);
@@ -320,7 +322,7 @@ buildQueueProbeMisc(RomCtx &c)
 
     // BISPSW/BICPSW: set/clear PSW condition-code and trap-enable
     // bits (we model the condition codes).
-    execEntry(c, ExecFlow::Psw, G, "xxxPSW", [](Ebox &e) {
+    execEntry(c, ExecFlow::Psw, G, "xxxPSW", flowEnd(), [](Ebox &e) {
         uint32_t mask = e.lat.op[0] & 0xF; // cc bits only
         uint32_t cur = e.psl().pack() & 0xF;
         uint32_t next = e.lat.opcode == op::BISPSW ? (cur | mask)
@@ -334,17 +336,17 @@ buildQueueProbeMisc(RomCtx &c)
         e.endInstruction();
     });
 
-    execEntry(c, ExecFlow::Halt, G, "HALT", [](Ebox &e) {
+    execEntry(c, ExecFlow::Halt, G, "HALT", flowStop(), [](Ebox &e) {
         if (e.psl().cur != CpuMode::Kernel)
             e.fault(FaultKind::PrivilegedInstruction, "HALT");
         e.setHalted();
     });
 
-    execEntry(c, ExecFlow::Nop, G, "NOP", [](Ebox &e) {
+    execEntry(c, ExecFlow::Nop, G, "NOP", flowEnd(), [](Ebox &e) {
         e.endInstruction();
     });
 
-    execEntry(c, ExecFlow::Bpt, G, "BPT", [](Ebox &e) {
+    execEntry(c, ExecFlow::Bpt, G, "BPT", flowStop(), [](Ebox &e) {
         e.fault(FaultKind::Breakpoint);
     });
 }

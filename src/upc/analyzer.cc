@@ -8,20 +8,6 @@
 namespace vax
 {
 
-const char *
-timeColName(TimeCol c)
-{
-    switch (c) {
-      case TimeCol::Compute: return "Compute";
-      case TimeCol::Read:    return "Read";
-      case TimeCol::RStall:  return "R-Stall";
-      case TimeCol::Write:   return "Write";
-      case TimeCol::WStall:  return "W-Stall";
-      case TimeCol::IbStall: return "IB-Stall";
-      default:               return "?";
-    }
-}
-
 namespace
 {
 
@@ -122,34 +108,17 @@ HistogramAnalyzer::classify()
         uint64_t s = hist_.stalled[a];
         size_t row = static_cast<size_t>(ann.row);
 
-        // Classify cycles into the Table 8 columns.  A word that both
-        // requests IB bytes and references memory (displacement-mode
-        // operand fetch) has its stalled bank attributed to the
-        // memory column: the two-bank board cannot split it, exactly
-        // as on the real monitor.
-        TimeCol ncol = TimeCol::Compute;
-        TimeCol scol = TimeCol::Compute;
-        switch (ann.mem) {
-          case UMemKind::Read:
-            ncol = TimeCol::Read;
-            scol = TimeCol::RStall;
-            break;
-          case UMemKind::Write:
-            ncol = TimeCol::Write;
-            scol = TimeCol::WStall;
-            break;
-          case UMemKind::None:
-            ncol = TimeCol::Compute;
-            scol = TimeCol::IbStall; // only IB requesters stall here
-            break;
-        }
-        cycles_[row][static_cast<size_t>(ncol)] += n;
+        // Classify cycles into the Table 8 columns via the shared
+        // Row x TimeCol mapping (ucode/annotations.hh), the same one
+        // the static verifier proves total over the reachable store.
+        TimeColPair cols = timeColsFor(ann);
+        cycles_[row][static_cast<size_t>(cols.normal)] += n;
         if (s) {
-            if (ann.mem == UMemKind::None && !ann.ibRequest) {
+            if (!cols.stallLegal) {
                 panic("stalled cycles at %s, which neither references "
                       "memory nor requests IB bytes", ann.name);
             }
-            cycles_[row][static_cast<size_t>(scol)] += s;
+            cycles_[row][static_cast<size_t>(cols.stalled)] += s;
         }
         totalCycles_ += n + s;
 

@@ -26,13 +26,9 @@
 namespace vax
 {
 
-/** Columns of the paper's Table 8. */
-enum class TimeCol : uint8_t {
-    Compute, Read, RStall, Write, WStall, IbStall, NumCols,
-};
-
-/** Printable name of a Table 8 column. */
-const char *timeColName(TimeCol c);
+// TimeCol and the shared Row x TimeCol classification helper
+// (timeColsFor) live in ucode/annotations.hh, next to Row, so the
+// static verifier and this analyzer agree on one mapping.
 
 class HistogramAnalyzer
 {

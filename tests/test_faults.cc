@@ -253,7 +253,7 @@ TEST(Watchdog, CatchesLoopingMicrocode)
     MicroAssembler as(cs);
     UAnnotation ann;
     ann.name = "SPIN";
-    as.emit(ann, [](Ebox &e) { e.uJumpAddr(0); });
+    as.emit(ann, flowToAddr(0), [](Ebox &e) { e.uJumpAddr(0); });
     cs.entries.iid = 0;
 
     MemConfig mcfg;

@@ -224,7 +224,7 @@ TEST(ControlStoreLayout, FitsHistogramBoard)
             continue;
         EXPECT_NE(cpu.controlStore().entries.exec[static_cast<size_t>(
                       info.flow)],
-                  0u)
+                  kInvalidUAddr)
             << info.mnemonic;
     }
 }

@@ -316,8 +316,9 @@ TEST(PoolTelemetry, AggregateIsMonotonic)
     EXPECT_GE(tele.wallSeconds, max_wall);
     EXPECT_EQ(tele.simCycles, cycles);
     EXPECT_GT(tele.instructions, 0u);
-    if (tele.wallSeconds > 0)
+    if (tele.wallSeconds > 0) {
         EXPECT_GT(tele.cyclesPerSecond(), 0.0);
+    }
     EXPECT_FALSE(tele.summary().empty());
 }
 

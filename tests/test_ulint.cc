@@ -1,0 +1,369 @@
+/**
+ * @file
+ * The static microcode verifier, exercised three ways: the production
+ * ROM must lint clean, a minimal hand-built store must lint clean,
+ * and a family of deliberately broken mini-ROMs must each fire
+ * exactly the diagnostic class their defect belongs to.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/ulint.hh"
+#include "arch/opcodes.hh"
+#include "cpu/cpu.hh"
+#include "support/stats.hh"
+#include "ucode/rom.hh"
+
+using namespace vax;
+
+namespace
+{
+
+/**
+ * A minimal control store the linter accepts: every required entry
+ * slot filled with a word of the right Table 8 row, the four microtrap
+ * service entries returning via trap-return, and every execute flow
+ * some opcode uses pointing at a per-group terminal word.  Tests
+ * perturb it (or rebuild it with a knob) to plant exactly one defect.
+ */
+struct MiniRom
+{
+    struct Opts
+    {
+        /** Emit the unaligned-read service entry without a
+         *  trap-return (mem-annotation defect). */
+        bool alignReadNoRet = false;
+    };
+
+    ControlStore cs;
+    MicroAssembler as{cs};
+
+    UAddr
+    word(Row row, const char *name, UFlow f,
+         UMemKind mem = UMemKind::None, bool ib = false)
+    {
+        UAnnotation a;
+        a.row = row;
+        a.name = name;
+        a.mem = mem;
+        a.ibRequest = ib;
+        return as.emit(a, std::move(f), [](Ebox &) {});
+    }
+
+    MiniRom() { build(Opts{}); }
+    explicit MiniRom(const Opts &opts) { build(opts); }
+
+    void
+    build(const Opts &opts)
+    {
+        EntryPoints &ep = cs.entries;
+        ep.iid = word(Row::Decode, "IID", flowDispatch(),
+                      UMemKind::None, true);
+        ep.specWait[0] =
+            word(Row::Spec1, "SPEC1.wait", flowDispatch(),
+                 UMemKind::None, true);
+        ep.specWait[1] =
+            word(Row::Spec26, "SPEC26.wait", flowDispatch(),
+                 UMemKind::None, true);
+        ep.abort = word(Row::Abort, "ABORT", flowReserved());
+        ep.tbMissD =
+            word(Row::MemMgmt, "TB.d", flowTrapRet(), UMemKind::Read);
+        ep.tbMissI =
+            word(Row::MemMgmt, "TB.i", flowTrapRet(), UMemKind::Read);
+        ep.alignRead = opts.alignReadNoRet
+            ? word(Row::MemMgmt, "ALIGN.r", flowEnd(), UMemKind::Read)
+            : word(Row::MemMgmt, "ALIGN.r", flowTrapRet(),
+                   UMemKind::Read);
+        ep.alignWrite = word(Row::MemMgmt, "ALIGN.w", flowTrapRet(),
+                             UMemKind::Write);
+        ep.interrupt = word(Row::IntExcept, "INT", flowEnd());
+        ep.exception = word(Row::IntExcept, "EXC", flowEnd());
+        ep.machineCheck = word(Row::IntExcept, "MCHK", flowEnd());
+        ep.indexPrefix[0] =
+            word(Row::Spec1, "SPEC1.idx", flowSpec26());
+        ep.indexPrefix[1] =
+            word(Row::Spec26, "SPEC26.idx", flowSpec26());
+
+        // One shared specifier word per position class.
+        UAddr s1 = word(Row::Spec1, "SPEC1.any", flowDispatch());
+        UAddr s26 = word(Row::Spec26, "SPEC26.any", flowDispatch());
+        for (size_t m = 0;
+             m < static_cast<size_t>(AddrMode::NumModes); ++m) {
+            for (size_t c = 0;
+                 c < static_cast<size_t>(SpecAccClass::NumClasses);
+                 ++c) {
+                AddrMode mode = static_cast<AddrMode>(m);
+                bool read_only = mode == AddrMode::ShortLiteral ||
+                    mode == AddrMode::Immediate;
+                if (read_only &&
+                    static_cast<SpecAccClass>(c) != SpecAccClass::Read)
+                    continue;
+                ep.spec[m][0][c] = s1;
+                ep.spec[m][1][c] = s26;
+            }
+        }
+
+        // One terminal execute word per group row, shared by every
+        // flow the opcode table assigns to that group.
+        std::array<UAddr, static_cast<size_t>(Group::NumGroups)> ew;
+        ew.fill(kInvalidUAddr);
+        for (unsigned i = 0; i < 256; ++i) {
+            const OpcodeInfo &info =
+                opcodeInfo(static_cast<uint8_t>(i));
+            if (!info.valid || info.flow == ExecFlow::None)
+                continue;
+            size_t g = static_cast<size_t>(info.group);
+            if (ew[g] == kInvalidUAddr)
+                ew[g] = word(execRowFor(info.group), "EXEC.any",
+                             flowEnd());
+            ep.exec[static_cast<size_t>(info.flow)] = ew[g];
+        }
+    }
+
+    /** Row expected at exec entries of the group owning `flow`. */
+    static Row
+    rowOf(ExecFlow flow)
+    {
+        for (unsigned i = 0; i < 256; ++i) {
+            const OpcodeInfo &info =
+                opcodeInfo(static_cast<uint8_t>(i));
+            if (info.valid && info.flow == flow)
+                return execRowFor(info.group);
+        }
+        return Row::ExecSimple;
+    }
+};
+
+bool
+hasMessage(const LintReport &rep, LintCheck check,
+           const std::string &needle)
+{
+    for (const LintDiag &d : rep.diags)
+        if (d.check == check &&
+            d.message.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // anonymous namespace
+
+TEST(UcodeLint, ProductionRomIsClean)
+{
+    ControlStore cs;
+    buildMicrocodeRom(cs);
+    LintReport rep = lintControlStore(cs);
+    EXPECT_TRUE(rep.clean()) << rep.text();
+    EXPECT_EQ(rep.words, cs.size());
+    EXPECT_GT(rep.reachable, 0u);
+    EXPECT_GE(rep.reserved, 3u); // RESERVED0, ABORT, EXC.stub
+    // Everything but the reserved guard words is reachable.
+    EXPECT_GE(rep.reachable + rep.reserved, rep.words);
+}
+
+TEST(UcodeLint, MiniRomIsClean)
+{
+    MiniRom mini;
+    LintReport rep = lintControlStore(mini.cs);
+    EXPECT_TRUE(rep.clean()) << rep.text();
+    EXPECT_EQ(rep.reachable + 1, rep.words); // only ABORT unreached
+}
+
+TEST(UcodeLint, DanglingLabelIsABadTarget)
+{
+    MiniRom mini;
+    ULabel never_bound = mini.as.newLabel();
+    UAddr bad = mini.word(MiniRom::rowOf(ExecFlow::Mov), "MOV.bad",
+                          flowTo(never_bound));
+    mini.cs.entries.exec[static_cast<size_t>(ExecFlow::Mov)] = bad;
+    LintReport rep = lintControlStore(mini.cs);
+    ASSERT_EQ(rep.diags.size(), 1u) << rep.text();
+    EXPECT_EQ(rep.countFor(LintCheck::BadTarget), 1u);
+    EXPECT_EQ(rep.diags[0].addr, bad);
+    EXPECT_TRUE(
+        hasMessage(rep, LintCheck::BadTarget, "never bound"));
+}
+
+TEST(UcodeLint, OutOfRangeJumpIsABadTarget)
+{
+    MiniRom mini;
+    UAddr bad = mini.word(MiniRom::rowOf(ExecFlow::Mov), "MOV.bad",
+                          flowToAddr(9999));
+    mini.cs.entries.exec[static_cast<size_t>(ExecFlow::Mov)] = bad;
+    LintReport rep = lintControlStore(mini.cs);
+    ASSERT_EQ(rep.diags.size(), 1u) << rep.text();
+    EXPECT_TRUE(hasMessage(rep, LintCheck::BadTarget,
+                           "outside the"));
+}
+
+TEST(UcodeLint, ConflictingRowClaimIsAClassificationError)
+{
+    MiniRom mini;
+    // A Simple-group execute entry classified as Float microcode.
+    UAddr bad =
+        mini.word(Row::ExecFloat, "MOV.wrongrow", flowEnd());
+    mini.cs.entries.exec[static_cast<size_t>(ExecFlow::Mov)] = bad;
+    LintReport rep = lintControlStore(mini.cs);
+    ASSERT_EQ(rep.diags.size(), 1u) << rep.text();
+    EXPECT_EQ(rep.countFor(LintCheck::Classification), 1u);
+    EXPECT_TRUE(hasMessage(rep, LintCheck::Classification,
+                           "expected Simple"));
+}
+
+TEST(UcodeLint, BogusRowValueIsAClassificationError)
+{
+    MiniRom mini;
+    // Reachable via fall-through from a well-classified entry, so
+    // only the row-value check fires, not the slot expectation.
+    UAddr entry = mini.word(MiniRom::rowOf(ExecFlow::Mov),
+                            "MOV.entry", flowFall());
+    mini.word(static_cast<Row>(200), "MOV.bogus", flowEnd());
+    mini.cs.entries.exec[static_cast<size_t>(ExecFlow::Mov)] = entry;
+    LintReport rep = lintControlStore(mini.cs);
+    ASSERT_EQ(rep.diags.size(), 1u) << rep.text();
+    EXPECT_TRUE(hasMessage(rep, LintCheck::Classification,
+                           "not a Table 8 row"));
+}
+
+TEST(UcodeLint, ServiceEntryWithoutTrapReturn)
+{
+    MiniRom::Opts opts;
+    opts.alignReadNoRet = true;
+    MiniRom mini(opts);
+    LintReport rep = lintControlStore(mini.cs);
+    ASSERT_EQ(rep.diags.size(), 1u) << rep.text();
+    EXPECT_EQ(rep.countFor(LintCheck::MemAnnotation), 1u);
+    EXPECT_TRUE(hasMessage(rep, LintCheck::MemAnnotation,
+                           "never reaches a trap-return"));
+}
+
+TEST(UcodeLint, ReservedWordClaimingMemory)
+{
+    MiniRom mini;
+    mini.word(Row::Abort, "RSVD.mem", flowReserved(),
+              UMemKind::Read);
+    LintReport rep = lintControlStore(mini.cs);
+    ASSERT_EQ(rep.diags.size(), 1u) << rep.text();
+    EXPECT_TRUE(hasMessage(rep, LintCheck::MemAnnotation,
+                           "reserved"));
+}
+
+TEST(UcodeLint, ExitlessMicroLoop)
+{
+    MiniRom mini;
+    Row row = MiniRom::rowOf(ExecFlow::Mov);
+    ULabel a = mini.as.newLabel(), b = mini.as.newLabel();
+    mini.as.bind(a);
+    UAddr loop_head = mini.word(row, "LOOP.a", flowTo(b));
+    mini.as.bind(b);
+    mini.word(row, "LOOP.b", flowTo(a));
+    mini.cs.entries.exec[static_cast<size_t>(ExecFlow::Mov)] =
+        loop_head;
+    LintReport rep = lintControlStore(mini.cs);
+    ASSERT_EQ(rep.diags.size(), 1u) << rep.text();
+    EXPECT_EQ(rep.countFor(LintCheck::MicroLoop), 1u);
+    EXPECT_TRUE(hasMessage(rep, LintCheck::MicroLoop,
+                           "2-word micro-loop"));
+}
+
+TEST(UcodeLint, LoopWithMemoryInteractionIsNotFlagged)
+{
+    MiniRom mini;
+    Row row = MiniRom::rowOf(ExecFlow::Mov);
+    ULabel a = mini.as.newLabel(), b = mini.as.newLabel();
+    mini.as.bind(a);
+    UAddr loop_head = mini.word(row, "LOOP.a", flowTo(b));
+    mini.as.bind(b);
+    // The read may microtrap: that is both an implicit exit edge and
+    // a progress guarantee, so this loop is legal.
+    mini.word(row, "LOOP.b", flowTo(a), UMemKind::Read);
+    mini.cs.entries.exec[static_cast<size_t>(ExecFlow::Mov)] =
+        loop_head;
+    LintReport rep = lintControlStore(mini.cs);
+    EXPECT_EQ(rep.countFor(LintCheck::MicroLoop), 0u) << rep.text();
+}
+
+TEST(UcodeLint, UnsetEntrySlot)
+{
+    MiniRom mini;
+    mini.cs.entries.spec[static_cast<size_t>(AddrMode::Register)][0]
+        [static_cast<size_t>(SpecAccClass::Read)] = kInvalidUAddr;
+    LintReport rep = lintControlStore(mini.cs);
+    ASSERT_EQ(rep.diags.size(), 1u) << rep.text();
+    EXPECT_EQ(rep.countFor(LintCheck::EntryPoint), 1u);
+    EXPECT_TRUE(hasMessage(rep, LintCheck::EntryPoint, "is unset"));
+}
+
+TEST(UcodeLint, LiteralWriteSlotIsNotRequired)
+{
+    // The legality matrix: short-literal/immediate specifiers only
+    // exist with read access, so their other slots may stay unset.
+    MiniRom mini;
+    mini.cs.entries
+        .spec[static_cast<size_t>(AddrMode::ShortLiteral)][0]
+             [static_cast<size_t>(SpecAccClass::Write)] =
+        kInvalidUAddr;
+    LintReport rep = lintControlStore(mini.cs);
+    EXPECT_TRUE(rep.clean()) << rep.text();
+}
+
+TEST(UcodeLint, UnreachableWordAndOrphanLabel)
+{
+    MiniRom mini;
+    mini.word(Row::ExecSimple, "DEAD", flowEnd());
+    (void)mini.as.newLabel(); // never bound, never referenced
+    LintReport rep = lintControlStore(mini.cs);
+    ASSERT_EQ(rep.diags.size(), 2u) << rep.text();
+    EXPECT_EQ(rep.countFor(LintCheck::Unreachable), 2u);
+    EXPECT_TRUE(hasMessage(rep, LintCheck::Unreachable,
+                           "unreachable from every dispatch root"));
+    EXPECT_TRUE(hasMessage(rep, LintCheck::Unreachable, "orphan"));
+}
+
+TEST(UcodeLint, TextAndJsonRendering)
+{
+    MiniRom mini;
+    mini.cs.entries.iid = kInvalidUAddr;
+    LintReport rep = lintControlStore(mini.cs);
+    ASSERT_FALSE(rep.clean());
+    std::string text = rep.text();
+    EXPECT_NE(text.find("ucode:-: error: [entry-point]"),
+              std::string::npos)
+        << text;
+    std::string json = rep.json();
+    EXPECT_NE(json.find("\"clean\": false"), std::string::npos);
+    EXPECT_NE(json.find("\"entry-point\""), std::string::npos);
+
+    ControlStore cs;
+    buildMicrocodeRom(cs);
+    LintReport clean = lintControlStore(cs);
+    EXPECT_EQ(clean.text(), "");
+    EXPECT_NE(clean.json().find("\"clean\": true"),
+              std::string::npos);
+}
+
+TEST(UcodeLint, StatsSectionOnlyWhenDirty)
+{
+    ControlStore cs;
+    buildMicrocodeRom(cs);
+    stats::Registry clean_reg;
+    regLintStats(lintControlStore(cs), clean_reg);
+    EXPECT_TRUE(clean_reg.empty());
+
+    MiniRom mini;
+    mini.cs.entries.iid = kInvalidUAddr;
+    LintReport rep = lintControlStore(mini.cs);
+    stats::Registry reg;
+    regLintStats(rep, reg);
+    ASSERT_NE(reg.find("lint.diags"), nullptr);
+    EXPECT_GE(reg.find("lint.diags")->asScalar(), 1u);
+    ASSERT_NE(reg.find("lint.entry-point"), nullptr);
+    EXPECT_GE(reg.find("lint.entry-point")->asScalar(), 1u);
+}
+
+TEST(UcodeLint, StrictCpuConstructionAcceptsProductionRom)
+{
+    SimConfig cfg;
+    cfg.strict = true;
+    Cpu780 cpu(cfg); // panics if the verifier objects
+    EXPECT_TRUE(cpu.controlStore().flowsResolved());
+}
