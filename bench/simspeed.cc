@@ -10,6 +10,13 @@
  *   BM_CompositePool benchmark; default is one per hardware core.
  *   UPC780_CYCLES sets the composite's cycles per experiment
  *   (default 250000 here, to keep iterations short).
+ *
+ * Machine-readable output: pass the standard google-benchmark flags
+ *   --benchmark_out=FILE.json --benchmark_out_format=json
+ * to write a JSON report.  The committed baseline lives in
+ * BENCH_simspeed.json at the repo root; compare a fresh run against
+ * it with tools/bench_compare (the CI perf-smoke job does exactly
+ * that and fails on a >30% throughput regression).
  */
 
 #include <benchmark/benchmark.h>
@@ -82,7 +89,37 @@ BM_CycleThroughputMemory(benchmark::State &state)
 }
 BENCHMARK(BM_CycleThroughputMemory);
 
-/** Cycle cost with the UPC monitor attached (should be ~free). */
+/** Legacy type-erased dispatch, for in-file before/after A-B runs. */
+void
+BM_CycleThroughputLegacy(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.legacyDispatch = true;
+    Cpu780 cpu(cfg);
+    cpu.mem().setMapEnable(false);
+    Assembler a(0x1000);
+    a.label("loop");
+    for (int i = 0; i < 16; ++i)
+        a.instr(op::ADDL2, {Operand::lit(1), Operand::reg(R1)});
+    a.instr(op::BRW, {Operand::branch("loop")});
+    cpu.mem().phys().load(a.base(), a.finish());
+    cpu.reset(a.base());
+    cpu.ebox().setGpr(SP, 0x8000);
+
+    for (auto _ : state) {
+        cpu.tick();
+        benchmark::DoNotOptimize(cpu.cycles());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CycleThroughputLegacy);
+
+/**
+ * Cycle cost with the UPC monitor attached (should be ~free).  The
+ * monitor must actually observe every iterated cycle -- otherwise the
+ * benchmark would be timing a disconnected fast path and the "~free"
+ * claim would be vacuous -- so the count is asserted afterwards.
+ */
 void
 BM_CycleThroughputMonitored(benchmark::State &state)
 {
@@ -98,11 +135,16 @@ BM_CycleThroughputMonitored(benchmark::State &state)
     cpu.mem().phys().load(a.base(), a.finish());
     cpu.reset(a.base());
     cpu.ebox().setGpr(SP, 0x8000);
+    uint64_t before = mon.histogram().cycles();
 
     for (auto _ : state) {
         cpu.tick();
         benchmark::DoNotOptimize(cpu.cycles());
     }
+
+    uint64_t counted = mon.histogram().cycles() - before;
+    if (counted != static_cast<uint64_t>(state.iterations()))
+        state.SkipWithError("monitor lost cycles");
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CycleThroughputMonitored);
@@ -133,12 +175,26 @@ BM_CodeGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_CodeGeneration);
 
+/**
+ * The populated histogram that BM_HistogramAnalysis chews on.  Built
+ * here, in a helper the benchmark calls before its timing loop, so
+ * the 200k-cycle experiment can never leak into a timed region (the
+ * old function-local static initialised mid-benchmark, inflating the
+ * first sample the iteration-count estimator sees).
+ */
+const ExperimentResult &
+analysisInput()
+{
+    static const ExperimentResult result =
+        runExperiment(timesharingLightProfile(), 200000);
+    return result;
+}
+
 /** Histogram analysis over a populated histogram. */
 void
 BM_HistogramAnalysis(benchmark::State &state)
 {
-    static ExperimentResult result =
-        runExperiment(timesharingLightProfile(), 200000);
+    const ExperimentResult &result = analysisInput();
     Cpu780 ref;
     for (auto _ : state) {
         HistogramAnalyzer an(ref.controlStore(), result.hist);
@@ -164,7 +220,13 @@ compositeBench(benchmark::State &state, unsigned workers)
     std::vector<ExperimentResult> last;
     for (auto _ : state) {
         last = pool.run(jobs);
-        total_sim_cycles += cycles * jobs.size();
+        // Sum the cycles each experiment actually retired.  The old
+        // `cycles * jobs.size()` assumed every job stops exactly on
+        // its budget, but a job can halt early or overshoot to an
+        // instruction boundary, so the assumption miscounts the
+        // aggregate rate.
+        for (const ExperimentResult &r : last)
+            total_sim_cycles += r.hw.counters.cycles;
     }
     state.SetItemsProcessed(
         static_cast<int64_t>(total_sim_cycles));

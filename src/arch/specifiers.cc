@@ -27,55 +27,10 @@ addrModeName(AddrMode m)
     }
 }
 
-SpecByte
-decodeSpecByte(uint8_t spec_byte)
+void
+badIndexPrefixByte()
 {
-    uint8_t mode = spec_byte >> 4;
-    uint8_t reg = spec_byte & 0xF;
-    SpecByte out{AddrMode::Register, reg, 0};
-    switch (mode) {
-      case 0: case 1: case 2: case 3:
-        out.mode = AddrMode::ShortLiteral;
-        out.literal = spec_byte & 0x3F;
-        out.reg = 0;
-        break;
-      case 4:
-        panic("index prefix byte passed to decodeSpecByte");
-      case 5:
-        out.mode = AddrMode::Register;
-        break;
-      case 6:
-        out.mode = AddrMode::RegDeferred;
-        break;
-      case 7:
-        out.mode = AddrMode::AutoDec;
-        break;
-      case 8:
-        out.mode = reg == PC ? AddrMode::Immediate : AddrMode::AutoInc;
-        break;
-      case 9:
-        out.mode = reg == PC ? AddrMode::Absolute : AddrMode::AutoIncDef;
-        break;
-      case 10:
-        out.mode = AddrMode::ByteDisp;
-        break;
-      case 11:
-        out.mode = AddrMode::ByteDispDef;
-        break;
-      case 12:
-        out.mode = AddrMode::WordDisp;
-        break;
-      case 13:
-        out.mode = AddrMode::WordDispDef;
-        break;
-      case 14:
-        out.mode = AddrMode::LongDisp;
-        break;
-      case 15:
-        out.mode = AddrMode::LongDispDef;
-        break;
-    }
-    return out;
+    panic("index prefix byte passed to decodeSpecByte");
 }
 
 unsigned

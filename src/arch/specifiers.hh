@@ -60,8 +60,61 @@ isIndexPrefix(uint8_t spec_byte)
     return (spec_byte >> 4) == 4;
 }
 
-/** Classify a (non-index-prefix) specifier byte. */
-SpecByte decodeSpecByte(uint8_t spec_byte);
+/** Cold panic for index-prefix bytes fed to decodeSpecByte. */
+[[noreturn]] void badIndexPrefixByte();
+
+/** Classify a (non-index-prefix) specifier byte.  Inline -- this runs
+ *  for every operand specifier of every decoded instruction. */
+inline SpecByte
+decodeSpecByte(uint8_t spec_byte)
+{
+    uint8_t mode = spec_byte >> 4;
+    uint8_t reg = spec_byte & 0xF;
+    SpecByte out{AddrMode::Register, reg, 0};
+    switch (mode) {
+      case 0: case 1: case 2: case 3:
+        out.mode = AddrMode::ShortLiteral;
+        out.literal = spec_byte & 0x3F;
+        out.reg = 0;
+        break;
+      case 4:
+        badIndexPrefixByte();
+      case 5:
+        out.mode = AddrMode::Register;
+        break;
+      case 6:
+        out.mode = AddrMode::RegDeferred;
+        break;
+      case 7:
+        out.mode = AddrMode::AutoDec;
+        break;
+      case 8:
+        out.mode = reg == PC ? AddrMode::Immediate : AddrMode::AutoInc;
+        break;
+      case 9:
+        out.mode = reg == PC ? AddrMode::Absolute : AddrMode::AutoIncDef;
+        break;
+      case 10:
+        out.mode = AddrMode::ByteDisp;
+        break;
+      case 11:
+        out.mode = AddrMode::ByteDispDef;
+        break;
+      case 12:
+        out.mode = AddrMode::WordDisp;
+        break;
+      case 13:
+        out.mode = AddrMode::WordDispDef;
+        break;
+      case 14:
+        out.mode = AddrMode::LongDisp;
+        break;
+      case 15:
+        out.mode = AddrMode::LongDispDef;
+        break;
+    }
+    return out;
+}
 
 /**
  * Number of I-stream bytes that follow the specifier byte.

@@ -34,6 +34,8 @@ Cpu780::Cpu780(const SimConfig &cfg)
                   lint.diags.size(), lint.text().c_str());
         ebox_->setFlowCheck(true);
     }
+    if (cfg_.legacyDispatch)
+        ebox_->setLegacyDispatch(true);
 }
 
 Cpu780::~Cpu780()
@@ -59,17 +61,6 @@ void
 Cpu780::reset(VirtAddr pc, CpuMode mode)
 {
     ebox_->reset(pc, mode);
-}
-
-void
-Cpu780::tick()
-{
-    ebox_->cycle();
-    ifetch_.cycle(ebox_->psl().cur);
-    mem_.tick();
-    if (timer_.tick())
-        intc_.postDevice(cfg_.timerIpl);
-    ++hw_.cycles;
 }
 
 bool

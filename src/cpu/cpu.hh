@@ -48,6 +48,15 @@ struct SimConfig
      * simulated.
      */
     bool strict = false;
+    /**
+     * Run the legacy std::function microword engine instead of the
+     * decoded dispatch table (A/B equivalence runs; see
+     * tests/test_dispatch_equiv.cc).  Like strict, not part of the
+     * snapshot fingerprint: it selects an engine, never a different
+     * simulation -- which is exactly what the A/B checkpoint test
+     * relies on.
+     */
+    bool legacyDispatch = false;
 };
 
 class Cpu780
@@ -59,8 +68,20 @@ class Cpu780
     /** Begin execution at pc (kernel mode, mapping per MemSystem). */
     void reset(VirtAddr pc, CpuMode mode = CpuMode::Kernel);
 
-    /** Advance the whole machine one 200 ns cycle. */
-    void tick();
+    /** Advance the whole machine one 200 ns cycle.  Inline: this is
+     *  the driver-facing inner loop, and the common no-stall cycle
+     *  should be one straight-line path through the components' own
+     *  inlined fast paths. */
+    void
+    tick()
+    {
+        ebox_->cycle();
+        ifetch_.cycle(ebox_->psl().cur);
+        mem_.tick();
+        if (timer_.tick()) [[unlikely]]
+            intc_.postDevice(cfg_.timerIpl);
+        ++hw_.cycles;
+    }
 
     /**
      * Run until HALT or the cycle limit.
@@ -71,8 +92,11 @@ class Cpu780
     bool halted() const { return ebox_->halted(); }
     uint64_t cycles() const { return hw_.cycles; }
 
-    /** Attach the UPC monitor (or any cycle sink). */
+    /** @{ Attach the UPC monitor (devirtualized, batched fast path)
+     *  or any generic cycle sink (virtual per-cycle calls). */
     void setCycleSink(CycleSink *sink) { ebox_->setCycleSink(sink); }
+    void setCycleSink(UpcMonitor *mon) { ebox_->setCycleSink(mon); }
+    /** @} */
 
     /** Register the whole machine's statistics under prefix
      *  (hardware counters, CPI, memory subsystem). */

@@ -5,6 +5,7 @@
 #include "support/bitutil.hh"
 #include "support/logging.hh"
 #include "support/trace.hh"
+#include "upc/monitor.hh"
 
 namespace vax
 {
@@ -13,13 +14,88 @@ Ebox::Ebox(const ControlStore &cs, MemSystem &mem, InstructionBuffer &ib,
            IFetch &ifetch, InterruptController &intc, IntervalTimer &timer,
            HwCounters &hw)
     : cs_(cs), mem_(mem), ib_(ib), ifetch_(ifetch), intc_(intc),
-      timer_(timer), hw_(hw)
+      timer_(timer), hw_(hw), dtab_(cs.decodedTable()), dsize_(cs.size()),
+      optab_(opcodeTable().data())
 {
+}
+
+Ebox::~Ebox()
+{
+    if (mon_) {
+        flushCycleBatch();
+        mon_->detachEbox(this);
+    }
+}
+
+void
+Ebox::setCycleSink(CycleSink *sink)
+{
+    flushCycleBatch();
+    if (mon_)
+        mon_->detachEbox(this);
+    mon_ = nullptr;
+    sink_ = sink;
+    refreshBatchOn();
+}
+
+void
+Ebox::setCycleSink(UpcMonitor *mon)
+{
+    flushCycleBatch();
+    if (mon_ && mon_ != mon)
+        mon_->detachEbox(this);
+    mon_ = mon;
+    sink_ = mon;
+    if (mon)
+        mon->attachEbox(this);
+    refreshBatchOn();
+}
+
+void
+Ebox::detachMonitor(UpcMonitor *mon)
+{
+    if (mon_ != mon)
+        return;
+    // The monitor's destructor synced before detaching; anything still
+    // batched has nowhere to go.
+    batchN_ = 0;
+    mon_ = nullptr;
+    sink_ = nullptr;
+    batchOn_ = false;
+}
+
+void
+Ebox::setFlowCheck(bool on)
+{
+    flowCheck_ = on;
+    refreshBatchOn();
+}
+
+void
+Ebox::refreshBatchOn()
+{
+    // collecting() folds the monitor's CSR into the one flag the
+    // per-cycle path tests; UpcMonitor::start/stop/restore call back
+    // here whenever it changes.  A stopped monitor drops to the
+    // virtual count(), which discards.
+    batchOn_ = mon_ && mon_->collecting() && !flowCheck_ &&
+               !trace::anyEnabled();
+}
+
+void
+Ebox::flushCycleBatch() const
+{
+    if (batchN_ == 0)
+        return;
+    mon_->applyBatch(batch_, batchN_);
+    batchN_ = 0;
 }
 
 void
 Ebox::reset(VirtAddr pc, CpuMode mode)
 {
+    flushCycleBatch();
+    refreshBatchOn();
     psl_ = Psl();
     psl_.cur = mode;
     psl_.ipl = mode == CpuMode::Kernel ? 31 : 0;
@@ -38,16 +114,14 @@ Ebox::setGpr(unsigned r, uint32_t v)
     gpr_[r] = v;
 }
 
-void
-Ebox::emitCycle(UAddr upc, bool stalled)
-{
-    if (sink_)
-        sink_->count(upc, stalled);
-}
-
 UAddr
 Ebox::endTarget()
 {
+    // Instruction boundary: drain the batched counts and re-sample the
+    // cached fast-path flag (the trace mask can change between
+    // instructions; CSR start/stop is handled per record).
+    flushCycleBatch();
+    refreshBatchOn();
     // Machine checks outrank interrupts: a latched hardware error is
     // dispatched at the first instruction boundary, before any device.
     if (mem_.machineCheckPending()) {
@@ -127,7 +201,7 @@ Ebox::takeTrap(TrapKind kind, VirtAddr va, const PendingMemOp &op)
 }
 
 void
-Ebox::cycle()
+Ebox::cycleSlow()
 {
     switch (state_) {
       case State::Halted:
@@ -228,7 +302,8 @@ Ebox::cycle()
 void
 Ebox::runMicroword()
 {
-    const MicroWord &w = cs_.word(upc_);
+    if (upc_ >= dsize_) [[unlikely]]
+        badMicroAddress(upc_, dsize_);
 
     seqSet_ = false;
     pendingEnd_ = false;
@@ -238,46 +313,22 @@ Ebox::runMicroword()
     reissuePending_ = false;
     trapRetSatisfied_ = false;
 
-    w.sem(*this);
-
-    if (ibFailed_) {
-        // IB starvation.  If the I-stream took a TB miss, service it
-        // (abort cycle, then the fill microcode); otherwise count an
-        // IB-stall cycle at the requesting microword and retry.
-        if (ifetch_.itbMiss()) {
-            PendingMemOp none;
-            VirtAddr va = ifetch_.itbMissVa();
-            // Resume by re-running this microword.
-            seqSet_ = true;
-            nextUpc_ = upc_;
-            pendingEnd_ = false;
-            takeTrap(TrapKind::TbMissI, va, none);
-            emitCycle(cs_.entries.abort, false);
-            return;
-        }
-        if (flowCheck_ && !w.ann.ibRequest)
-            panic("microword %s (upc=%u) IB-stalled but is not "
-                  "annotated ibRequest",
-                  w.ann.name, static_cast<unsigned>(upc_));
-        emitCycle(upc_, true);
-        return; // upc_ unchanged: retry next cycle
+    if (!legacyDispatch_) [[likely]] {
+        // Decoded dispatch: one predictable indirect call through the
+        // flat table, operands pre-packed at ROM build time.
+        const DecodedWord &d = dtab_[upc_];
+        d.fn(*this, d.ops);
+    } else {
+        cs_.word(upc_).sem(*this);
     }
 
-    if (memTrapped_) {
-        takeTrap(curTrapKind_, curTrapVa_, curOp_);
-        emitCycle(cs_.entries.abort, false);
+    if (ibFailed_ || memTrapped_ || reissuePending_) [[unlikely]] {
+        microwordEvent();
         return;
     }
 
-    if (reissuePending_) {
-        // uTrapRet consumed this cycle; re-issue starts next cycle.
-        emitCycle(upc_, false);
-        state_ = State::Reissue;
-        return;
-    }
-
-    if (flowCheck_)
-        checkDeclaredFlow(w);
+    if (flowCheck_) [[unlikely]]
+        checkDeclaredFlow(cs_.word(upc_));
 
     if (memIssued_ && memStatus_ == MemStatus::Stall) {
         afterMemIsEnd_ = pendingEnd_;
@@ -295,11 +346,51 @@ Ebox::runMicroword()
     }
 
     emitCycle(upc_, false);
-    if (halted_) {
+    if (halted_) [[unlikely]] {
+        flushCycleBatch();
         state_ = State::Halted;
         return;
     }
     upc_ = resolveNext();
+}
+
+void
+Ebox::microwordEvent()
+{
+    if (ibFailed_) {
+        // IB starvation.  If the I-stream took a TB miss, service it
+        // (abort cycle, then the fill microcode); otherwise count an
+        // IB-stall cycle at the requesting microword and retry.
+        if (ifetch_.itbMiss()) {
+            PendingMemOp none;
+            VirtAddr va = ifetch_.itbMissVa();
+            // Resume by re-running this microword.
+            seqSet_ = true;
+            nextUpc_ = upc_;
+            pendingEnd_ = false;
+            takeTrap(TrapKind::TbMissI, va, none);
+            emitCycle(cs_.entries.abort, false);
+            return;
+        }
+        if (flowCheck_ && !cs_.annotation(upc_).ibRequest)
+            panic("microword %s (upc=%u) IB-stalled but is not "
+                  "annotated ibRequest",
+                  cs_.annotation(upc_).name,
+                  static_cast<unsigned>(upc_));
+        emitCycle(upc_, true);
+        return; // upc_ unchanged: retry next cycle
+    }
+
+    if (memTrapped_) {
+        takeTrap(curTrapKind_, curTrapVa_, curOp_);
+        emitCycle(cs_.entries.abort, false);
+        return;
+    }
+
+    // reissuePending_: uTrapRet consumed this cycle; the re-issue
+    // starts next cycle.
+    emitCycle(upc_, false);
+    state_ = State::Reissue;
 }
 
 void
@@ -349,69 +440,6 @@ Ebox::checkDeclaredFlow(const MicroWord &w)
 // ===================== sequencing services =====================
 
 void
-Ebox::uJump(ULabel l)
-{
-    seqSet_ = true;
-    nextUpc_ = cs_.labelAddr(l);
-}
-
-void
-Ebox::uJumpAddr(UAddr a)
-{
-    seqSet_ = true;
-    nextUpc_ = a;
-}
-
-void
-Ebox::uIf(bool cond, ULabel l)
-{
-    if (cond) {
-        seqSet_ = true;
-        nextUpc_ = cs_.labelAddr(l);
-    }
-}
-
-void
-Ebox::uCall(ULabel l)
-{
-    microStack_.push_back(static_cast<UAddr>(upc_ + 1));
-    seqSet_ = true;
-    nextUpc_ = cs_.labelAddr(l);
-}
-
-void
-Ebox::uRet()
-{
-    upc_assert(!microStack_.empty());
-    seqSet_ = true;
-    nextUpc_ = microStack_.back();
-    microStack_.pop_back();
-}
-
-void
-Ebox::endInstruction()
-{
-    pendingEnd_ = true;
-}
-
-void
-Ebox::nextSpecOrExec()
-{
-    seqSet_ = true;
-    if (lat.specIndex < lat.info->numSpecifiers) {
-        UAddr target;
-        trySpecDispatch(&target);
-        nextUpc_ = target;
-    } else {
-        nextUpc_ = cs_.entries.exec[static_cast<size_t>(lat.info->flow)];
-        if (nextUpc_ == kInvalidUAddr)
-            panic("EntryPoints.exec[%s] is unset: opcode %s has no "
-                  "execute-flow microcode", lat.info->mnemonic,
-                  lat.info->mnemonic);
-    }
-}
-
-void
 Ebox::uTrapRet()
 {
     upc_assert(!trapStack_.empty());
@@ -439,165 +467,6 @@ Ebox::uTrapRetSatisfied()
         seqSet_ = true;
         nextUpc_ = f.resumeUpc;
     }
-}
-
-// ===================== decode / IB services =====================
-
-bool
-Ebox::decodeOpcode()
-{
-    if (ib_.avail() < 1) {
-        ibFailed_ = true;
-        return false;
-    }
-    uint8_t opc = ib_.peek(0);
-    const OpcodeInfo &info = opcodeInfo(opc);
-    if (!info.valid)
-        fault(FaultKind::ReservedInstruction, info.mnemonic);
-    ib_.consume(1);
-    lat.opcode = opc;
-    lat.info = &info;
-    lat.instrPc = decodePc_;
-    decodePc_ += 1;
-    lat.specIndex = 0;
-    lat.dstCount = 0;
-    lat.dst[0] = DstLatch();
-    lat.dst[1] = DstLatch();
-    lat.vIsReg = false;
-    lat.specIndexed = false;
-
-    ++hw_.instructions;
-    if (info.bdispBytes > 0)
-        ++hw_.bdispCount;
-    TRACE(IDecode, "pc=%08x op=%02x %s mode=%c", lat.instrPc, opc,
-          info.mnemonic,
-          psl_.cur == CpuMode::Kernel ? 'K' : 'U');
-    if (instrHook_)
-        instrHook_(lat.instrPc, opc);
-
-    seqSet_ = true;
-    if (info.numSpecifiers > 0) {
-        UAddr target;
-        trySpecDispatch(&target);
-        nextUpc_ = target;
-    } else {
-        nextUpc_ = cs_.entries.exec[static_cast<size_t>(info.flow)];
-        if (nextUpc_ == kInvalidUAddr)
-            panic("EntryPoints.exec[%s] is unset: opcode %s has no "
-                  "execute-flow microcode", info.mnemonic,
-                  info.mnemonic);
-    }
-    return true;
-}
-
-bool
-Ebox::trySpecDispatch(UAddr *target)
-{
-    upc_assert(lat.specIndex < lat.info->numSpecifiers);
-    unsigned pos = lat.specIndex == 0 ? 0 : 1;
-    if (ib_.avail() < 1) {
-        *target = cs_.entries.specWait[pos];
-        return false;
-    }
-    uint8_t b0 = ib_.peek(0);
-    bool indexed = isIndexPrefix(b0);
-    unsigned need = indexed ? 2 : 1;
-    if (ib_.avail() < need) {
-        *target = cs_.entries.specWait[pos];
-        return false;
-    }
-    uint8_t spec_byte = indexed ? ib_.peek(1) : b0;
-    if (indexed && isIndexPrefix(spec_byte))
-        fault(FaultKind::ReservedAddressingMode, "double index prefix");
-    SpecByte sb = decodeSpecByte(spec_byte);
-    ib_.consume(need);
-    decodePc_ += need;
-
-    const OperandDef &od = lat.info->operands[lat.specIndex];
-    lat.specMode = sb.mode;
-    lat.specReg = sb.reg;
-    lat.specLiteral = sb.literal;
-    lat.specAccess = od.access;
-    lat.specType = od.type;
-    lat.specOpIndex = lat.specIndex;
-    lat.specIndexed = indexed;
-    lat.specIndexReg = indexed ? (b0 & 0xF) : 0;
-
-    if (indexed &&
-        (sb.mode == AddrMode::ShortLiteral ||
-         sb.mode == AddrMode::Register ||
-         sb.mode == AddrMode::Immediate)) {
-        fault(FaultKind::ReservedAddressingMode, "index on non-memory");
-    }
-    if (sb.mode == AddrMode::ShortLiteral && od.access != Access::Read)
-        fault(FaultKind::ReservedAddressingMode, "literal as destination");
-    if (sb.mode == AddrMode::Immediate && od.access != Access::Read)
-        fault(FaultKind::ReservedAddressingMode, "immediate destination");
-    if (sb.mode == AddrMode::Register && od.access == Access::Address)
-        fault(FaultKind::ReservedAddressingMode, "register as address");
-
-    ++lat.specIndex;
-    ++hw_.specifiers;
-    if (lat.specOpIndex == 0)
-        ++hw_.firstSpecifiers;
-    if (indexed)
-        ++hw_.indexedSpecifiers;
-
-    if (indexed) {
-        *target = cs_.entries.indexPrefix[pos];
-        if (*target == kInvalidUAddr)
-            panic("EntryPoints.indexPrefix[%u] is unset: no index-"
-                  "prefix routine for position class %u", pos, pos);
-    } else {
-        SpecAccClass acc = specAccClass(od.access);
-        *target = cs_.entries.spec[static_cast<size_t>(sb.mode)][pos]
-            [static_cast<size_t>(acc)];
-        if (*target == kInvalidUAddr)
-            panic("EntryPoints.spec[%s][%u][%u] is unset: no specifier "
-                  "routine for mode %s access %u",
-                  addrModeName(sb.mode), pos,
-                  static_cast<unsigned>(acc), addrModeName(sb.mode),
-                  static_cast<unsigned>(od.access));
-    }
-    return true;
-}
-
-bool
-Ebox::decodeSpec()
-{
-    UAddr target;
-    if (!trySpecDispatch(&target)) {
-        ibFailed_ = true;
-        return false;
-    }
-    seqSet_ = true;
-    nextUpc_ = target;
-    return true;
-}
-
-bool
-Ebox::ibGet(unsigned bytes, bool sign_extend)
-{
-    upc_assert(bytes >= 1 && bytes <= 4);
-    if (ib_.avail() < bytes) {
-        ibFailed_ = true;
-        return false;
-    }
-    uint32_t v = 0;
-    for (unsigned i = 0; i < bytes; ++i)
-        v |= static_cast<uint32_t>(ib_.peek(i)) << (8 * i);
-    ib_.consume(bytes);
-    decodePc_ += bytes;
-    lat.q = sign_extend && bytes < 4 ? static_cast<uint32_t>(
-        sext(v, 8 * bytes)) : v;
-    return true;
-}
-
-void
-Ebox::ibSkip(unsigned bytes)
-{
-    ib_.skip(bytes);
-    decodePc_ += bytes;
 }
 
 // ===================== memory services =====================
@@ -835,26 +704,6 @@ Ebox::mfpr(uint32_t regnum)
       default:
         return pr_[regnum];
     }
-}
-
-void
-Ebox::setCcNz(uint32_t value, DataType type)
-{
-    unsigned bits = 8 * dataTypeBytes(type);
-    uint32_t mask = bits >= 32 ? ~0u : ((1u << bits) - 1);
-    uint32_t v = value & mask;
-    psl_.cc.z = v == 0;
-    psl_.cc.n = (v >> (bits - 1)) & 1;
-    psl_.cc.v = false;
-}
-
-void
-Ebox::setCcFromF(double value)
-{
-    psl_.cc.z = value == 0.0;
-    psl_.cc.n = value < 0.0;
-    psl_.cc.v = false;
-    psl_.cc.c = false;
 }
 
 uint32_t

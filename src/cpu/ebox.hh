@@ -30,6 +30,9 @@
 #include "arch/specifiers.hh"
 #include "arch/types.hh"
 #include "cpu/cycle_sink.hh"
+#include "support/bitutil.hh"
+#include "support/logging.hh"
+#include "support/trace.hh"
 #include "cpu/hw_counters.hh"
 #include "cpu/ib.hh"
 #include "cpu/ifetch.hh"
@@ -42,6 +45,7 @@ namespace vax
 {
 
 class IntervalTimer;
+class UpcMonitor;
 namespace snap { class Serializer; class Deserializer; }
 
 /** Simulator-fatal architectural faults (workloads must avoid these). */
@@ -127,9 +131,39 @@ class Ebox
     Ebox(const ControlStore &cs, MemSystem &mem, InstructionBuffer &ib,
          IFetch &ifetch, InterruptController &intc, IntervalTimer &timer,
          HwCounters &hw);
+    ~Ebox();
 
-    /** Attach/detach the UPC monitor. */
-    void setCycleSink(CycleSink *sink) { sink_ = sink; }
+    /** @{ Attach/detach the per-cycle count consumer.  The UpcMonitor
+     *  overload selects the devirtualized fast path: the EBOX banks
+     *  cycle counts into a small batch and the monitor applies them in
+     *  bulk at instruction boundaries (DESIGN.md §9).  The generic
+     *  overload keeps the virtual CycleSink interface for test sinks. */
+    void setCycleSink(CycleSink *sink);
+    void setCycleSink(UpcMonitor *mon);
+    /** @} */
+
+    /** Called by ~UpcMonitor: a dying monitor must not leave the EBOX
+     *  holding a dangling fast-path pointer. */
+    void detachMonitor(UpcMonitor *mon);
+
+    /**
+     * Drain the batched cycle counts into the attached monitor.  The
+     * batch can hold counts mid-instruction, so every monitor-side
+     * reader syncs through this before looking at its banks; const
+     * because reading totals is logically non-mutating.
+     */
+    void flushCycleBatch() const;
+
+    /**
+     * Select the legacy type-erased dispatch engine instead of the
+     * decoded table (A/B histogram equivalence runs; see
+     * tests/test_dispatch_equiv.cc).  Purely an engine choice: it must
+     * never change a single simulated cycle.
+     */
+    void setLegacyDispatch(bool on) { legacyDispatch_ = on; }
+
+    /** Batch-entry encoding shared with UpcMonitor::applyBatch. */
+    static constexpr uint32_t kCycleStallBit = 1u << 16;
 
     /** Optional per-instruction hook, fired at the decode cycle. */
     void
@@ -142,7 +176,21 @@ class Ebox
     void reset(VirtAddr pc, CpuMode mode = CpuMode::Kernel);
 
     /** Execute one machine cycle. */
-    void cycle();
+    void
+    cycle()
+    {
+        if (state_ == State::Running) [[likely]] {
+            runMicroword();
+            return;
+        }
+        cycleSlow();
+    }
+
+    /** Re-sample the cached "batch counts, skip trace tests" flag
+     *  (monitor attached and collecting, flow check off, no trace
+     *  channel enabled).  Public because UpcMonitor::start/stop call
+     *  back here when the CSR changes the collecting state. */
+    void refreshBatchOn();
 
     bool halted() const { return halted_; }
 
@@ -158,13 +206,51 @@ class Ebox
 
     // ================= microcode services =================
 
-    /** @{ Sequencing. */
-    void uJump(ULabel l);
-    void uJumpAddr(UAddr a);
-    void uIf(bool cond, ULabel l);
-    void uCall(ULabel l);
-    void uRet();
-    void endInstruction();
+    /** @{ Sequencing.  The small ones are inline: they run inside the
+     *  microword lambdas (compiled in rom_*.cc) several times per
+     *  machine cycle, and each is a store or two. */
+    void
+    uJump(ULabel l)
+    {
+        seqSet_ = true;
+        nextUpc_ = cs_.labelAddr(l);
+    }
+
+    void
+    uJumpAddr(UAddr a)
+    {
+        seqSet_ = true;
+        nextUpc_ = a;
+    }
+
+    void
+    uIf(bool cond, ULabel l)
+    {
+        if (cond) {
+            seqSet_ = true;
+            nextUpc_ = cs_.labelAddr(l);
+        }
+    }
+
+    void
+    uCall(ULabel l)
+    {
+        microStack_.push_back(static_cast<UAddr>(upc_ + 1));
+        seqSet_ = true;
+        nextUpc_ = cs_.labelAddr(l);
+    }
+
+    void
+    uRet()
+    {
+        upc_assert(!microStack_.empty());
+        seqSet_ = true;
+        nextUpc_ = microStack_.back();
+        microStack_.pop_back();
+    }
+
+    void endInstruction() { pendingEnd_ = true; }
+
     void nextSpecOrExec();
     void uTrapRet();           ///< return from MM/align service ucode
     void uTrapRetSatisfied();  ///< same, but the op was serviced inline
@@ -173,8 +259,32 @@ class Ebox
     /** @{ I-Decode and IB requests (first action of a lambda). */
     bool decodeOpcode();
     bool decodeSpec();
-    bool ibGet(unsigned bytes, bool sign_extend);
-    void ibSkip(unsigned bytes);
+
+    bool
+    ibGet(unsigned bytes, bool sign_extend)
+    {
+        upc_assert(bytes >= 1 && bytes <= 4);
+        if (ib_.avail() < bytes) {
+            ibFailed_ = true;
+            return false;
+        }
+        uint32_t v = 0;
+        for (unsigned i = 0; i < bytes; ++i)
+            v |= static_cast<uint32_t>(ib_.peek(i)) << (8 * i);
+        ib_.consume(bytes);
+        decodePc_ += bytes;
+        lat.q = sign_extend && bytes < 4
+            ? static_cast<uint32_t>(sext(v, 8 * bytes))
+            : v;
+        return true;
+    }
+
+    void
+    ibSkip(unsigned bytes)
+    {
+        ib_.skip(bytes);
+        decodePc_ += bytes;
+    }
     /** @} */
 
     /** @{ Memory operations (last action of a lambda). */
@@ -254,9 +364,28 @@ class Ebox
     const UAddr *upcPtr() const { return &upc_; }
     /** @} */
 
-    /** Condition-code helpers for the execute flows. */
-    void setCcNz(uint32_t value, DataType type);
-    void setCcFromF(double value);
+    /** @{ Condition-code helpers for the execute flows (inline: one
+     *  runs at nearly every instruction's store tail). */
+    void
+    setCcNz(uint32_t value, DataType type)
+    {
+        unsigned bits = 8 * dataTypeBytes(type);
+        uint32_t mask = bits >= 32 ? ~0u : ((1u << bits) - 1);
+        uint32_t v = value & mask;
+        psl_.cc.z = v == 0;
+        psl_.cc.n = (v >> (bits - 1)) & 1;
+        psl_.cc.v = false;
+    }
+
+    void
+    setCcFromF(double value)
+    {
+        psl_.cc.z = value == 0.0;
+        psl_.cc.n = value < 0.0;
+        psl_.cc.v = false;
+        psl_.cc.c = false;
+    }
+    /** @} */
 
     /** Decode latches. */
     Latches lat;
@@ -280,7 +409,7 @@ class Ebox
      * ControlStore::resolveFlows() to have run; words declared
      * flowTrapRet() are exempt (their resume point is a trap frame).
      */
-    void setFlowCheck(bool on) { flowCheck_ = on; }
+    void setFlowCheck(bool on);
 
     /** @{ Checkpoint/restore: the complete execution state -- PSL,
      *  GPRs, processor registers, micro-PC, decode latches, trap and
@@ -324,6 +453,10 @@ class Ebox
     };
 
     void runMicroword();
+    /** Cold continuation of runMicroword(): IB starvation, memory
+     *  microtraps and uTrapRet re-issues, outlined so the common
+     *  straight-line cycle stays short and branch-predictable. */
+    void microwordEvent();
     void checkDeclaredFlow(const MicroWord &w);
     UAddr resolveNext();
     UAddr endTarget();
@@ -331,7 +464,29 @@ class Ebox
     bool trySpecDispatch(UAddr *target);
     void takeTrap(TrapKind kind, VirtAddr va, const PendingMemOp &op);
     void issueResult(const MemResult &res, const PendingMemOp &op);
-    void emitCycle(UAddr upc, bool stalled);
+    /** Non-Running states: stalls, re-issues, halt.  The Running case
+     *  is dispatched inline by cycle(). */
+    void cycleSlow();
+
+    /**
+     * Count one cycle at a micro-address.  Runs once per machine
+     * cycle, so it is inline and test-light: batchOn_ pre-folds
+     * "monitor attached + CSR collecting + no flow check + no trace",
+     * leaving one predictable branch and a store on the hot path.
+     */
+    void
+    emitCycle(UAddr upc, bool stalled)
+    {
+        if (batchOn_) {
+            batch_[batchN_++] = static_cast<uint32_t>(upc) |
+                (stalled ? kCycleStallBit : 0u);
+            if (batchN_ == kBatchCap) [[unlikely]]
+                flushCycleBatch();
+            return;
+        }
+        if (sink_)
+            sink_->count(upc, stalled);
+    }
 
     const ControlStore &cs_;
     MemSystem &mem_;
@@ -341,7 +496,25 @@ class Ebox
     IntervalTimer &timer_;
     HwCounters &hw_;
     CycleSink *sink_ = nullptr;
+    UpcMonitor *mon_ = nullptr; ///< set iff sink_ is the UPC monitor
     std::function<void(VirtAddr, uint8_t)> instrHook_;
+
+    /** @{ Decoded-dispatch fast path.  dtab_/dsize_ cache the control
+     *  store's flat table (stable: the ROM is fully built before the
+     *  EBOX is constructed).  The batch defers monitor increments to
+     *  instruction boundaries; mutable because a const reader's sync
+     *  (flushCycleBatch) drains it. */
+    const DecodedWord *dtab_;
+    UAddr dsize_;
+    /** Cached opcodeTable().data(): skips the function-local-static
+     *  guard check on the per-instruction decode path. */
+    const OpcodeInfo *optab_;
+    bool legacyDispatch_ = false;
+    bool batchOn_ = false;
+    static constexpr uint32_t kBatchCap = 128;
+    mutable uint32_t batchN_ = 0;
+    mutable uint32_t batch_[kBatchCap];
+    /** @} */
 
     State state_ = State::Halted;
     bool halted_ = true;
@@ -378,6 +551,162 @@ class Ebox
     unsigned pendingIntLevel_ = 0;
     uint32_t mcheckCause_ = 0;
 };
+
+
+// ================== decode / specifier dispatch ==================
+// Inline: these are the per-instruction and per-specifier services
+// the decode microwords (compiled in rom_*.cc) call once or twice per
+// instruction; keeping them in the header lets those call sites fold
+// the IB peeks and latch stores together.
+
+inline bool
+Ebox::decodeOpcode()
+{
+    if (ib_.avail() < 1) {
+        ibFailed_ = true;
+        return false;
+    }
+    uint8_t opc = ib_.peek(0);
+    const OpcodeInfo &info = optab_[opc];
+    if (!info.valid)
+        fault(FaultKind::ReservedInstruction, info.mnemonic);
+    ib_.consume(1);
+    lat.opcode = opc;
+    lat.info = &info;
+    lat.instrPc = decodePc_;
+    decodePc_ += 1;
+    lat.specIndex = 0;
+    lat.dstCount = 0;
+    lat.dst[0] = DstLatch();
+    lat.dst[1] = DstLatch();
+    lat.vIsReg = false;
+    lat.specIndexed = false;
+
+    ++hw_.instructions;
+    if (info.bdispBytes > 0)
+        ++hw_.bdispCount;
+    TRACE(IDecode, "pc=%08x op=%02x %s mode=%c", lat.instrPc, opc,
+          info.mnemonic,
+          psl_.cur == CpuMode::Kernel ? 'K' : 'U');
+    if (instrHook_)
+        instrHook_(lat.instrPc, opc);
+
+    seqSet_ = true;
+    if (info.numSpecifiers > 0) {
+        UAddr target;
+        trySpecDispatch(&target);
+        nextUpc_ = target;
+    } else {
+        nextUpc_ = cs_.entries.exec[static_cast<size_t>(info.flow)];
+        if (nextUpc_ == kInvalidUAddr)
+            panic("EntryPoints.exec[%s] is unset: opcode %s has no "
+                  "execute-flow microcode", info.mnemonic,
+                  info.mnemonic);
+    }
+    return true;
+}
+
+inline bool
+Ebox::trySpecDispatch(UAddr *target)
+{
+    upc_assert(lat.specIndex < lat.info->numSpecifiers);
+    unsigned pos = lat.specIndex == 0 ? 0 : 1;
+    if (ib_.avail() < 1) {
+        *target = cs_.entries.specWait[pos];
+        return false;
+    }
+    uint8_t b0 = ib_.peek(0);
+    bool indexed = isIndexPrefix(b0);
+    unsigned need = indexed ? 2 : 1;
+    if (ib_.avail() < need) {
+        *target = cs_.entries.specWait[pos];
+        return false;
+    }
+    uint8_t spec_byte = indexed ? ib_.peek(1) : b0;
+    if (indexed && isIndexPrefix(spec_byte))
+        fault(FaultKind::ReservedAddressingMode, "double index prefix");
+    SpecByte sb = decodeSpecByte(spec_byte);
+    ib_.consume(need);
+    decodePc_ += need;
+
+    const OperandDef &od = lat.info->operands[lat.specIndex];
+    lat.specMode = sb.mode;
+    lat.specReg = sb.reg;
+    lat.specLiteral = sb.literal;
+    lat.specAccess = od.access;
+    lat.specType = od.type;
+    lat.specOpIndex = lat.specIndex;
+    lat.specIndexed = indexed;
+    lat.specIndexReg = indexed ? (b0 & 0xF) : 0;
+
+    if (indexed &&
+        (sb.mode == AddrMode::ShortLiteral ||
+         sb.mode == AddrMode::Register ||
+         sb.mode == AddrMode::Immediate)) {
+        fault(FaultKind::ReservedAddressingMode, "index on non-memory");
+    }
+    if (sb.mode == AddrMode::ShortLiteral && od.access != Access::Read)
+        fault(FaultKind::ReservedAddressingMode, "literal as destination");
+    if (sb.mode == AddrMode::Immediate && od.access != Access::Read)
+        fault(FaultKind::ReservedAddressingMode, "immediate destination");
+    if (sb.mode == AddrMode::Register && od.access == Access::Address)
+        fault(FaultKind::ReservedAddressingMode, "register as address");
+
+    ++lat.specIndex;
+    ++hw_.specifiers;
+    if (lat.specOpIndex == 0)
+        ++hw_.firstSpecifiers;
+    if (indexed)
+        ++hw_.indexedSpecifiers;
+
+    if (indexed) {
+        *target = cs_.entries.indexPrefix[pos];
+        if (*target == kInvalidUAddr)
+            panic("EntryPoints.indexPrefix[%u] is unset: no index-"
+                  "prefix routine for position class %u", pos, pos);
+    } else {
+        SpecAccClass acc = specAccClass(od.access);
+        *target = cs_.entries.spec[static_cast<size_t>(sb.mode)][pos]
+            [static_cast<size_t>(acc)];
+        if (*target == kInvalidUAddr)
+            panic("EntryPoints.spec[%s][%u][%u] is unset: no specifier "
+                  "routine for mode %s access %u",
+                  addrModeName(sb.mode), pos,
+                  static_cast<unsigned>(acc), addrModeName(sb.mode),
+                  static_cast<unsigned>(od.access));
+    }
+    return true;
+}
+
+inline bool
+Ebox::decodeSpec()
+{
+    UAddr target;
+    if (!trySpecDispatch(&target)) {
+        ibFailed_ = true;
+        return false;
+    }
+    seqSet_ = true;
+    nextUpc_ = target;
+    return true;
+}
+
+inline void
+Ebox::nextSpecOrExec()
+{
+    seqSet_ = true;
+    if (lat.specIndex < lat.info->numSpecifiers) {
+        UAddr target;
+        trySpecDispatch(&target);
+        nextUpc_ = target;
+    } else {
+        nextUpc_ = cs_.entries.exec[static_cast<size_t>(lat.info->flow)];
+        if (nextUpc_ == kInvalidUAddr)
+            panic("EntryPoints.exec[%s] is unset: opcode %s has no "
+                  "execute-flow microcode", lat.info->mnemonic,
+                  lat.info->mnemonic);
+    }
+}
 
 } // namespace vax
 

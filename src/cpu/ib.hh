@@ -45,7 +45,13 @@ class InstructionBuffer
     peek(unsigned i) const
     {
         upc_assert(i < count_);
-        return bytes_[(head_ + i) % capacity()];
+        // head_ < capacity and i < count_ <= capacity, so one
+        // conditional subtract wraps the index -- these run several
+        // times per decoded byte, and a real `%` is a hardware divide.
+        unsigned idx = head_ + i;
+        if (idx >= capacity())
+            idx -= capacity();
+        return bytes_[idx];
     }
 
     /** Remove n bytes from the front. */
@@ -53,7 +59,9 @@ class InstructionBuffer
     consume(unsigned n)
     {
         upc_assert(n <= count_);
-        head_ = (head_ + n) % capacity();
+        head_ += n;
+        if (head_ >= capacity())
+            head_ -= capacity();
         count_ -= n;
     }
 
@@ -78,7 +86,10 @@ class InstructionBuffer
             return;
         }
         upc_assert(count_ < capacity());
-        bytes_[(head_ + count_) % capacity()] = b;
+        unsigned idx = head_ + count_;
+        if (idx >= capacity())
+            idx -= capacity();
+        bytes_[idx] = b;
         ++count_;
     }
 

@@ -16,7 +16,7 @@ IFetch::acceptLongword(uint32_t data)
 }
 
 void
-IFetch::cycle(CpuMode mode)
+IFetch::cycleSlow(CpuMode mode)
 {
     // Collect a completed fill first.
     if (mem_.ibFillDone()) {
@@ -43,6 +43,12 @@ IFetch::cycle(CpuMode mode)
     if (mem_.eboxPortUsed())
         return; // the EBOX had the cache this cycle
 
+    issueFetch(mode);
+}
+
+void
+IFetch::issueFetch(CpuMode mode)
+{
     IbResult res = mem_.ibFetch(viba_ & ~3u, mode);
     switch (res.status) {
       case IbStatus::Data:

@@ -28,8 +28,25 @@ class IFetch
   public:
     IFetch(InstructionBuffer &ib, MemSystem &mem) : ib_(ib), mem_(mem) {}
 
-    /** Attempt one fetch step; call once per machine cycle. */
-    void cycle(CpuMode mode);
+    /** Attempt one fetch step; call once per machine cycle.  Inline
+     *  fast path: with no fill landing, no redirect settling and no
+     *  outstanding miss, the common full-IB / port-taken cycle decides
+     *  in a few flag tests; anything stateful goes out of line. */
+    void
+    cycle(CpuMode mode)
+    {
+        if (mem_.ibFillDone() || redirectDelay_ > 0 || awaitingFill_ ||
+            itbMiss_) {
+            cycleSlow(mode);
+            return;
+        }
+        if ((!ib_.canAccept() || ib_.freeBytes() == 0) &&
+            ib_.pendingSkip() == 0)
+            return;
+        if (mem_.eboxPortUsed())
+            return; // the EBOX had the cache this cycle
+        issueFetch(mode);
+    }
 
     /** Restart fetching at a new PC (branch taken, REI, ...). */
     void redirect(VirtAddr pc);
@@ -49,6 +66,10 @@ class IFetch
 
   private:
     void acceptLongword(uint32_t data);
+    /** Fill collection, redirect settling and miss gating. */
+    void cycleSlow(CpuMode mode);
+    /** Issue the aligned-longword fetch and sort its outcome. */
+    void issueFetch(CpuMode mode);
 
     InstructionBuffer &ib_;
     MemSystem &mem_;

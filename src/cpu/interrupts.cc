@@ -21,21 +21,6 @@ InterruptController::requestSoftware(unsigned level)
     ++swRequests_;
 }
 
-int
-InterruptController::pendingAbove(unsigned ipl) const
-{
-    for (int level = 31; level > static_cast<int>(ipl); --level) {
-        if (level >= 16) {
-            if (deviceLines_ & (1u << level))
-                return level;
-        } else if (level >= 1) {
-            if (sisr_ & (1u << level))
-                return level;
-        }
-    }
-    return -1;
-}
-
 void
 InterruptController::acknowledge(unsigned level)
 {
@@ -43,22 +28,6 @@ InterruptController::acknowledge(unsigned level)
         deviceLines_ &= ~(1u << level);
     else
         sisr_ &= static_cast<uint16_t>(~(1u << level));
-}
-
-bool
-IntervalTimer::tick()
-{
-    if (!(iccs_ & runBit))
-        return false;
-    if (icr_ == 0)
-        icr_ = nicr_;
-    if (icr_ == 0)
-        return false;
-    if (--icr_ == 0) {
-        icr_ = nicr_;
-        return (iccs_ & intEnableBit) != 0;
-    }
-    return false;
 }
 
 void

@@ -13,6 +13,7 @@
 #ifndef UPC780_CPU_INTERRUPTS_HH
 #define UPC780_CPU_INTERRUPTS_HH
 
+#include <bit>
 #include <cstdint>
 
 namespace vax
@@ -34,9 +35,18 @@ class InterruptController
 
     /**
      * Highest pending level strictly above ipl, or -1.
-     * Does not clear anything.
+     * Does not clear anything.  Runs at every instruction boundary,
+     * so it is a single bit scan over the merged request lines rather
+     * than a level-by-level walk.
      */
-    int pendingAbove(unsigned ipl) const;
+    int
+    pendingAbove(unsigned ipl) const
+    {
+        if (ipl >= 31)
+            return -1;
+        uint32_t above = (deviceLines_ | sisr_) & (~0u << (ipl + 1));
+        return above ? 31 - std::countl_zero(above) : -1;
+    }
 
     /** Clear the request being delivered. */
     void acknowledge(unsigned level);
@@ -64,8 +74,24 @@ class InterruptController
 class IntervalTimer
 {
   public:
-    /** Advance one cycle; true if the clock fired with ints enabled. */
-    bool tick();
+    /** Advance one cycle; true if the clock fired with ints enabled.
+     *  Inline: this sits on the per-cycle path and is a handful of
+     *  predictable tests either way the run bit goes. */
+    bool
+    tick()
+    {
+        if (!(iccs_ & runBit))
+            return false;
+        if (icr_ == 0)
+            icr_ = nicr_;
+        if (icr_ == 0)
+            return false;
+        if (--icr_ == 0) {
+            icr_ = nicr_;
+            return (iccs_ & intEnableBit) != 0;
+        }
+        return false;
+    }
 
     void setIccs(uint32_t v);
     uint32_t iccs() const { return iccs_; }

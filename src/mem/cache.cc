@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <bit>
+
 #include "support/bitutil.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
@@ -47,6 +49,10 @@ Cache::regStats(stats::Registry &r, const std::string &prefix) const
 
 Cache::Cache(const MemConfig &cfg, uint64_t seed)
     : blockBytes_(cfg.cacheBlockBytes),
+      blockShift_(static_cast<uint32_t>(
+          std::countr_zero(cfg.cacheBlockBytes))),
+      setShift_(static_cast<uint32_t>(std::countr_zero(
+          cfg.cacheBytes / (cfg.cacheBlockBytes * cfg.cacheWays)))),
       ways_(cfg.cacheWays),
       sets_(cfg.cacheBytes / (cfg.cacheBlockBytes * cfg.cacheWays)),
       lines_(sets_ * ways_),
@@ -55,31 +61,6 @@ Cache::Cache(const MemConfig &cfg, uint64_t seed)
     upc_assert(isPowerOf2(blockBytes_));
     upc_assert(isPowerOf2(sets_));
     upc_assert(ways_ >= 1);
-}
-
-uint32_t
-Cache::setIndex(PhysAddr pa) const
-{
-    return (pa / blockBytes_) & (sets_ - 1);
-}
-
-uint32_t
-Cache::tagOf(PhysAddr pa) const
-{
-    return (pa / blockBytes_) / sets_;
-}
-
-bool
-Cache::probe(PhysAddr pa) const
-{
-    uint32_t set = setIndex(pa);
-    uint32_t tag = tagOf(pa);
-    for (uint32_t w = 0; w < ways_; ++w) {
-        const Line &l = lines_[set * ways_ + w];
-        if (l.valid && l.tag == tag)
-            return true;
-    }
-    return false;
 }
 
 void
@@ -94,8 +75,16 @@ Cache::invalidateBlock(PhysAddr pa)
     }
 }
 
+void
+Cache::traceReadMiss(PhysAddr pa, bool istream) const
+{
+    TRACE(Cache, "read miss %c pa=%06x set=%u",
+          istream ? 'I' : 'D', static_cast<unsigned>(pa),
+          setIndex(pa));
+}
+
 bool
-Cache::readRef(PhysAddr pa, bool istream)
+Cache::readRefSlow(PhysAddr pa, bool istream)
 {
     bool hit = !disabled_ && probe(pa);
     // Write-through means memory is always current, so an injected

@@ -81,8 +81,30 @@ class Cache
      * @param istream True for IB fetches, false for EBOX D-stream.
      * @return True on hit.  A miss does NOT fill; call fill() when the
      *         SBI transaction completes.
+     *
+     * Inline fast path: runs for every IB fill and D-stream read, so
+     * the fault-free lookup is a probe plus two counter bumps; fault
+     * injection takes the out-of-line slow path.
      */
-    bool readRef(PhysAddr pa, bool istream);
+    bool
+    readRef(PhysAddr pa, bool istream)
+    {
+        if (faults_) [[unlikely]]
+            return readRefSlow(pa, istream);
+        bool hit = !disabled_ && probe(pa);
+        if (istream) {
+            ++stats_.readRefsI;
+            if (!hit)
+                ++stats_.readMissesI;
+        } else {
+            ++stats_.readRefsD;
+            if (!hit)
+                ++stats_.readMissesD;
+        }
+        if (!hit)
+            traceReadMiss(pa, istream);
+        return hit;
+    }
 
     /**
      * Look up a write reference (write-through, no allocate).
@@ -125,12 +147,42 @@ class Cache
         uint32_t tag = 0;
     };
 
-    uint32_t setIndex(PhysAddr pa) const;
-    uint32_t tagOf(PhysAddr pa) const;
-    bool probe(PhysAddr pa) const;
+    /** Geometry is asserted power-of-two at construction, so the
+     *  per-reference index math is two shifts and a mask. */
+    uint32_t
+    setIndex(PhysAddr pa) const
+    {
+        return (pa >> blockShift_) & (sets_ - 1);
+    }
+
+    uint32_t
+    tagOf(PhysAddr pa) const
+    {
+        return (pa >> blockShift_) >> setShift_;
+    }
+
+    bool
+    probe(PhysAddr pa) const
+    {
+        uint32_t set = setIndex(pa);
+        uint32_t tag = tagOf(pa);
+        for (uint32_t w = 0; w < ways_; ++w) {
+            const Line &l = lines_[set * ways_ + w];
+            if (l.valid && l.tag == tag)
+                return true;
+        }
+        return false;
+    }
+
+    /** readRef with a fault injector attached (parity draws). */
+    bool readRefSlow(PhysAddr pa, bool istream);
+    /** Cold miss-trace hook, out of line to keep readRef tight. */
+    void traceReadMiss(PhysAddr pa, bool istream) const;
     void invalidateBlock(PhysAddr pa);
 
     uint32_t blockBytes_;
+    uint32_t blockShift_;
+    uint32_t setShift_;
     uint32_t ways_;
     uint32_t sets_;
     std::vector<Line> lines_; ///< sets_ * ways_, way-major within set

@@ -267,9 +267,8 @@ MemSystem::maybeStartQueuedFill()
 }
 
 void
-MemSystem::tick()
+MemSystem::tickSlow()
 {
-    eboxPortUsed_ = false;
     if (faults_)
         faults_->tick();
     wb_.tick();

@@ -121,8 +121,17 @@ class MemSystem
     TbResult probe(VirtAddr va, bool is_write, CpuMode mode,
                    PhysAddr *pa_out);
 
-    /** Advance all timers one cycle; completes fills and writes. */
-    void tick();
+    /** Advance all timers one cycle; completes fills and writes.
+     *  Inline because it runs every machine cycle: on an idle memory
+     *  cycle (no injector, nothing draining, no bus transaction, no
+     *  queued write) only the port-used flag needs resetting. */
+    void
+    tick()
+    {
+        eboxPortUsed_ = false;
+        if (faults_ || wb_.busy() || sbi_.busy() || eboxWritePending_)
+            tickSlow();
+    }
 
     /** True if the EBOX used the cache port this cycle. */
     bool eboxPortUsed() const { return eboxPortUsed_; }
@@ -181,6 +190,10 @@ class MemSystem
 
     /** Check containment of a scalar access in one aligned longword. */
     static bool crossesLongword(VirtAddr va, unsigned bytes);
+
+    /** The non-idle remainder of tick(): injector and drain timers,
+     *  fill completion, queued-write drain. */
+    void tickSlow();
 
     TbResult translate(VirtAddr va, bool is_write, CpuMode mode,
                        bool istream, PhysAddr *pa_out);

@@ -10,23 +10,6 @@ PhysicalMemory::PhysicalMemory(uint32_t size_bytes)
 {
 }
 
-uint8_t
-PhysicalMemory::readByte(PhysAddr pa) const
-{
-    upc_assert(pa < data_.size());
-    return data_[pa];
-}
-
-uint32_t
-PhysicalMemory::read(PhysAddr pa, unsigned bytes) const
-{
-    upc_assert(bytes >= 1 && bytes <= 4);
-    upc_assert(static_cast<uint64_t>(pa) + bytes <= data_.size());
-    uint32_t v = 0;
-    for (unsigned i = 0; i < bytes; ++i)
-        v |= static_cast<uint32_t>(data_[pa + i]) << (8 * i);
-    return v;
-}
 
 void
 PhysicalMemory::writeByte(PhysAddr pa, uint8_t v)

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "arch/types.hh"
+#include "support/logging.hh"
 
 namespace vax
 {
@@ -30,9 +31,28 @@ class PhysicalMemory
     /** Total size in bytes. */
     uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
 
-    /** @{ Little-endian accessors; out-of-range addresses panic. */
-    uint8_t readByte(PhysAddr pa) const;
-    uint32_t read(PhysAddr pa, unsigned bytes) const;
+    /** @{ Little-endian accessors; out-of-range addresses panic.
+     *  The reads are inline: every instruction-buffer fill and data
+     *  reference lands here, and a caller passing a constant width
+     *  gets the byte loop unrolled away. */
+    uint8_t
+    readByte(PhysAddr pa) const
+    {
+        upc_assert(pa < data_.size());
+        return data_[pa];
+    }
+
+    uint32_t
+    read(PhysAddr pa, unsigned bytes) const
+    {
+        upc_assert(bytes >= 1 && bytes <= 4);
+        upc_assert(static_cast<uint64_t>(pa) + bytes <= data_.size());
+        uint32_t v = 0;
+        for (unsigned i = 0; i < bytes; ++i)
+            v |= static_cast<uint32_t>(data_[pa + i]) << (8 * i);
+        return v;
+    }
+
     void writeByte(PhysAddr pa, uint8_t v);
     void write(PhysAddr pa, uint32_t v, unsigned bytes);
     /** @} */

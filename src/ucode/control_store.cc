@@ -1,6 +1,7 @@
 #include "ucode/control_store.hh"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "support/logging.hh"
 
@@ -73,17 +74,9 @@ timeColsFor(const UAnnotation &ann)
     return {TimeCol::Compute, TimeCol::IbStall, ann.ibRequest};
 }
 
-SpecAccClass
-specAccClass(Access a)
+void
+badBranchOperandClass()
 {
-    switch (a) {
-      case Access::Read:    return SpecAccClass::Read;
-      case Access::Write:   return SpecAccClass::Write;
-      case Access::Modify:  return SpecAccClass::Modify;
-      case Access::Address:
-      case Access::Field:   return SpecAccClass::Addr;
-      case Access::Branch:  break;
-    }
     panic("branch operand has no specifier class");
 }
 
@@ -97,14 +90,13 @@ badMicroAddress(UAddr a, size_t size)
           static_cast<unsigned>(a), size);
 }
 
-UAddr
-ControlStore::labelAddr(ULabel l) const
+void
+ControlStore::badLabel(ULabel l) const
 {
-    upc_assert(l < labels_.size());
-    int32_t a = labels_[l];
-    if (a < 0)
-        panic("microcode label %u used but never bound", l);
-    return static_cast<UAddr>(a);
+    if (l >= labels_.size())
+        panic("micro-label %u outside the %zu-entry label table", l,
+              labels_.size());
+    panic("microcode label %u used but never bound", l);
 }
 
 namespace
@@ -210,13 +202,30 @@ ControlStore::flowAllows(UAddr from, UAddr to) const
     return std::binary_search(s.begin(), s.end(), to);
 }
 
+void *
+ControlStore::semArenaAlloc(size_t size, size_t align)
+{
+    constexpr size_t chunkBytes = 64 * 1024;
+    upc_assert(size <= chunkBytes && align <= alignof(std::max_align_t));
+    size_t at = (semChunkUsed_ + align - 1) & ~(align - 1);
+    if (semChunks_.empty() || at + size > chunkBytes) {
+        semChunks_.push_back(
+            std::make_unique<unsigned char[]>(chunkBytes));
+        at = 0;
+    }
+    semChunkUsed_ = at + size;
+    return semChunks_.back().get() + at;
+}
+
 UAddr
-MicroAssembler::emit(const UAnnotation &ann, UFlow flow, USem sem)
+MicroAssembler::emitWord(const UAnnotation &ann, UFlow flow, USem sem,
+                         DecodedWord decoded)
 {
     if (cs_.words_.size() >= ControlStore::capacity)
         panic("control store exceeds the %u-location histogram board",
               ControlStore::capacity);
     cs_.words_.push_back(MicroWord{std::move(sem), ann});
+    cs_.decoded_.push_back(decoded);
     cs_.flows_.push_back(std::move(flow));
     cs_.resolved_ = false;
     return static_cast<UAddr>(cs_.words_.size() - 1);

@@ -8,6 +8,12 @@
  * 11/780's control store held 4K-6K 99-bit words; the histogram board
  * had 16K buckets, which bounds our store too.
  *
+ * Semantic actions exist in two representations (see DESIGN.md §9):
+ * the decoded dispatch table -- a flat array of plain function
+ * pointers with per-word operand records packed into an arena, which
+ * is what the EBOX executes -- and the legacy std::function copies,
+ * kept so the two engines can be verified byte-identical.
+ *
  * Micro-branch targets are label ids resolved through the store's
  * label table, so forward references inside a routine are cheap.
  *
@@ -26,6 +32,10 @@
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "arch/opcodes.hh"
@@ -37,8 +47,30 @@ namespace vax
 
 class Ebox;
 
-/** Semantic action of one microinstruction. */
+/**
+ * Semantic action of one microinstruction, type-erased.  This is the
+ * *legacy* dispatch representation: the EBOX's decoded fast path calls
+ * through DecodedWord instead (below), and the std::function copy is
+ * kept so the engines can be A/B-compared for byte-identical
+ * histograms (Ebox::setLegacyDispatch, tests/test_dispatch_equiv.cc).
+ */
 using USem = std::function<void(Ebox &)>;
+
+/**
+ * Decoded dispatch: a plain function pointer plus a pointer to the
+ * microword's packed operand record (the builder lambda's captures,
+ * placed in the control store's operand arena).  One flat array of
+ * these is the interpreter's inner-loop table -- a single predictable
+ * indirect call per cycle, no std::function machinery, and operands
+ * packed contiguously in emission (≈ execution) order.
+ */
+using USemFn = void (*)(Ebox &, const void *);
+
+struct DecodedWord
+{
+    USemFn fn;
+    const void *ops;
+};
 
 /** A micro-branch label (index into the store's label table). */
 using ULabel = uint32_t;
@@ -209,8 +241,24 @@ struct MicroWord
 /** Access classes used to select a specifier routine variant. */
 enum class SpecAccClass : uint8_t { Read, Write, Modify, Addr, NumClasses };
 
-/** Map an operand access type to its routine class. */
-SpecAccClass specAccClass(Access a);
+/** Cold panic: branch operands have no specifier routine class. */
+[[noreturn]] void badBranchOperandClass();
+
+/** Map an operand access type to its routine class.  Inline: runs for
+ *  every dispatched operand specifier. */
+inline SpecAccClass
+specAccClass(Access a)
+{
+    switch (a) {
+      case Access::Read:    return SpecAccClass::Read;
+      case Access::Write:   return SpecAccClass::Write;
+      case Access::Modify:  return SpecAccClass::Modify;
+      case Access::Address:
+      case Access::Field:   return SpecAccClass::Addr;
+      case Access::Branch:  break;
+    }
+    badBranchOperandClass();
+}
 
 /** Out-of-line panic for an out-of-range micro-address (e.g. a
  *  dispatch through an unset kInvalidUAddr entry slot). */
@@ -290,8 +338,16 @@ class ControlStore
         return flows_[a];
     }
 
-    /** Resolve a label to its bound address (panics if unbound). */
-    UAddr labelAddr(ULabel l) const;
+    /** Resolve a label to its bound address (panics if unbound).
+     *  Inline: micro-jumps resolve their target through this every
+     *  execution, so the good case must be one load and one test. */
+    UAddr
+    labelAddr(ULabel l) const
+    {
+        if (l >= labels_.size() || labels_[l] < 0) [[unlikely]]
+            badLabel(l);
+        return static_cast<UAddr>(labels_[l]);
+    }
 
     /** @{ Label-table introspection for the static verifier. */
     size_t labelCount() const { return labels_.size(); }
@@ -321,10 +377,20 @@ class ControlStore
      *  `to` (membership in the resolved successor set). */
     bool flowAllows(UAddr from, UAddr to) const;
 
+    /**
+     * The decoded dispatch table, one entry per microword.  The
+     * pointer is only stable once the ROM is fully built (the EBOX is
+     * constructed after buildMicrocodeRom(), so it caches this).
+     */
+    const DecodedWord *decodedTable() const { return decoded_.data(); }
+
     EntryPoints entries;
 
   private:
     friend class MicroAssembler;
+
+    /** Out-of-line panic for an unbound or unknown label. */
+    [[noreturn]] void badLabel(ULabel l) const;
 
     void
     check(UAddr a) const
@@ -333,11 +399,21 @@ class ControlStore
             badMicroAddress(a, words_.size());
     }
 
+    /** Reserve packed, aligned storage in the operand arena. */
+    void *semArenaAlloc(size_t size, size_t align);
+
     std::vector<MicroWord> words_;
+    std::vector<DecodedWord> decoded_;
     std::vector<UFlow> flows_;
     std::vector<int32_t> labels_; ///< -1 = unbound
     std::vector<std::vector<UAddr>> succ_;
     bool resolved_ = false;
+
+    /** Operand arena: chunked so records never move once placed. */
+    std::vector<std::unique_ptr<unsigned char[]>> semChunks_;
+    size_t semChunkUsed_ = 0; ///< bytes used in the newest chunk
+    /** Keep-alive for the rare non-trivially-copyable callable. */
+    std::vector<std::shared_ptr<const void>> semBoxed_;
 };
 
 /**
@@ -354,8 +430,38 @@ class MicroAssembler
     /** Next address to be emitted. */
     UAddr here() const { return cs_.size(); }
 
-    /** Emit one microinstruction; returns its address. */
-    UAddr emit(const UAnnotation &ann, UFlow flow, USem sem);
+    /**
+     * Emit one microinstruction; returns its address.
+     *
+     * The callable is decoded once, here: its captures are packed into
+     * the store's operand arena and a plain trampoline function pointer
+     * is recorded in the flat dispatch table, so the per-cycle path is
+     * one indirect call.  A std::function copy of the same callable is
+     * kept as the legacy engine for A/B histogram verification.
+     */
+    template <typename F>
+    UAddr
+    emit(const UAnnotation &ann, UFlow flow, F &&sem)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, const Fn &, Ebox &>,
+                      "microword semantics must be callable as "
+                      "void(Ebox &)");
+        const Fn *packed;
+        if constexpr (std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn>) {
+            void *slot = cs_.semArenaAlloc(sizeof(Fn), alignof(Fn));
+            packed = ::new (slot) Fn(sem);
+        } else {
+            // Rare: a callable with non-trivial captures cannot live
+            // in the arena; box it and keep it alive with the store.
+            auto box = std::make_shared<Fn>(sem);
+            packed = box.get();
+            cs_.semBoxed_.push_back(std::move(box));
+        }
+        return emitWord(ann, std::move(flow), USem(*packed),
+                        DecodedWord{&invokeSem<Fn>, packed});
+    }
 
     /** Allocate an unbound label. */
     ULabel newLabel();
@@ -369,6 +475,18 @@ class MicroAssembler
     ControlStore &store() { return cs_; }
 
   private:
+    /** Trampoline giving every callable type one plain entry point. */
+    template <typename Fn>
+    static void
+    invokeSem(Ebox &e, const void *ops)
+    {
+        (*static_cast<const Fn *>(ops))(e);
+    }
+
+    /** Append a fully decoded word (capacity check lives here). */
+    UAddr emitWord(const UAnnotation &ann, UFlow flow, USem sem,
+                   DecodedWord decoded);
+
     ControlStore &cs_;
 };
 

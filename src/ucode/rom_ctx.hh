@@ -34,45 +34,56 @@ struct RomCtx
         return a;
     }
 
+    // The emit helpers forward the callable's concrete type to
+    // MicroAssembler::emit, which packs its captures into the decoded
+    // dispatch table (type-erasing here would force every word onto
+    // the boxed fallback path).
+
     /** Plain compute microword. */
+    template <typename F>
     UAddr
-    emit(Row row, const char *name, UFlow f, USem s)
+    emit(Row row, const char *name, UFlow f, F &&s)
     {
-        return ua.emit(ann(row, name), std::move(f), std::move(s));
+        return ua.emit(ann(row, name), std::move(f),
+                       std::forward<F>(s));
     }
 
     /** Microword that issues a D-stream (or physical) read. */
+    template <typename F>
     UAddr
-    emitRead(Row row, const char *name, UFlow f, USem s)
+    emitRead(Row row, const char *name, UFlow f, F &&s)
     {
         UAnnotation a = ann(row, name);
         a.mem = UMemKind::Read;
-        return ua.emit(a, std::move(f), std::move(s));
+        return ua.emit(a, std::move(f), std::forward<F>(s));
     }
 
     /** Microword that issues a write. */
+    template <typename F>
     UAddr
-    emitWrite(Row row, const char *name, UFlow f, USem s)
+    emitWrite(Row row, const char *name, UFlow f, F &&s)
     {
         UAnnotation a = ann(row, name);
         a.mem = UMemKind::Write;
-        return ua.emit(a, std::move(f), std::move(s));
+        return ua.emit(a, std::move(f), std::forward<F>(s));
     }
 
     /** Microword that requests bytes from the IB (may IB-stall). */
+    template <typename F>
     UAddr
-    emitIb(Row row, const char *name, UFlow f, USem s)
+    emitIb(Row row, const char *name, UFlow f, F &&s)
     {
         UAnnotation a = ann(row, name);
         a.ibRequest = true;
-        return ua.emit(a, std::move(f), std::move(s));
+        return ua.emit(a, std::move(f), std::forward<F>(s));
     }
 
     /** Fully-specified microword. */
+    template <typename F>
     UAddr
-    emitFull(UAnnotation a, UFlow f, USem s)
+    emitFull(UAnnotation a, UFlow f, F &&s)
     {
-        return ua.emit(a, std::move(f), std::move(s));
+        return ua.emit(a, std::move(f), std::forward<F>(s));
     }
 
     ULabel lbl() { return ua.newLabel(); }
@@ -96,9 +107,10 @@ void buildDecimalFlows(RomCtx &c);
  * Register an execute-flow entry point.  The entry microword carries
  * the ExecEntry mark so the analyzer can count Table 1 frequencies.
  */
+template <typename F>
 inline UAddr
 execEntry(RomCtx &c, ExecFlow flow, Group group, const char *name,
-          UFlow f, USem s, UMemKind mem = UMemKind::None,
+          UFlow f, F &&s, UMemKind mem = UMemKind::None,
           bool ib_request = false)
 {
     UAnnotation a = c.ann(execRowFor(group), name);
@@ -106,7 +118,7 @@ execEntry(RomCtx &c, ExecFlow flow, Group group, const char *name,
     a.flow = flow;
     a.mem = mem;
     a.ibRequest = ib_request;
-    UAddr addr = c.ua.emit(a, std::move(f), std::move(s));
+    UAddr addr = c.ua.emit(a, std::move(f), std::forward<F>(s));
     c.ep.exec[static_cast<size_t>(flow)] = addr;
     return addr;
 }

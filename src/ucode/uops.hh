@@ -17,18 +17,88 @@
 #include "arch/opcodes.hh"
 #include "arch/types.hh"
 #include "cpu/psl.hh"
+#include "support/bitutil.hh"
 
 namespace vax
 {
 
+// The two-operand ALU, compare and branch-condition helpers below are
+// inline: they run once per executed arithmetic/branch instruction and
+// their call sites (microcode semantic lambdas in rom_*.cc) otherwise
+// pay a cross-TU call per operand.  The cold "not that kind of opcode"
+// panics stay out of line.
+
+/** Cold panic: opcode is not an ALU op. */
+[[noreturn]] void badAluOpcode(uint8_t opcode);
+
+/** Cold panic: opcode is not a simple branch. */
+[[noreturn]] void badBranchOpcode(uint8_t opcode);
+
 /** Truncate a value to its data-type width. */
-uint32_t truncTo(uint32_t v, DataType t);
+inline uint32_t
+truncTo(uint32_t v, DataType t)
+{
+    switch (dataTypeBytes(t)) {
+      case 1: return v & 0xFF;
+      case 2: return v & 0xFFFF;
+      default: return v;
+    }
+}
 
 /** Sign-extend a value of the given width to 32 bits. */
-int32_t sextTo(uint32_t v, DataType t);
+inline int32_t
+sextTo(uint32_t v, DataType t)
+{
+    unsigned bits = 8 * dataTypeBytes(t);
+    if (bits >= 32)
+        return static_cast<int32_t>(v);
+    return sext(v, bits);
+}
 
 /** Sign bit of a value of the given width. */
-bool signBit(uint32_t v, DataType t);
+inline bool
+signBit(uint32_t v, DataType t)
+{
+    unsigned bits = 8 * dataTypeBytes(t);
+    return (v >> (bits - 1)) & 1;
+}
+
+/** Set all four condition codes from a sized result. */
+inline void
+setNzvc(Psl *psl, uint32_t result, DataType t, bool v, bool c)
+{
+    psl->cc.n = signBit(result, t);
+    psl->cc.z = truncTo(result, t) == 0;
+    psl->cc.v = v;
+    psl->cc.c = c;
+}
+
+/** Add/subtract with full NZVC (INC/DEC, loop branches). */
+inline uint32_t
+addCc(uint32_t a, uint32_t b, bool subtract, DataType t, Psl *psl)
+{
+    uint32_t aa = truncTo(a, t);
+    uint32_t bb = truncTo(b, t);
+    unsigned bits = 8 * dataTypeBytes(t);
+    uint64_t wide;
+    uint32_t result;
+    bool v, c;
+    if (subtract) {
+        // result = b - a (VAX SUBx: dif = min - sub).
+        wide = static_cast<uint64_t>(bb) - aa;
+        result = truncTo(static_cast<uint32_t>(wide), t);
+        // C is borrow.
+        c = bb < aa;
+        v = signBit(bb ^ aa, t) && signBit(bb ^ result, t);
+    } else {
+        wide = static_cast<uint64_t>(bb) + aa;
+        result = truncTo(static_cast<uint32_t>(wide), t);
+        c = (wide >> bits) & 1;
+        v = !signBit(aa ^ bb, t) && signBit(aa ^ result, t);
+    }
+    setNzvc(psl, result, t, v, c);
+    return result;
+}
 
 /**
  * Two-operand ALU for the shared ADD/SUB/BIS/BIC/XOR flow.
@@ -41,25 +111,104 @@ bool signBit(uint32_t v, DataType t);
  * @param src    The src operand.
  * @param dst    The dst (2-operand) or second source (3-operand).
  */
-uint32_t aluCompute(uint8_t opcode, uint32_t src, uint32_t dst,
-                    DataType t, Psl *psl);
+inline uint32_t
+aluCompute(uint8_t opcode, uint32_t src, uint32_t dst, DataType t,
+           Psl *psl)
+{
+    // The ALU function is selected by hardware from the opcode; the
+    // microcode flow itself is shared (ADD/SUB indistinguishable to
+    // the UPC monitor, as the paper notes).
+    switch (opcode) {
+      case op::ADDB2: case op::ADDB3:
+      case op::ADDW2: case op::ADDW3:
+      case op::ADDL2: case op::ADDL3:
+        return addCc(src, dst, false, t, psl);
+      case op::SUBB2: case op::SUBB3:
+      case op::SUBW2: case op::SUBW3:
+      case op::SUBL2: case op::SUBL3:
+        return addCc(src, dst, true, t, psl);
+      case op::BISB2: case op::BISB3:
+      case op::BISW2: case op::BISW3:
+      case op::BISL2: case op::BISL3: {
+        uint32_t r = truncTo(dst | src, t);
+        setNzvc(psl, r, t, false, psl->cc.c);
+        return r;
+      }
+      case op::BICB2: case op::BICB3:
+      case op::BICW2: case op::BICW3:
+      case op::BICL2: case op::BICL3: {
+        uint32_t r = truncTo(dst & ~src, t);
+        setNzvc(psl, r, t, false, psl->cc.c);
+        return r;
+      }
+      case op::XORB2: case op::XORB3:
+      case op::XORW2: case op::XORW3:
+      case op::XORL2: case op::XORL3: {
+        uint32_t r = truncTo(dst ^ src, t);
+        setNzvc(psl, r, t, false, psl->cc.c);
+        return r;
+      }
+      default:
+        badAluOpcode(opcode);
+    }
+}
 
 /** CMPx condition codes (src1 - src2 without storing). */
-void cmpCc(uint32_t src1, uint32_t src2, DataType t, Psl *psl);
-
-/** Add/subtract with full NZVC (INC/DEC, loop branches). */
-uint32_t addCc(uint32_t a, uint32_t b, bool subtract, DataType t,
-               Psl *psl);
+inline void
+cmpCc(uint32_t src1, uint32_t src2, DataType t, Psl *psl)
+{
+    int32_t a = sextTo(src1, t);
+    int32_t b = sextTo(src2, t);
+    psl->cc.n = a < b;
+    psl->cc.z = a == b;
+    psl->cc.v = false;
+    psl->cc.c = truncTo(src1, t) < truncTo(src2, t);
+}
 
 /** ASHL/ROTL. */
 uint32_t shiftCompute(uint8_t opcode, int8_t count, uint32_t src,
                       Psl *psl);
 
 /** Evaluate a simple branch condition for the BCOND flow. */
-bool branchCond(uint8_t opcode, const Psl &psl);
+inline bool
+branchCond(uint8_t opcode, const Psl &psl)
+{
+    const CondCodes &cc = psl.cc;
+    switch (opcode) {
+      case op::BRB: case op::BRW: return true;
+      case op::BNEQ:  return !cc.z;
+      case op::BEQL:  return cc.z;
+      case op::BGTR:  return !(cc.n || cc.z);
+      case op::BLEQ:  return cc.n || cc.z;
+      case op::BGEQ:  return !cc.n;
+      case op::BLSS:  return cc.n;
+      case op::BGTRU: return !(cc.c || cc.z);
+      case op::BLEQU: return cc.c || cc.z;
+      case op::BVC:   return !cc.v;
+      case op::BVS:   return cc.v;
+      case op::BCC:   return !cc.c;
+      case op::BCS:   return cc.c;
+      default:
+        badBranchOpcode(opcode);
+    }
+}
 
 /** Write a value into a register honouring operand size. */
-void writeRegSized(uint32_t *reg, uint32_t v, DataType t);
+inline void
+writeRegSized(uint32_t *reg, uint32_t v, DataType t)
+{
+    switch (dataTypeBytes(t)) {
+      case 1:
+        *reg = (*reg & ~0xFFu) | (v & 0xFF);
+        break;
+      case 2:
+        *reg = (*reg & ~0xFFFFu) | (v & 0xFFFF);
+        break;
+      default:
+        *reg = v;
+        break;
+    }
+}
 
 /** Convert for the CVT/MOVZ flow (sign- or zero-extends/truncates). */
 uint32_t cvtCompute(uint8_t opcode, uint32_t v, Psl *psl);

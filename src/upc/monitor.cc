@@ -99,9 +99,21 @@ Histogram::restore(snap::Deserializer &d)
     stalled = std::move(st);
 }
 
+UpcMonitor::~UpcMonitor()
+{
+    // Bank anything still batched, then make sure the EBOX drops its
+    // fast-path pointer to this board.
+    sync();
+    if (ebox_)
+        ebox_->detachMonitor(this);
+}
+
 void
 UpcMonitor::save(snap::Serializer &s) const
 {
+    // Checkpoint chunks can end mid-instruction; the banks must
+    // include every cycle simulated so far.
+    sync();
     s.beginSection("upc.monitor");
     hist_.save(s);
     s.putBool(collecting_);
@@ -111,10 +123,45 @@ UpcMonitor::save(snap::Serializer &s) const
 void
 UpcMonitor::restore(snap::Deserializer &d)
 {
+    sync();
     d.beginSection("upc.monitor");
     hist_.restore(d);
     collecting_ = d.getBool();
     d.endSection();
+    // The restored CSR state may differ from the pre-restore one; the
+    // EBOX's cached fast-path flag folds it in.
+    if (ebox_)
+        ebox_->refreshBatchOn();
+}
+
+void
+UpcMonitor::regStats(stats::Registry &r, const std::string &prefix) const
+{
+    // Same names and meanings as Histogram::regStats, but syncing the
+    // EBOX batch before each read so dump-time totals are exact.
+    const UpcMonitor *m = this;
+    r.addScalar(prefix + ".normalCycles",
+                "cycles counted in the normal bank", [m] {
+                    m->sync();
+                    return m->hist_.normalCycles();
+                });
+    r.addScalar(prefix + ".stalledCycles",
+                "cycles counted in the stalled bank", [m] {
+                    m->sync();
+                    return m->hist_.stalledCycles();
+                });
+    r.addScalar(prefix + ".cycles", "total cycles recorded", [m] {
+        m->sync();
+        return m->hist_.cycles();
+    });
+    r.addFormula(prefix + ".stallFraction",
+                 "fraction of recorded cycles that were stalls", [m] {
+                     m->sync();
+                     uint64_t total = m->hist_.cycles();
+                     return total ? double(m->hist_.stalledCycles()) /
+                             double(total)
+                                  : 0.0;
+                 });
 }
 
 void
@@ -132,6 +179,9 @@ UpcMonitor::count(UAddr upc, bool stalled)
 void
 UpcMonitor::clear()
 {
+    // Counts batched before the clear command belong to the cleared
+    // epoch: bank them first so they are wiped, not replayed later.
+    sync();
     std::fill(hist_.normal.begin(), hist_.normal.end(), 0);
     std::fill(hist_.stalled.begin(), hist_.stalled.end(), 0);
 }

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "cpu/cycle_sink.hh"
+#include "cpu/ebox.hh"
+#include "support/logging.hh"
 #include "ucode/control_store.hh"
 
 namespace vax
@@ -93,35 +95,103 @@ class UpcMonitor : public CycleSink
     static constexpr uint32_t cmdStart = 1;
     static constexpr uint32_t cmdClear = 2;
 
+    ~UpcMonitor() override;
+
     void count(UAddr upc, bool stalled) override;
 
+    /** @{ EBOX fast-path wiring.  Ebox::setCycleSink(UpcMonitor *)
+     *  attaches the back pointer; the EBOX then banks cycle counts in
+     *  a batch and delivers them through applyBatch() at instruction
+     *  boundaries instead of one virtual call per cycle.  Every
+     *  reader syncs first, so the batching is unobservable. */
+    void
+    attachEbox(Ebox *e)
+    {
+        if (ebox_ && ebox_ != e)
+            ebox_->detachMonitor(this);
+        ebox_ = e;
+    }
+
+    /** Called by ~Ebox so the monitor never syncs a dead engine. */
+    void
+    detachEbox(const Ebox *e)
+    {
+        if (ebox_ == e)
+            ebox_ = nullptr;
+    }
+
+    /** Apply batched cycle records (upc | Ebox::kCycleStallBit each).
+     *  Records were taken while the CSR said collect, so they are
+     *  applied unconditionally. */
+    void
+    applyBatch(const uint32_t *recs, uint32_t n)
+    {
+        for (uint32_t i = 0; i < n; ++i) {
+            uint32_t rec = recs[i];
+            UAddr a = static_cast<UAddr>(rec & 0xFFFF);
+            upc_assert(a < ControlStore::capacity);
+            if (rec & Ebox::kCycleStallBit)
+                ++hist_.stalled[a];
+            else
+                ++hist_.normal[a];
+        }
+    }
+
+    /** Drain any batch the EBOX is holding into the banks. */
+    void
+    sync() const
+    {
+        if (ebox_)
+            ebox_->flushCycleBatch();
+    }
+    /** @} */
+
     /** @{ Unibus command interface. */
-    void start() { collecting_ = true; }
-    void stop() { collecting_ = false; }
+    void
+    start()
+    {
+        sync();
+        collecting_ = true;
+        if (ebox_)
+            ebox_->refreshBatchOn();
+    }
+    void
+    stop()
+    {
+        sync();
+        collecting_ = false;
+        if (ebox_)
+            ebox_->refreshBatchOn();
+    }
     void clear();
     bool collecting() const { return collecting_; }
     /** CSR write decode (for the device-window hook). */
     void unibusWrite(uint32_t value);
     /** @} */
 
-    const Histogram &histogram() const { return hist_; }
-
-    /** Register the board's histogram totals under prefix. */
-    void
-    regStats(stats::Registry &r, const std::string &prefix) const
+    const Histogram &
+    histogram() const
     {
-        hist_.regStats(r, prefix);
+        sync();
+        return hist_;
     }
+
+    /** Register the board's histogram totals under prefix.  The
+     *  registered readers sync before totalling, so dumps taken while
+     *  a batch is in flight are exact. */
+    void regStats(stats::Registry &r, const std::string &prefix) const;
 
     uint64_t
     normalCount(UAddr a) const
     {
+        sync();
         return hist_.normal[a];
     }
 
     uint64_t
     stalledCount(UAddr a) const
     {
+        sync();
         return hist_.stalled[a];
     }
 
@@ -133,6 +203,7 @@ class UpcMonitor : public CycleSink
   private:
     Histogram hist_;
     bool collecting_ = true;
+    Ebox *ebox_ = nullptr;
 };
 
 } // namespace vax

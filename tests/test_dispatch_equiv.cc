@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Decoded-dispatch equivalence tests.
+ *
+ * The decoded microword engine (flat function-pointer table, packed
+ * operands, batched monitor counts) is a pure execution-speed change;
+ * SimConfig::legacyDispatch keeps the original type-erased engine
+ * alive precisely so this file can prove that.  The bar is
+ * byte-identity: for every workload profile, the two engines must
+ * produce bit-for-bit equal histogram banks and hardware counters, a
+ * byte-identical stats dump for the five-workload composite, and a
+ * checkpoint written by one engine must restore into the other and
+ * continue the identical cycle stream.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/snapshot.hh"
+#include "support/stats.hh"
+#include "workload/experiments.hh"
+#include "workload/profile.hh"
+
+using namespace vax;
+
+namespace
+{
+
+/** Cycles per experiment: small enough to keep the suite quick, large
+ *  enough that every profile gets through boot and into real work. */
+constexpr uint64_t kCycles = 60'000;
+
+SimConfig
+engineConfig(const WorkloadProfile &p, bool legacy)
+{
+    SimConfig sim;
+    sim.seed = p.seed;
+    sim.legacyDispatch = legacy;
+    return sim;
+}
+
+/** Histograms must match bank-for-bank, not just in the totals. */
+void
+expectHistogramsIdentical(const Histogram &a, const Histogram &b,
+                          const std::string &what)
+{
+    EXPECT_EQ(a.normal, b.normal) << what << ": normal bank differs";
+    EXPECT_EQ(a.stalled, b.stalled) << what << ": stalled bank differs";
+}
+
+} // anonymous namespace
+
+TEST(DispatchEquiv, FiveWorkloadCompositeByteIdentical)
+{
+    CompositeResult decoded;
+    CompositeResult legacy;
+    for (const WorkloadProfile &p : allProfiles()) {
+        ExperimentResult rd =
+            runExperiment(p, kCycles, engineConfig(p, false));
+        ExperimentResult rl =
+            runExperiment(p, kCycles, engineConfig(p, true));
+
+        // The engines must agree cycle-for-cycle, so every per-part
+        // measurement is identical, not merely the composite.
+        expectHistogramsIdentical(rd.hist, rl.hist, p.name);
+        EXPECT_EQ(rd.hw.counters.cycles, rl.hw.counters.cycles)
+            << p.name;
+        EXPECT_EQ(rd.hw.counters.instructions,
+                  rl.hw.counters.instructions) << p.name;
+        EXPECT_EQ(rd.hw.counters.specifiers,
+                  rl.hw.counters.specifiers) << p.name;
+        EXPECT_EQ(rd.hw.dataReads, rl.hw.dataReads) << p.name;
+        EXPECT_EQ(rd.hw.dataWrites, rl.hw.dataWrites) << p.name;
+
+        decoded.hist.add(rd.hist);
+        decoded.hw.add(rd.hw);
+        decoded.parts.push_back(std::move(rd));
+        legacy.hist.add(rl.hist);
+        legacy.hw.add(rl.hw);
+        legacy.parts.push_back(std::move(rl));
+    }
+
+    expectHistogramsIdentical(decoded.hist, legacy.hist, "composite");
+
+    // The full deterministic stats mirror -- every registered counter
+    // of the composite and its parts -- must serialize byte-equal.
+    stats::Registry rd;
+    registerCompositeStats(rd, decoded);
+    stats::Registry rl;
+    registerCompositeStats(rl, legacy);
+    EXPECT_EQ(rd.dumpJson(), rl.dumpJson());
+}
+
+TEST(DispatchEquiv, CheckpointCrossesEngines)
+{
+    // legacyDispatch selects an engine, not a different simulation, so
+    // it stays out of the snapshot fingerprint: a checkpoint taken
+    // mid-instruction-stream under one engine must restore under the
+    // other and produce the same future.
+    const WorkloadProfile p = timesharingLightProfile();
+    VmsConfig vms;
+    vms.timerIntervalCycles = 20000;
+    vms.quantumTicks = 4;
+
+    // Reference: the decoded engine, uninterrupted.
+    Experiment ref(p, kCycles, engineConfig(p, false), vms);
+    ref.runChunk();
+    ExperimentResult straight = ref.takeResult();
+
+    // Legacy engine runs a third of the way, checkpoints...
+    Experiment el(p, kCycles, engineConfig(p, true), vms);
+    el.runChunk(kCycles / 3);
+    EXPECT_FALSE(el.done());
+    snap::Serializer s;
+    el.save(s);
+
+    // ...and a decoded-engine machine picks the run up.
+    Experiment ed(p, kCycles, engineConfig(p, false), vms);
+    snap::Deserializer d(s.finish());
+    ed.restore(d);
+    ed.runChunk();
+    ExperimentResult resumed = ed.takeResult();
+
+    expectHistogramsIdentical(straight.hist, resumed.hist,
+                              "cross-engine resume");
+    EXPECT_EQ(straight.hw.counters.cycles,
+              resumed.hw.counters.cycles);
+    EXPECT_EQ(straight.hw.counters.instructions,
+              resumed.hw.counters.instructions);
+
+    // And the mirror-image hand-off: decoded checkpoint, legacy resume.
+    Experiment e2(p, kCycles, engineConfig(p, false), vms);
+    e2.runChunk(kCycles / 3);
+    snap::Serializer s2;
+    e2.save(s2);
+    Experiment e3(p, kCycles, engineConfig(p, true), vms);
+    snap::Deserializer d2(s2.finish());
+    e3.restore(d2);
+    e3.runChunk();
+    ExperimentResult resumed2 = e3.takeResult();
+
+    expectHistogramsIdentical(straight.hist, resumed2.hist,
+                              "decoded-to-legacy resume");
+    EXPECT_EQ(straight.hw.counters.cycles,
+              resumed2.hw.counters.cycles);
+}
