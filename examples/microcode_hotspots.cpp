@@ -18,16 +18,80 @@
 
 using namespace vax;
 
+namespace
+{
+
+void
+printUsage(const char *prog, std::FILE *out, size_t nprofiles)
+{
+    std::fprintf(out,
+                 "usage: %s [cycles] [profile 0-%zu] [topN]\n"
+                 "  cycles   simulated cycles to profile (default "
+                 "1000000)\n"
+                 "  profile  workload profile index (default 2)\n"
+                 "  topN     hottest locations to print (default "
+                 "24)\n",
+                 prog, nprofiles - 1);
+}
+
+/** Strict non-negative decimal parse; usage + exit(2) on garbage. */
+uint64_t
+parseCount(const char *prog, const char *what, const char *s,
+           size_t nprofiles)
+{
+    char *end = nullptr;
+    uint64_t v = std::strtoull(s, &end, 10);
+    if (*s == '\0' || *end != '\0' || *s == '-') {
+        std::fprintf(stderr, "%s: bad %s '%s' (non-negative "
+                             "integer expected)\n\n",
+                     prog, what, s);
+        printUsage(prog, stderr, nprofiles);
+        std::exit(2);
+    }
+    return v;
+}
+
+} // anonymous namespace
+
 int
 main(int argc, char **argv)
 {
-    uint64_t cycles = argc > 1 ? strtoull(argv[1], nullptr, 0)
-                               : 1'000'000;
-    unsigned which = argc > 2 ? atoi(argv[2]) : 2; // educational
-    size_t topn = argc > 3 ? strtoul(argv[3], nullptr, 0) : 24;
-
     auto profiles = allProfiles();
-    const WorkloadProfile &prof = profiles[which % profiles.size()];
+
+    if (argc > 4) {
+        std::fprintf(stderr, "%s: unrecognized argument '%s'\n\n",
+                     argv[0], argv[4]);
+        printUsage(argv[0], stderr, profiles.size());
+        return 2;
+    }
+
+    uint64_t cycles = argc > 1
+        ? parseCount(argv[0], "cycles", argv[1], profiles.size())
+        : 1'000'000;
+    uint64_t which = argc > 2
+        ? parseCount(argv[0], "profile", argv[2], profiles.size())
+        : 2; // educational
+    size_t topn = argc > 3
+        ? static_cast<size_t>(
+              parseCount(argv[0], "topN", argv[3], profiles.size()))
+        : 24;
+
+    if (cycles == 0 || topn == 0) {
+        std::fprintf(stderr, "%s: cycles and topN must be "
+                             "positive\n\n", argv[0]);
+        printUsage(argv[0], stderr, profiles.size());
+        return 2;
+    }
+    if (which >= profiles.size()) {
+        std::fprintf(stderr, "%s: profile %llu out of range "
+                             "(0-%zu)\n\n",
+                     argv[0], (unsigned long long)which,
+                     profiles.size() - 1);
+        printUsage(argv[0], stderr, profiles.size());
+        return 2;
+    }
+
+    const WorkloadProfile &prof = profiles[which];
     std::printf("profiling '%s' for %llu cycles...\n\n",
                 prof.name.c_str(), (unsigned long long)cycles);
 

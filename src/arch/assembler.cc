@@ -89,6 +89,30 @@ Operand::dispDef(int32_t d, uint8_t r)
 }
 
 Operand
+Operand::dispWidth(int32_t d, uint8_t r, unsigned bytes)
+{
+    upc_assert(r < NumGpr && r != PC);
+    if (!((bytes == 1 && d >= -128 && d <= 127) ||
+          (bytes == 2 && d >= -32768 && d <= 32767) || bytes == 4))
+        fatal("assembler: displacement %d does not fit %u byte(s)", d,
+              bytes);
+    Operand o;
+    o.kind_ = Kind::Disp;
+    o.reg_ = r;
+    o.value_ = d;
+    o.dispBytes_ = static_cast<uint8_t>(bytes);
+    return o;
+}
+
+Operand
+Operand::dispDefWidth(int32_t d, uint8_t r, unsigned bytes)
+{
+    Operand o = dispWidth(d, r, bytes);
+    o.kind_ = Kind::DispDef;
+    return o;
+}
+
+Operand
 Operand::imm(uint32_t value)
 {
     Operand o;
@@ -112,6 +136,15 @@ Operand::absolute(uint32_t address)
     Operand o;
     o.kind_ = Kind::Absolute;
     o.value_ = static_cast<int32_t>(address);
+    return o;
+}
+
+Operand
+Operand::absoluteLabel(const std::string &label)
+{
+    Operand o;
+    o.kind_ = Kind::AbsoluteLabel;
+    o.label_ = label;
     return o;
 }
 
@@ -168,7 +201,7 @@ Assembler::label(const std::string &name)
 }
 
 void
-Assembler::putBytes(uint32_t v, unsigned n)
+Assembler::putBytes(uint64_t v, unsigned n)
 {
     for (unsigned i = 0; i < n; ++i)
         image_.push_back(static_cast<uint8_t>(v >> (8 * i)));
@@ -299,15 +332,23 @@ Assembler::emitOperand(const Operand &op, const OperandDef &def)
         image_.push_back(0x9F);
         putBytes(static_cast<uint32_t>(op.value_), 4);
         break;
+      case K::AbsoluteLabel:
+        image_.push_back(0x9F);
+        fixups_.push_back({FixKind::AbsLong, image_.size(), here() + 4,
+                           0, op.label_});
+        putBytes(0, 4);
+        break;
       case K::Disp:
       case K::DispDef: {
         bool deferred = op.kind_ == K::DispDef;
         int32_t d = op.value_;
-        if (d >= -128 && d <= 127) {
+        unsigned forced = op.dispBytes_;
+        if (forced == 1 || (!forced && d >= -128 && d <= 127)) {
             image_.push_back(
                 static_cast<uint8_t>((deferred ? 0xB0 : 0xA0) | op.reg_));
             putBytes(static_cast<uint32_t>(d), 1);
-        } else if (d >= -32768 && d <= 32767) {
+        } else if (forced == 2 ||
+                   (!forced && d >= -32768 && d <= 32767)) {
             image_.push_back(
                 static_cast<uint8_t>((deferred ? 0xD0 : 0xC0) | op.reg_));
             putBytes(static_cast<uint32_t>(d), 2);

@@ -48,12 +48,24 @@ class Operand
     static Operand disp(int32_t d, uint8_t r);
     /** Displacement deferred @d(Rn). */
     static Operand dispDef(int32_t d, uint8_t r);
+    /**
+     * Displacement d(Rn) with a forced field width of 1, 2 or 4
+     * bytes (out-of-range d is fatal).  The auto-sizing disp() never
+     * emits, say, w^0(Rn); generators that must exercise a specific
+     * displacement mode -- the per-opcode characterization corpus --
+     * need the width pinned.
+     */
+    static Operand dispWidth(int32_t d, uint8_t r, unsigned bytes);
+    /** Displacement deferred @d(Rn) with a forced field width. */
+    static Operand dispDefWidth(int32_t d, uint8_t r, unsigned bytes);
     /** Immediate I^#value ((PC)+); size follows the operand type. */
     static Operand imm(uint32_t value);
     /** Immediate whose value is the address of a label (long only). */
     static Operand immAddr(const std::string &label);
     /** Absolute @#address. */
     static Operand absolute(uint32_t address);
+    /** Absolute @#address whose value is the address of a label. */
+    static Operand absoluteLabel(const std::string &label);
     /** PC-relative reference to a label (word displacement). */
     static Operand rel(const std::string &label);
     /** PC-relative deferred reference to a label. */
@@ -70,13 +82,14 @@ class Operand
 
     enum class Kind : uint8_t {
         Literal, Register, RegDeferred, AutoInc, AutoDec, AutoIncDef,
-        Disp, DispDef, Immediate, ImmediateLabel, Absolute, RelLabel,
-        RelDefLabel, BranchLabel,
+        Disp, DispDef, Immediate, ImmediateLabel, Absolute,
+        AbsoluteLabel, RelLabel, RelDefLabel, BranchLabel,
     };
 
     Kind kind_ = Kind::Register;
     uint8_t reg_ = 0;
     int32_t value_ = 0;        ///< literal / displacement / immediate
+    uint8_t dispBytes_ = 0;    ///< forced disp width; 0 = auto-size
     std::string label_;
     bool indexed_ = false;
     uint8_t indexReg_ = 0;
@@ -159,7 +172,7 @@ class Assembler
     };
 
     void emitOperand(const Operand &op, const OperandDef &def);
-    void putBytes(uint32_t v, unsigned n);
+    void putBytes(uint64_t v, unsigned n);
 
     VirtAddr base_;
     std::vector<uint8_t> image_;

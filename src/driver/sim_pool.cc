@@ -260,6 +260,30 @@ SimPool::hardwareWorkers()
     return n ? n : 1;
 }
 
+void
+SimPool::forEach(size_t n, const std::function<void(size_t)> &fn) const
+{
+    unsigned nthreads =
+        static_cast<unsigned>(std::min<size_t>(workers_, n));
+    if (nthreads <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1))
+            fn(i);
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+}
+
 std::vector<ExperimentResult>
 SimPool::run(const std::vector<SimJob> &jobs) const
 {

@@ -24,6 +24,7 @@
 #define UPC780_DRIVER_SIM_POOL_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -194,6 +195,18 @@ class SimPool
      * stats (CPI, miss ratios) remain comparable.
      */
     CompositeResult runComposite(const std::vector<SimJob> &jobs) const;
+
+    /**
+     * Generic deterministic fan-out: run fn(0..n-1), each exactly
+     * once, on the pool's workers (serially on the calling thread
+     * when workers() is 1 or n is small).  fn must not share mutable
+     * state across indices; callers store results by index, which is
+     * what makes the schedule unobservable.  Unlike run(), indices
+     * are not guarded -- fn handles its own errors (the uchar suite
+     * wraps each program in guard::Scope itself).
+     */
+    void forEach(size_t n,
+                 const std::function<void(size_t)> &fn) const;
 
     /** Hardware concurrency, never 0. */
     static unsigned hardwareWorkers();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Corpus generation for the per-instruction characterization suite:
+ * the opcode x specifier-class product, and the steady-state
+ * microbenchmark each variant assembles to.
+ *
+ * Every implemented opcode is crossed with every addressing-mode
+ * class its first specifier operand can legally take (legality comes
+ * from the same access-class rules ulint's spec matrix encodes), plus
+ * the "indexed" pseudo-class and a "none" class for operand-free
+ * opcodes.  Illegal or un-harnessable combinations are enumerated
+ * anyway and carry a static skip reason -- the suite's no-silent-skips
+ * contract is that |rows| + |skipped| == |product|.
+ *
+ * Each runnable variant becomes a self-checking program in the
+ * nanoBench mold: one shared calibration loop shape (counter init,
+ * 7-instruction register preamble, unrolled body, SOBGTR/JMP loop
+ * close, HALT), with the measured instruction repeated `unroll` times
+ * in the body.  The builder knows the exact dynamic instruction count
+ * the clean run must retire, so a variant that faults or strays is
+ * detected and skipped with a reason rather than polluting the table.
+ */
+
+#ifndef UPC780_WORKLOAD_UCHAR_CORPUS_HH
+#define UPC780_WORKLOAD_UCHAR_CORPUS_HH
+
+#include <string>
+#include <vector>
+
+#include "upc/ucharacterize.hh"
+
+namespace vax
+{
+
+/** One cell of the opcode x mode product. */
+struct UcharVariant
+{
+    std::string op;
+    std::string mode;
+    bool runnable = false;
+    std::string skipReason; ///< set when !runnable
+    UcharProgram prog;      ///< valid when runnable
+};
+
+/** Options narrowing the generated product (CLI filters). */
+struct UcharSuiteOptions
+{
+    /** Comma-separated mnemonics; empty = every implemented opcode. */
+    std::string opcodeFilter;
+};
+
+/**
+ * Enumerate the full opcode x specifier-class product, building the
+ * microbenchmark program for every runnable cell.  Order is
+ * deterministic: opcode byte ascending, then mode in AddrMode order
+ * with "indexed" last ("none" for operand-free opcodes).
+ */
+std::vector<UcharVariant>
+ucharEnumerate(const UcharParams &params,
+               const UcharSuiteOptions &opts = {});
+
+/** The shared empty-body calibration loop (same shape, zero copies). */
+UcharProgram ucharCalibration(const UcharParams &params);
+
+/**
+ * Run the whole suite: calibration once, then every runnable variant,
+ * optionally fanned out through the ParallelFor hook (empty = serial).
+ * Results are stored by index, so the report is byte-identical for
+ * any worker count.  A variant that fails at runtime moves to the
+ * skipped list with its reason.
+ */
+UcharReport runUcharSuite(const UcharParams &params,
+                          const ParallelFor &pf = {},
+                          const UcharSuiteOptions &opts = {});
+
+} // namespace vax
+
+#endif // UPC780_WORKLOAD_UCHAR_CORPUS_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * uchar_compare -- zero-tolerance diff of two ucharacterize JSON
+ * reports (committed baseline vs. fresh run).
+ *
+ * Like bench_compare for wall-clock benchmarks, but exact: every
+ * quantity in a report is a raw simulated-cycle integer, so any
+ * difference at all is a real behaviour change.  Every difference is
+ * reported with the opcode and specifier mode it belongs to, so a CI
+ * failure reads as "MOVL (Rn)+: uwords 2816 -> 2824 (+8)".
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "upc/ucharacterize.hh"
+
+namespace
+{
+
+bool
+readFile(const char *path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vax;
+
+    if (argc == 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0)) {
+        std::printf("usage: %s BASELINE.json CURRENT.json\n"
+                    "\n"
+                    "Exit 0 when the reports are identical, 1 with a\n"
+                    "named per-opcode delta report otherwise.\n",
+                    argv[0]);
+        return 0;
+    }
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: %s BASELINE.json CURRENT.json\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::string base_text, cur_text, err;
+    if (!readFile(argv[1], &base_text)) {
+        std::fprintf(stderr, "uchar_compare: cannot read '%s'\n",
+                     argv[1]);
+        return 2;
+    }
+    if (!readFile(argv[2], &cur_text)) {
+        std::fprintf(stderr, "uchar_compare: cannot read '%s'\n",
+                     argv[2]);
+        return 2;
+    }
+
+    UcharReport baseline, current;
+    if (!ucharParseJson(base_text, &baseline, &err)) {
+        std::fprintf(stderr, "uchar_compare: %s: %s\n", argv[1],
+                     err.c_str());
+        return 2;
+    }
+    if (!ucharParseJson(cur_text, &current, &err)) {
+        std::fprintf(stderr, "uchar_compare: %s: %s\n", argv[2],
+                     err.c_str());
+        return 2;
+    }
+
+    UcharDiff diff = ucharCompare(baseline, current);
+    if (diff.ok()) {
+        std::printf("uchar_compare: OK -- %zu rows, %zu skips, all "
+                    "cycle counts identical\n",
+                    current.rows.size(), current.skipped.size());
+        return 0;
+    }
+    std::fprintf(stderr,
+                 "uchar_compare: %zu difference(s) vs baseline:\n",
+                 diff.messages.size());
+    for (const auto &m : diff.messages)
+        std::fprintf(stderr, "  %s\n", m.c_str());
+    std::fprintf(stderr,
+                 "If the cycle change is intentional, regenerate the "
+                 "baseline:\n  ucharacterize --json --out "
+                 "UCHAR_baseline.json\n");
+    return 1;
+}
