@@ -199,14 +199,9 @@ runBench(int *argc, char **argv, const char *title)
         // final checkpoint per running job when --checkpoint-dir was
         // given.  Exit with the conventional 128+SIGINT status so
         // scripts can tell an interrupted run from a finished one.
-        std::printf("*** INTERRUPTED: composite above is partial "
-                    "(%u job(s) unfinished)%s ***\n",
-                    tele.interruptedJobs,
-                    ckpt.enabled()
-                        ? "; rerun with --resume to continue"
-                        : "; add --checkpoint-dir to make runs "
-                          "resumable");
-        std::exit(interrupt::exitCode);
+        std::exit(interrupt::reportInterrupted(
+            "composite above is partial", tele.interruptedJobs,
+            ckpt.enabled()));
     }
     if (selfcheck) {
         std::vector<uint64_t> weights;

@@ -226,14 +226,9 @@ main(int argc, char **argv)
         // of numbers that look like a finished reproduction.
         PoolTelemetry tele = computeTelemetry(comp.parts);
         std::printf("pool: %s\n", tele.summary().c_str());
-        std::printf("*** INTERRUPTED: report abandoned "
-                    "(%u job(s) unfinished)%s ***\n",
-                    tele.interruptedJobs,
-                    ckpt.enabled()
-                        ? "; rerun with --resume to continue"
-                        : "; add --checkpoint-dir to make runs "
-                          "resumable");
-        return interrupt::exitCode;
+        return interrupt::reportInterrupted("report abandoned",
+                                            tele.interruptedJobs,
+                                            ckpt.enabled());
     }
     Cpu780 ref;
     HistogramAnalyzer an(ref.controlStore(), comp.hist);

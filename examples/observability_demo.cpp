@@ -93,16 +93,10 @@ main(int argc, char **argv)
                     : j.interrupted ? "  INTERRUPTED"
                                     : "");
     }
-    if (interrupt::requested()) {
-        std::printf("*** INTERRUPTED: telemetry above is partial "
-                    "(%u job(s) unfinished)%s ***\n",
-                    tele.interruptedJobs,
-                    ckpt.enabled()
-                        ? "; rerun with --resume to continue"
-                        : "; add --checkpoint-dir to make runs "
-                          "resumable");
-        return interrupt::exitCode;
-    }
+    if (interrupt::requested())
+        return interrupt::reportInterrupted(
+            "telemetry above is partial", tele.interruptedJobs,
+            ckpt.enabled());
 
     CompositeResult comp;
     for (size_t i = 0; i < results.size(); ++i) {

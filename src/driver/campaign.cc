@@ -1,0 +1,1198 @@
+#include "driver/campaign.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "driver/checkpoint.hh"
+#include "support/interrupt.hh"
+#include "support/logging.hh"
+#include "support/sim_error.hh"
+#include "support/snapshot.hh"
+#include "support/stats.hh"
+#include "workload/experiments.hh"
+
+namespace vax
+{
+
+namespace
+{
+
+// =============== flag parsing (usage + exit 2) ===============
+
+/** Campaign flag errors are *tool* errors, not simulator errors: the
+ *  contract is usage on stderr and exit 2, so scripts and the
+ *  EXPECT_DEATH tests can tell a bad command line from a bad run. */
+[[noreturn]] void
+usageError(const char *prog, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+[[noreturn]] void
+usageError(const char *prog, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "%s: ", prog);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n\n");
+    campaignUsage(prog, stderr);
+    std::exit(2);
+}
+
+/** Strip "--<name> V" / "--<name>=V" from argv (same contract as
+ *  parseJobsFlag); a valued flag with no value is a usage error. */
+bool
+takeValueFlag(int *argc, char **argv, const char *name,
+              std::string *val)
+{
+    std::string flag = std::string("--") + name;
+    std::string pref = flag + "=";
+    bool have = false;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *arg = argv[i];
+        if (flag == arg) {
+            if (i + 1 >= *argc)
+                usageError(argv[0], "%s requires a value",
+                           flag.c_str());
+            *val = argv[++i];
+            have = true;
+        } else if (std::strncmp(arg, pref.c_str(), pref.size()) == 0) {
+            *val = arg + pref.size();
+            have = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argv[out] = nullptr;
+    *argc = out;
+    return have;
+}
+
+uint64_t
+takeCount(const char *prog, const char *flag, const std::string &val)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(val.c_str(), &end, 0);
+    if (errno || end == val.c_str() || *end || !v)
+        usageError(prog, "%s: '%s' is not a positive count", flag,
+                   val.c_str());
+    return v;
+}
+
+double
+takeSeconds(const char *prog, const char *flag, const std::string &val)
+{
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(val.c_str(), &end);
+    if (errno || end == val.c_str() || *end || !(v > 0.0))
+        usageError(prog, "%s: '%s' is not a positive duration in "
+                   "seconds", flag, val.c_str());
+    return v;
+}
+
+// =============== small filesystem helpers ===============
+
+void
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
+        return;
+    fatal("campaign: cannot create '%s': %s", path.c_str(),
+          std::strerror(errno));
+}
+
+/** Atomic whole-file text write: tmp (pid-unique) + rename, the same
+ *  durability contract as the snapshot layer. */
+bool
+atomicWriteText(const std::string &path, const std::string &text)
+{
+    std::string tmp =
+        path + ".tmp" + std::to_string(static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        warn("campaign: cannot open '%s' for writing: %s", tmp.c_str(),
+             std::strerror(errno));
+        return false;
+    }
+    size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = n == text.size() && std::fclose(f) == 0;
+    if (!ok) {
+        warn("campaign: short write to '%s'", tmp.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("campaign: cannot rename '%s' into place: %s",
+             tmp.c_str(), std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string
+jobTokenName(size_t job)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "job%03zu", job);
+    return buf;
+}
+
+/** True when the directory holds no spool entries (tmp files from a
+ *  write in flight do not count). */
+bool
+dirDrained(const std::string &path)
+{
+    DIR *d = ::opendir(path.c_str());
+    if (!d)
+        return true;
+    bool drained = true;
+    while (struct dirent *e = ::readdir(d)) {
+        if (std::strcmp(e->d_name, ".") == 0 ||
+            std::strcmp(e->d_name, "..") == 0)
+            continue;
+        if (std::strstr(e->d_name, ".tmp"))
+            continue;
+        drained = false;
+        break;
+    }
+    ::closedir(d);
+    return drained;
+}
+
+void
+sleepMs(unsigned ms)
+{
+    ::usleep(ms * 1000u);
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+// =============== shared emit path ===============
+
+/**
+ * Merge the per-job parts into the weighted composite and write the
+ * campaign outputs.  Shared verbatim between the multi-process
+ * supervisor and --in-process mode: the merge is the measurement, so
+ * there must be exactly one of it.
+ */
+int
+emitCampaignOutputs(const CampaignConfig &cfg,
+                    const std::vector<SimJob> &jobs,
+                    std::vector<ExperimentResult> parts)
+{
+    CompositeResult comp;
+    uint64_t total_weight = 0;
+    uint64_t lost_weight = 0;
+    unsigned lost_jobs = 0;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        total_weight += jobs[i].weight;
+        if (parts[i].failed || parts[i].interrupted) {
+            lost_weight += jobs[i].weight;
+            ++lost_jobs;
+        } else {
+            comp.hist.merge(parts[i].hist, jobs[i].weight);
+            comp.hw.add(parts[i].hw, jobs[i].weight);
+        }
+        comp.parts.push_back(std::move(parts[i]));
+    }
+    if (lost_weight) {
+        warn("campaign: composite renormalized over surviving weight "
+             "%llu of %llu -- %u job(s) quarantined or failed; "
+             "absolute totals cover the survivors only, ratio stats "
+             "remain comparable",
+             static_cast<unsigned long long>(total_weight -
+                                             lost_weight),
+             static_cast<unsigned long long>(total_weight),
+             lost_jobs);
+    }
+    PoolTelemetry tele = computeTelemetry(comp.parts);
+    std::printf("campaign: %s\n", tele.summary().c_str());
+
+    if (!cfg.statsJsonPath.empty()) {
+        stats::Registry reg;
+        registerCompositeStats(reg, comp);
+        if (!reg.saveJson(cfg.statsJsonPath))
+            fatal("campaign: cannot write stats JSON to '%s'",
+                  cfg.statsJsonPath.c_str());
+        std::printf("campaign: wrote %zu stats to %s\n", reg.size(),
+                    cfg.statsJsonPath.c_str());
+    }
+    if (!cfg.tracePath.empty()) {
+        if (!writeChromeTrace(cfg.tracePath, comp.parts))
+            fatal("campaign: cannot write Chrome trace to '%s'",
+                  cfg.tracePath.c_str());
+        std::printf("campaign: wrote shard timeline to %s\n",
+                    cfg.tracePath.c_str());
+    }
+    return 0;
+}
+
+CheckpointConfig
+spoolCheckpointConfig(const CampaignConfig &cfg)
+{
+    CheckpointConfig ck;
+    ck.dir = cfg.spool;
+    ck.intervalCycles = cfg.intervalCycles;
+    ck.resume = cfg.resume;
+    return ck;
+}
+
+} // anonymous namespace
+
+// =============== configuration ===============
+
+void
+campaignUsage(const char *prog, std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: %s --spool DIR [options]\n"
+        "Run the five-workload composite as a crash-tolerant campaign\n"
+        "of supervised worker processes over a shared job spool.\n"
+        "  --spool DIR          spool directory (manifest, job tokens,\n"
+        "                       checkpoints, results, heartbeats, logs)\n"
+        "  --shards N           worker processes to keep alive"
+        " (default 2)\n"
+        "  --cycles N           machine cycles per experiment"
+        " (default 2000000)\n"
+        "  --replicas N         copies of the five-workload set"
+        " (default 1)\n"
+        "  --checkpoint-interval N\n"
+        "                       cycles per chunk/rolling checkpoint"
+        " (default 250000)\n"
+        "  --heartbeat-interval S\n"
+        "                       max seconds between shard heartbeats"
+        " (default 1)\n"
+        "  --heartbeat-timeout S\n"
+        "                       stale-heartbeat SIGKILL threshold;"
+        " must exceed\n"
+        "                       the interval (default 30)\n"
+        "  --max-retries K      attempts before a job is quarantined"
+        " as poison\n"
+        "                       (default 3)\n"
+        "  --backoff-base S     first retry delay; doubles per attempt"
+        " (default 0.25)\n"
+        "  --backoff-cap S      retry delay ceiling (default 8)\n"
+        "  --stats-json PATH    write the composite stats registry as"
+        " JSON\n"
+        "  --perfetto PATH      write the shard timeline as a Chrome"
+        " trace\n"
+        "  --resume             continue a killed campaign from the"
+        " spool\n"
+        "  --in-process         reference mode: run the identical job"
+        " list on\n"
+        "                       a thread pool (byte-identical"
+        " outputs)\n"
+        "  --help               this message\n"
+        "A SIGINT/SIGTERM fans out to the shards, drains behind the\n"
+        "per-job checkpoints, and exits 130; rerun with --resume.\n",
+        prog);
+}
+
+CampaignConfig
+CampaignConfig::parseFlags(int *argc, char **argv)
+{
+    const char *prog = argv[0];
+    CampaignConfig cfg;
+    if (parseBoolFlag(argc, argv, "help")) {
+        campaignUsage(prog, stdout);
+        std::exit(0);
+    }
+    std::string val;
+    if (takeValueFlag(argc, argv, "spool", &val)) {
+        if (val.empty())
+            usageError(prog, "--spool requires a directory path");
+        cfg.spool = val;
+    }
+    if (takeValueFlag(argc, argv, "shards", &val))
+        cfg.shards = static_cast<unsigned>(
+            takeCount(prog, "--shards", val));
+    if (takeValueFlag(argc, argv, "cycles", &val))
+        cfg.cycles = takeCount(prog, "--cycles", val);
+    if (takeValueFlag(argc, argv, "replicas", &val))
+        cfg.replicas = static_cast<unsigned>(
+            takeCount(prog, "--replicas", val));
+    if (takeValueFlag(argc, argv, "checkpoint-interval", &val))
+        cfg.intervalCycles =
+            takeCount(prog, "--checkpoint-interval", val);
+    if (takeValueFlag(argc, argv, "heartbeat-interval", &val))
+        cfg.heartbeatInterval =
+            takeSeconds(prog, "--heartbeat-interval", val);
+    if (takeValueFlag(argc, argv, "heartbeat-timeout", &val))
+        cfg.heartbeatTimeout =
+            takeSeconds(prog, "--heartbeat-timeout", val);
+    if (takeValueFlag(argc, argv, "max-retries", &val))
+        cfg.maxAttempts = static_cast<unsigned>(
+            takeCount(prog, "--max-retries", val));
+    if (takeValueFlag(argc, argv, "backoff-base", &val))
+        cfg.backoffBase = takeSeconds(prog, "--backoff-base", val);
+    if (takeValueFlag(argc, argv, "backoff-cap", &val))
+        cfg.backoffCap = takeSeconds(prog, "--backoff-cap", val);
+    if (takeValueFlag(argc, argv, "stats-json", &val))
+        cfg.statsJsonPath = val;
+    if (takeValueFlag(argc, argv, "perfetto", &val))
+        cfg.tracePath = val;
+    cfg.resume = parseBoolFlag(argc, argv, "resume");
+    cfg.inProcess = parseBoolFlag(argc, argv, "in-process");
+
+    cfg.shardMode = parseBoolFlag(argc, argv, "shard");
+    bool have_shard_id = takeValueFlag(argc, argv, "shard-id", &val);
+    if (have_shard_id)
+        cfg.shardId = static_cast<unsigned>(
+            std::strtoul(val.c_str(), nullptr, 0));
+    if (takeValueFlag(argc, argv, "epoch", &val))
+        cfg.epoch = std::strtod(val.c_str(), nullptr);
+
+    // Drill knobs (tests/CI only; deliberately undocumented in the
+    // usage text, but validated like everything else).
+    if (takeValueFlag(argc, argv, "drill-shard0-die-after-chunks",
+                      &val))
+        cfg.drillShard0DieAfterChunks =
+            takeCount(prog, "--drill-shard0-die-after-chunks", val);
+    if (takeValueFlag(argc, argv, "drill-die-after-results", &val))
+        cfg.drillDieAfterResults = static_cast<unsigned>(
+            takeCount(prog, "--drill-die-after-results", val));
+    if (takeValueFlag(argc, argv, "drill-poison-job", &val))
+        cfg.drillPoisonJob = static_cast<unsigned>(
+            std::strtoul(val.c_str(), nullptr, 0));
+    if (takeValueFlag(argc, argv, "drill-die-after-chunks", &val))
+        cfg.shardDieAfterChunks =
+            takeCount(prog, "--drill-die-after-chunks", val);
+
+    if (*argc > 1)
+        usageError(prog, "unrecognized argument '%s'", argv[1]);
+
+    // Nonsensical combinations are fatal up front: a campaign that
+    // silently dropped one of these would run the wrong fleet.
+    if (cfg.spool.empty()) {
+        if (cfg.resume)
+            usageError(prog, "--resume needs --spool to know where "
+                       "the killed campaign left its state");
+        if (cfg.shardMode)
+            usageError(prog, "--shard requires --spool (shards are "
+                       "spawned by the supervisor, not by hand)");
+        usageError(prog, "--spool DIR is required");
+    }
+    if (cfg.shardMode && !have_shard_id)
+        usageError(prog, "--shard requires --shard-id");
+    if (!cfg.shardMode && have_shard_id)
+        usageError(prog, "--shard-id is meaningless without --shard");
+    if (cfg.shardMode && cfg.inProcess)
+        usageError(prog, "--in-process and --shard are mutually "
+                   "exclusive");
+    if (cfg.shards == 0)
+        usageError(prog, "--shards 0 would run no workers; use "
+                   "--shards 1 or more");
+    if (cfg.heartbeatTimeout <= cfg.heartbeatInterval)
+        usageError(prog, "--heartbeat-timeout (%.3fs) must exceed "
+                   "--heartbeat-interval (%.3fs), or every healthy "
+                   "shard would be declared hung",
+                   cfg.heartbeatTimeout, cfg.heartbeatInterval);
+    if (cfg.backoffCap < cfg.backoffBase)
+        usageError(prog, "--backoff-cap (%.3fs) is below "
+                   "--backoff-base (%.3fs)", cfg.backoffCap,
+                   cfg.backoffBase);
+    return cfg;
+}
+
+// =============== spool geometry and tokens ===============
+
+std::string
+campaignTodoPath(const CampaignConfig &cfg, size_t job)
+{
+    return cfg.spool + "/todo/" + jobTokenName(job);
+}
+
+std::string
+campaignClaimPath(const CampaignConfig &cfg, size_t job,
+                  unsigned shard)
+{
+    return cfg.spool + "/claimed/" + jobTokenName(job) + ".shard" +
+        std::to_string(shard);
+}
+
+std::string
+campaignQuarantinePath(const CampaignConfig &cfg, size_t job)
+{
+    return cfg.spool + "/quarantine/" + jobTokenName(job);
+}
+
+std::string
+campaignHeartbeatPath(const CampaignConfig &cfg, unsigned shard)
+{
+    return cfg.spool + "/hb/shard" + std::to_string(shard) + ".hb";
+}
+
+std::string
+campaignLogPath(const CampaignConfig &cfg, unsigned shard)
+{
+    return cfg.spool + "/logs/shard" + std::to_string(shard) + ".log";
+}
+
+bool
+writeJobTokenFile(const std::string &path, const JobToken &t)
+{
+    std::string text = "attempts " + std::to_string(t.attempts) +
+        "\nnotbefore " + fmtDouble(t.notBefore) + "\n";
+    if (!t.lastError.empty()) {
+        // One line only: the token is retry bookkeeping, not a log.
+        std::string err = t.lastError.substr(0, 512);
+        std::replace(err.begin(), err.end(), '\n', ' ');
+        text += "error " + err + "\n";
+    }
+    return atomicWriteText(path, text);
+}
+
+bool
+readJobTokenFile(const std::string &path, JobToken *out)
+{
+    *out = JobToken();
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    char line[640];
+    bool sane = true;
+    while (std::fgets(line, sizeof(line), f)) {
+        unsigned u = 0;
+        double d = 0.0;
+        if (std::sscanf(line, "attempts %u", &u) == 1)
+            out->attempts = u;
+        else if (std::sscanf(line, "notbefore %lf", &d) == 1)
+            out->notBefore = d;
+        else if (std::strncmp(line, "error ", 6) == 0) {
+            out->lastError = line + 6;
+            while (!out->lastError.empty() &&
+                   out->lastError.back() == '\n')
+                out->lastError.pop_back();
+        } else if (line[0] != '\n') {
+            sane = false;
+        }
+    }
+    std::fclose(f);
+    if (!sane)
+        // A half-understood token is still a token: warn and keep the
+        // fields that parsed -- losing retry bookkeeping must never
+        // cost the job itself.
+        warn("campaign: token '%s' is damaged; treating it as a "
+             "fresh attempt record", path.c_str());
+    return true;
+}
+
+bool
+claimByRename(const std::string &from, const std::string &to)
+{
+    if (::rename(from.c_str(), to.c_str()) == 0)
+        return true;
+    if (errno != ENOENT)
+        warn("campaign: rename '%s' -> '%s' failed: %s", from.c_str(),
+             to.c_str(), std::strerror(errno));
+    return false;
+}
+
+double
+backoffSeconds(const CampaignConfig &cfg, unsigned attempts)
+{
+    unsigned doublings = attempts ? attempts - 1 : 0;
+    // Eight doublings saturate any sane cap; avoids overflow games.
+    double d = cfg.backoffBase *
+        std::ldexp(1.0, static_cast<int>(std::min(doublings, 8u)));
+    return std::min(d, cfg.backoffCap);
+}
+
+double
+campaignWallNow()
+{
+    struct timeval tv;
+    ::gettimeofday(&tv, nullptr);
+    return static_cast<double>(tv.tv_sec) + tv.tv_usec * 1e-6;
+}
+
+bool
+heartbeatWrite(const std::string &path, long pid, uint64_t seq,
+               long job)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "pid %ld\nseq %llu\njob %ld\n",
+                  pid, static_cast<unsigned long long>(seq), job);
+    return atomicWriteText(path, buf);
+}
+
+double
+heartbeatAgeSeconds(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1.0;
+    double mtime = static_cast<double>(st.st_mtim.tv_sec) +
+        st.st_mtim.tv_nsec * 1e-9;
+    return campaignWallNow() - mtime;
+}
+
+std::vector<SimJob>
+campaignJobs(const CampaignConfig &cfg)
+{
+    std::vector<SimJob> jobs;
+    for (unsigned r = 0; r < cfg.replicas; ++r) {
+        for (const auto &prof : allProfiles()) {
+            WorkloadProfile p = prof;
+            if (r) {
+                p.name += "#" + std::to_string(r);
+                // A fixed odd stride keeps replica seeds distinct and
+                // reproducible from the manifest alone.
+                p.seed += 7919ull * r;
+            }
+            jobs.push_back(SimJob::forProfile(p, cfg.cycles));
+        }
+    }
+    if (cfg.drillPoisonJob < jobs.size())
+        // Poison drill: this job raises a SimError at its first poll
+        // of every attempt, driving the quarantine path.  RunLimits
+        // are not part of the manifest, so supervisor and shards
+        // agree on the job list regardless.
+        jobs[cfg.drillPoisonJob].limits.tripCycle = 1;
+    return jobs;
+}
+
+// =============== shard worker ===============
+
+namespace
+{
+
+struct ShardCtx
+{
+    const CampaignConfig &cfg;
+    std::vector<SimJob> jobs;
+    CheckpointConfig ck;
+    std::string hbPath;
+    uint64_t seq = 0;
+    uint64_t chunksDone = 0;
+    double lastBeat = 0.0;
+};
+
+/** Refresh the heartbeat when it is due (or forced).  Cheap enough to
+ *  call at every chunk boundary. */
+void
+beat(ShardCtx &c, long job, bool force)
+{
+    double now = campaignWallNow();
+    if (!force && now - c.lastBeat < c.cfg.heartbeatInterval * 0.5)
+        return;
+    heartbeatWrite(c.hbPath, static_cast<long>(::getpid()), ++c.seq,
+                   job);
+    c.lastBeat = now;
+}
+
+/**
+ * One guarded, chunked, checkpointed attempt at job @p i.  Restores
+ * from the job's rolling checkpoint when one exists (the previous
+ * holder crashed or drained mid-run); an unusable checkpoint costs
+ * the saved cycles, never the job.
+ *
+ * @return True when the result was produced; false with *err filled
+ * on a SimError, or *interrupted set when a drain request stopped the
+ * attempt behind its final checkpoint.
+ */
+bool
+runShardJobAttempt(ShardCtx &c, size_t i, ExperimentResult *out,
+                   std::string *err, bool *interrupted)
+{
+    const SimJob &job = c.jobs[i];
+    std::string cpath = checkpointPath(c.ck, i, job.profile.name);
+    try {
+        guard::Scope scope(job.profile.name, job.sim.seed);
+        auto make = [&job] {
+            return std::make_unique<Experiment>(job.profile,
+                                                job.cycles, job.sim,
+                                                job.vms, job.limits);
+        };
+        std::unique_ptr<Experiment> exp = make();
+        uint64_t resume_cycle = 0;
+        if (fileExists(cpath)) {
+            try {
+                exp->restoreFile(cpath);
+                resume_cycle = exp->cycle();
+            } catch (const snap::SnapshotError &e) {
+                warn("shard %u: checkpoint '%s' unusable (%s); job "
+                     "'%s' restarts from its seed", c.cfg.shardId,
+                     cpath.c_str(), e.what(),
+                     job.profile.name.c_str());
+                exp = make();
+            }
+        }
+        const uint64_t chunk =
+            std::max<uint64_t>(c.ck.intervalCycles, 1);
+        double a0 = campaignWallNow();
+        while (!exp->runChunk(chunk)) {
+            exp->saveFile(cpath);
+            ++c.chunksDone;
+            if (c.cfg.shardDieAfterChunks &&
+                c.chunksDone >= c.cfg.shardDieAfterChunks) {
+                // Crash drill: die the hard way, mid-job, exactly
+                // like a SIGKILLed fleet member -- claim held,
+                // rolling checkpoint on disk, no cleanup.
+                ::raise(SIGKILL);
+            }
+            beat(c, static_cast<long>(i), false);
+            if (interrupt::requested()) {
+                // The checkpoint just written is the final one.
+                *interrupted = true;
+                return false;
+            }
+        }
+        ExperimentResult r = exp->takeResult();
+        r.resumeCycle = resume_cycle;
+        r.wallSeconds = campaignWallNow() - a0;
+        r.startSeconds =
+            c.cfg.epoch > 0.0 ? a0 - c.cfg.epoch : 0.0;
+        r.worker = c.cfg.shardId;
+        *out = std::move(r);
+        return true;
+    } catch (const std::exception &e) {
+        *err = e.what();
+        return false;
+    }
+}
+
+} // anonymous namespace
+
+int
+runCampaignShard(const CampaignConfig &cfg)
+{
+    interrupt::install();
+    ShardCtx c{cfg, campaignJobs(cfg), spoolCheckpointConfig(cfg),
+               campaignHeartbeatPath(cfg, cfg.shardId)};
+    c.ck.resume = false;
+    // A shard must prove it is working the campaign the spool
+    // describes before touching a single token.
+    checkManifest(c.ck, c.jobs);
+    beat(c, -1, true);
+    inform("shard %u: joined campaign '%s' (%zu jobs)", cfg.shardId,
+           cfg.spool.c_str(), c.jobs.size());
+
+    const size_t n = c.jobs.size();
+    for (;;) {
+        if (interrupt::requested())
+            return interrupt::reportInterrupted(
+                "shard drained behind its checkpoints", 0, true);
+        bool ran_one = false;
+        bool backing_off = false;
+        for (size_t i = 0; i < n; ++i) {
+            std::string todo = campaignTodoPath(cfg, i);
+            if (!fileExists(todo))
+                continue;
+            std::string rpath =
+                resultPath(c.ck, i, c.jobs[i].profile.name);
+            if (fileExists(rpath)) {
+                // Defensive: a token for a finished job is stale
+                // bookkeeping from some earlier crash -- retire it.
+                ::unlink(todo.c_str());
+                continue;
+            }
+            std::string claim =
+                campaignClaimPath(cfg, i, cfg.shardId);
+            if (!claimByRename(todo, claim))
+                continue; // another shard won the rename
+            JobToken tok;
+            readJobTokenFile(claim, &tok);
+            if (tok.notBefore > campaignWallNow()) {
+                // Claimed too early: hand it back and keep looking.
+                claimByRename(claim, todo);
+                backing_off = true;
+                continue;
+            }
+            beat(c, static_cast<long>(i), true);
+            ExperimentResult r;
+            std::string err;
+            bool interrupted = false;
+            if (runShardJobAttempt(c, i, &r, &err, &interrupted)) {
+                r.retries = tok.attempts;
+                if (!writeResultFile(rpath, r))
+                    warn("shard %u: job %zu '%s' finished but its "
+                         "result could not be written; it will be "
+                         "re-run", cfg.shardId, i,
+                         c.jobs[i].profile.name.c_str());
+                else
+                    ::unlink(checkpointPath(
+                        c.ck, i, c.jobs[i].profile.name).c_str());
+                ::unlink(claim.c_str());
+            } else if (interrupted) {
+                // Requeue with no attempt charged: a drain is not the
+                // job's fault, and the checkpoint keeps its cycles.
+                tok.notBefore = 0.0;
+                writeJobTokenFile(todo, tok);
+                ::unlink(claim.c_str());
+            } else {
+                ++tok.attempts;
+                tok.lastError = err;
+                if (tok.attempts >= cfg.maxAttempts) {
+                    warn("shard %u: job %zu '%s' QUARANTINED after "
+                         "%u attempt(s): %s", cfg.shardId, i,
+                         c.jobs[i].profile.name.c_str(), tok.attempts,
+                         err.c_str());
+                    writeJobTokenFile(
+                        campaignQuarantinePath(cfg, i), tok);
+                    ::unlink(claim.c_str());
+                } else {
+                    double delay = backoffSeconds(cfg, tok.attempts);
+                    warn("shard %u: job %zu '%s' failed (attempt "
+                         "%u/%u): %s; requeued with %.2fs backoff",
+                         cfg.shardId, i,
+                         c.jobs[i].profile.name.c_str(), tok.attempts,
+                         cfg.maxAttempts, err.c_str(), delay);
+                    tok.notBefore = campaignWallNow() + delay;
+                    writeJobTokenFile(todo, tok);
+                    ::unlink(claim.c_str());
+                }
+            }
+            ran_one = true;
+            break; // rescan from job 0 (fresh view of the spool)
+        }
+        if (interrupt::requested())
+            continue; // handled at the top of the loop
+        if (!ran_one) {
+            if (!backing_off && dirDrained(cfg.spool + "/todo") &&
+                dirDrained(cfg.spool + "/claimed")) {
+                inform("shard %u: spool drained, exiting",
+                       cfg.shardId);
+                return 0;
+            }
+            beat(c, -1, false);
+            sleepMs(20);
+        }
+    }
+}
+
+// =============== supervisor ===============
+
+namespace
+{
+
+struct Child
+{
+    pid_t pid = -1;
+    unsigned id = 0;
+    double spawned = 0.0;
+    bool alive = false;
+};
+
+std::string
+selfExePath()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "/proc/self/exe";
+    buf[n] = '\0';
+    return buf;
+}
+
+pid_t
+spawnShard(const CampaignConfig &cfg, unsigned id,
+           const std::string &self, double epoch)
+{
+    std::string log = campaignLogPath(cfg, id);
+    pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("campaign: fork failed: %s", std::strerror(errno));
+    if (pid != 0)
+        return pid;
+
+    // Child: per-shard log, then exec ourselves in --shard mode with
+    // the full campaign description so the manifest check can verify
+    // we are all running the same fleet.
+    int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
+    if (fd >= 0) {
+        ::dup2(fd, 1);
+        ::dup2(fd, 2);
+        if (fd > 2)
+            ::close(fd);
+    }
+    std::vector<std::string> args = {
+        self, "--shard", "--spool", cfg.spool,
+        "--shard-id", std::to_string(id),
+        "--cycles", std::to_string(cfg.cycles),
+        "--replicas", std::to_string(cfg.replicas),
+        "--checkpoint-interval", std::to_string(cfg.intervalCycles),
+        "--heartbeat-interval", fmtDouble(cfg.heartbeatInterval),
+        "--heartbeat-timeout", fmtDouble(cfg.heartbeatTimeout),
+        "--max-retries", std::to_string(cfg.maxAttempts),
+        "--backoff-base", fmtDouble(cfg.backoffBase),
+        "--backoff-cap", fmtDouble(cfg.backoffCap),
+        "--epoch", fmtDouble(epoch),
+    };
+    if (cfg.drillPoisonJob != CampaignConfig::kNoJob) {
+        args.emplace_back("--drill-poison-job");
+        args.emplace_back(std::to_string(cfg.drillPoisonJob));
+    }
+    if (id == 0 && cfg.drillShard0DieAfterChunks) {
+        args.emplace_back("--drill-die-after-chunks");
+        args.emplace_back(
+            std::to_string(cfg.drillShard0DieAfterChunks));
+    }
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(self.c_str(), argv.data());
+    std::fprintf(stderr, "campaign: exec '%s' failed: %s\n",
+                 self.c_str(), std::strerror(errno));
+    ::_exit(127);
+}
+
+/**
+ * Return a dead shard's claimed tokens to todo/.  A crash while
+ * holding the claim counts as a failed attempt (the job may be the
+ * poison that killed the shard); supervisor restart does not.
+ */
+void
+reclaimShardClaims(const CampaignConfig &cfg,
+                   const std::vector<SimJob> &jobs,
+                   const CheckpointConfig &ck, unsigned shard,
+                   bool countAttempt)
+{
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        std::string claim = campaignClaimPath(cfg, i, shard);
+        if (!fileExists(claim))
+            continue;
+        std::string rpath = resultPath(ck, i, jobs[i].profile.name);
+        if (fileExists(rpath)) {
+            // Crashed between writing the result and retiring the
+            // token: the measurement is safe, only cleanup was lost.
+            ::unlink(claim.c_str());
+            continue;
+        }
+        JobToken tok;
+        readJobTokenFile(claim, &tok);
+        if (countAttempt) {
+            ++tok.attempts;
+            if (tok.lastError.empty())
+                tok.lastError = "shard " + std::to_string(shard) +
+                    " died holding the claim";
+            if (tok.attempts >= cfg.maxAttempts) {
+                warn("campaign: job %zu '%s' QUARANTINED after %u "
+                     "attempt(s) (last holder: shard %u)", i,
+                     jobs[i].profile.name.c_str(), tok.attempts,
+                     shard);
+                writeJobTokenFile(campaignQuarantinePath(cfg, i),
+                                  tok);
+                ::unlink(claim.c_str());
+                continue;
+            }
+            tok.notBefore =
+                campaignWallNow() + backoffSeconds(cfg, tok.attempts);
+        }
+        warn("campaign: reclaimed job %zu '%s' from shard %u", i,
+             jobs[i].profile.name.c_str(), shard);
+        writeJobTokenFile(campaignTodoPath(cfg, i), tok);
+        ::unlink(claim.c_str());
+    }
+}
+
+/** Sweep claimed/ for tokens left by a previous fleet (resume): every
+ *  claim in a freshly resumed spool is stale by construction. */
+void
+reclaimAllClaims(const CampaignConfig &cfg,
+                 const std::vector<SimJob> &jobs,
+                 const CheckpointConfig &ck)
+{
+    DIR *d = ::opendir((cfg.spool + "/claimed").c_str());
+    if (!d)
+        return;
+    std::vector<std::string> names;
+    while (struct dirent *e = ::readdir(d)) {
+        if (e->d_name[0] != '.')
+            names.emplace_back(e->d_name);
+    }
+    ::closedir(d);
+    for (const std::string &name : names) {
+        size_t job = 0;
+        unsigned shard = 0;
+        if (std::sscanf(name.c_str(), "job%zu.shard%u", &job,
+                        &shard) != 2 ||
+            job >= jobs.size()) {
+            warn("campaign: ignoring unrecognized claim '%s'",
+                 name.c_str());
+            continue;
+        }
+        // No attempt charged: the fleet died around the job, which
+        // says nothing about the job itself.
+        reclaimShardClaims(cfg, jobs, ck, shard,
+                           /*countAttempt=*/false);
+    }
+}
+
+} // anonymous namespace
+
+int
+runCampaignSupervisor(const CampaignConfig &cfg)
+{
+    std::vector<SimJob> jobs = campaignJobs(cfg);
+    CheckpointConfig ck = spoolCheckpointConfig(cfg);
+    ensureCheckpointDir(ck);
+    for (const char *sub : {"todo", "claimed", "quarantine", "hb",
+                            "logs"})
+        ensureDir(cfg.spool + "/" + sub);
+
+    if (cfg.resume) {
+        checkManifest(ck, jobs);
+    } else {
+        if (fileExists(manifestPath(ck)))
+            fatal("campaign: spool '%s' already holds a campaign; "
+                  "pass --resume to continue it or point --spool at "
+                  "a fresh directory", cfg.spool.c_str());
+        writeManifest(ck, jobs);
+    }
+
+    interrupt::install();
+
+    if (cfg.inProcess) {
+        // Reference mode: the identical job list on SimPool threads.
+        // Same spool layout, same manifest, same emit path -- the
+        // multi-process campaign must match this byte for byte.
+        SimPool pool(cfg.shards);
+        pool.setCheckpoint(ck);
+        std::vector<ExperimentResult> results = pool.run(jobs);
+        if (interrupt::requested()) {
+            PoolTelemetry tele = computeTelemetry(results);
+            return interrupt::reportInterrupted(
+                "campaign abandoned behind per-job checkpoints",
+                tele.interruptedJobs, true);
+        }
+        return emitCampaignOutputs(cfg, jobs, std::move(results));
+    }
+
+    // ---- Spool the tokens. ----
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        std::string rpath = resultPath(ck, i, jobs[i].profile.name);
+        std::string todo = campaignTodoPath(cfg, i);
+        if (!cfg.resume) {
+            writeJobTokenFile(todo, JobToken());
+            continue;
+        }
+        ExperimentResult scratch;
+        if (readResultFile(rpath, &scratch))
+            continue; // finished by the previous fleet
+        if (fileExists(rpath)) {
+            // Present but unreadable: cut off by the crash.  The
+            // loud warning came from readResultFile; the job simply
+            // is not finished.
+            ::unlink(rpath.c_str());
+        }
+        if (fileExists(campaignQuarantinePath(cfg, i)))
+            continue; // poison stays quarantined across resumes
+        if (!fileExists(todo) &&
+            !fileExists(campaignClaimPath(cfg, i, 0)))
+            // May still be claimed under some shard id; the claim
+            // sweep below returns those.  Anything truly lost gets a
+            // fresh token here.
+            writeJobTokenFile(todo, JobToken());
+    }
+    if (cfg.resume)
+        reclaimAllClaims(cfg, jobs, ck);
+
+    // ---- Launch the fleet. ----
+    const std::string self = selfExePath();
+    const double epoch = campaignWallNow();
+    std::vector<Child> children;
+    unsigned next_id = 0;
+    unsigned spawns_left = cfg.shards +
+        cfg.maxAttempts * static_cast<unsigned>(jobs.size()) + 8;
+    auto launch = [&] {
+        Child c;
+        c.id = next_id++;
+        c.spawned = campaignWallNow();
+        c.pid = spawnShard(cfg, c.id, self, epoch);
+        c.alive = true;
+        --spawns_left;
+        children.push_back(c);
+    };
+    inform("campaign: %zu job(s) on %u shard process(es), spool '%s'",
+           jobs.size(), cfg.shards, cfg.spool.c_str());
+    for (unsigned s = 0; s < cfg.shards && spawns_left; ++s)
+        launch();
+
+    // ---- Supervise. ----
+    auto countResults = [&] {
+        size_t done = 0;
+        for (size_t i = 0; i < jobs.size(); ++i)
+            if (fileExists(
+                    resultPath(ck, i, jobs[i].profile.name)))
+                ++done;
+        return done;
+    };
+    std::vector<bool> validated(jobs.size(), false);
+    auto campaignDone = [&] {
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            if (validated[i] ||
+                fileExists(campaignQuarantinePath(cfg, i)))
+                continue;
+            std::string rpath =
+                resultPath(ck, i, jobs[i].profile.name);
+            if (!fileExists(rpath))
+                return false;
+            ExperimentResult scratch;
+            if (readResultFile(rpath, &scratch)) {
+                validated[i] = true;
+                continue;
+            }
+            // Damaged result: not finished.  Requeue unless some
+            // shard already holds the job again.
+            ::unlink(rpath.c_str());
+            if (!fileExists(campaignTodoPath(cfg, i)))
+                writeJobTokenFile(campaignTodoPath(cfg, i),
+                                  JobToken());
+            return false;
+        }
+        return true;
+    };
+    const double sweep_every =
+        std::clamp(cfg.heartbeatTimeout / 4.0, 0.05, 1.0);
+    double last_sweep = campaignWallNow();
+    bool fanned_out = false;
+    bool drill_fired = false;
+    for (;;) {
+        // 1. Interrupt fan-out: tell every shard to drain behind its
+        //    checkpoint; they exit 130 on their own.
+        if (interrupt::requested() && !fanned_out) {
+            warn("campaign: interrupt -- draining %zu shard(s)",
+                 children.size());
+            for (Child &c : children)
+                if (c.alive)
+                    ::kill(c.pid, SIGTERM);
+            fanned_out = true;
+        }
+        // 2. Reap exits.  A crash (signal, nonzero exit) reclaims the
+        //    shard's claims and spawns a replacement.
+        int status = 0;
+        pid_t p;
+        while ((p = ::waitpid(-1, &status, WNOHANG)) > 0) {
+            for (Child &c : children) {
+                if (c.pid != p || !c.alive)
+                    continue;
+                c.alive = false;
+                bool crashed = WIFSIGNALED(status) ||
+                    (WIFEXITED(status) && WEXITSTATUS(status) != 0 &&
+                     WEXITSTATUS(status) != interrupt::exitCode);
+                if (crashed && !interrupt::requested()) {
+                    warn("campaign: shard %u (pid %ld) died "
+                         "(%s %d); reclaiming its jobs", c.id,
+                         static_cast<long>(p),
+                         WIFSIGNALED(status) ? "signal" : "exit",
+                         WIFSIGNALED(status) ? WTERMSIG(status)
+                                             : WEXITSTATUS(status));
+                    reclaimShardClaims(cfg, jobs, ck, c.id,
+                                       /*countAttempt=*/true);
+                    if (!campaignDone() && spawns_left)
+                        launch();
+                }
+                break;
+            }
+        }
+        // 3. Liveness sweep: a live child with a stale heartbeat is
+        //    hung -- SIGKILL it; the reap above reclaims its jobs.
+        double now = campaignWallNow();
+        if (now - last_sweep >= sweep_every) {
+            last_sweep = now;
+            for (Child &c : children) {
+                if (!c.alive)
+                    continue;
+                double age = heartbeatAgeSeconds(
+                    campaignHeartbeatPath(cfg, c.id));
+                if (age < 0.0)
+                    age = now - c.spawned; // never beat yet
+                if (age > cfg.heartbeatTimeout) {
+                    warn("campaign: shard %u (pid %ld) heartbeat "
+                         "stale (%.1fs > %.1fs); SIGKILL + reclaim",
+                         c.id, static_cast<long>(c.pid), age,
+                         cfg.heartbeatTimeout);
+                    ::kill(c.pid, SIGKILL);
+                }
+            }
+        }
+        // 4. Supervisor-death drill: once N results exist, the whole
+        //    fleet loses power, supervisor included.
+        if (cfg.drillDieAfterResults && !drill_fired &&
+            countResults() >= cfg.drillDieAfterResults) {
+            drill_fired = true;
+            for (Child &c : children)
+                if (c.alive)
+                    ::kill(c.pid, SIGKILL);
+            ::raise(SIGKILL);
+        }
+        bool any_alive = std::any_of(
+            children.begin(), children.end(),
+            [](const Child &c) { return c.alive; });
+        if (!interrupt::requested() && campaignDone())
+            break;
+        if (interrupt::requested() && !any_alive)
+            break;
+        if (!any_alive && !interrupt::requested()) {
+            if (!spawns_left)
+                fatal("campaign: all shards dead and the respawn "
+                      "budget is exhausted; the spool in '%s' is "
+                      "intact -- investigate and rerun with --resume",
+                      cfg.spool.c_str());
+            launch();
+        }
+        sleepMs(20);
+    }
+
+    // Idle shards notice the drained spool and exit 0 on their own;
+    // drained shards exit 130.  Either way, collect them all.
+    for (Child &c : children)
+        if (c.alive)
+            ::waitpid(c.pid, nullptr, 0);
+
+    if (interrupt::requested()) {
+        size_t unfinished = jobs.size() - countResults();
+        return interrupt::reportInterrupted(
+            "campaign drained behind per-job checkpoints",
+            static_cast<unsigned>(unfinished), true);
+    }
+
+    // ---- Hierarchical merge: shards emitted partial dumps (.result
+    // files); composite them exactly like the in-process pool. ----
+    std::vector<ExperimentResult> parts(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        std::string rpath = resultPath(ck, i, jobs[i].profile.name);
+        if (readResultFile(rpath, &parts[i]))
+            continue;
+        JobToken tok;
+        readJobTokenFile(campaignQuarantinePath(cfg, i), &tok);
+        parts[i].name = jobs[i].profile.name;
+        parts[i].failed = true;
+        parts[i].retries = tok.attempts;
+        parts[i].error = tok.lastError.empty()
+            ? std::string("quarantined")
+            : tok.lastError;
+    }
+    return emitCampaignOutputs(cfg, jobs, std::move(parts));
+}
+
+} // namespace vax

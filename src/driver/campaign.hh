@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The campaign layer: one characterization run sharded across a
+ * supervised fleet of worker *processes*.
+ *
+ * SimPool scales the composite across threads in one address space;
+ * at fleet scale the failures that dominate are the ones a thread
+ * pool cannot survive -- whole-process death (OOM kill, node reboot),
+ * hangs, and files cut off mid-write.  The campaign layer runs the
+ * same job list through N shard processes supervised by a parent:
+ *
+ *  - The *spool* is a directory of per-job token files.  A token
+ *    lives in exactly one of todo/, claimed/ or quarantine/; shards
+ *    take work by an atomic claim-file rename (rename(2) of the same
+ *    token within the spool), so idle shards work-steal and no job
+ *    can be claimed twice.  A job retires when its `.result` file
+ *    (PR-4 format, CRC-checked, written tmp+rename) exists.
+ *  - Every shard refreshes a per-shard *heartbeat* file; the
+ *    supervisor reaps crashed children immediately via waitpid and
+ *    SIGKILLs children whose heartbeat goes stale (a hang), then
+ *    reclaims their claimed tokens back into todo/.
+ *  - A failed attempt (panic/fatal/watchdog/timeout surfaced as a
+ *    SimError, or a crash while holding the claim) requeues the job
+ *    with capped exponential backoff; after maxAttempts failures the
+ *    token moves to quarantine/ and the campaign completes over the
+ *    survivors, renormalized exactly like the in-process pool.
+ *  - SIGINT/SIGTERM on the supervisor fans out to the shards, which
+ *    drain behind their rolling per-job checkpoints and exit 130;
+ *    `--resume` restarts the whole fleet from the manifest plus the
+ *    per-job .result/.ckpt files and produces the byte-identical
+ *    composite of an uninterrupted run (the kill-drill ctest gate).
+ *
+ * Every quantity that reaches the composite is a deterministic
+ * simulation sum, so a campaign's stats dump is byte-identical to the
+ * same job list run --in-process on a thread pool -- processes are
+ * just the failure domain, never the measurement.
+ */
+
+#ifndef UPC780_DRIVER_CAMPAIGN_HH
+#define UPC780_DRIVER_CAMPAIGN_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/sim_pool.hh"
+
+namespace vax
+{
+
+/**
+ * Everything the campaign tool parses from its command line.  One
+ * struct serves both roles: the supervisor passes the relevant subset
+ * back to each shard it spawns, so a shard provably runs the same
+ * campaign (and re-derives the same job list for the manifest check).
+ */
+struct CampaignConfig
+{
+    std::string spool;           ///< spool directory (required)
+    unsigned shards = 2;         ///< worker processes to keep alive
+    uint64_t cycles = 2'000'000; ///< machine cycles per experiment
+    unsigned replicas = 1;       ///< copies of the five-workload set
+    uint64_t intervalCycles = 250'000; ///< checkpoint/chunk interval
+
+    /** @{ Liveness: shards beat at chunk boundaries (at least every
+     *  heartbeatInterval seconds of host time); the supervisor
+     *  declares a shard hung once its heartbeat file is older than
+     *  heartbeatTimeout and SIGKILLs it.  The timeout must exceed the
+     *  interval, and comfortably exceed one chunk's host time. */
+    double heartbeatInterval = 1.0;
+    double heartbeatTimeout = 30.0;
+    /** @} */
+
+    /** @{ Retry policy: a job failure (SimError or shard crash while
+     *  holding the claim) requeues with backoffBase * 2^(attempt-1)
+     *  seconds of delay, capped at backoffCap; after maxAttempts
+     *  total failures the job is quarantined as poison. */
+    unsigned maxAttempts = 3;
+    double backoffBase = 0.25;
+    double backoffCap = 8.0;
+    /** @} */
+
+    bool resume = false;    ///< continue a killed campaign's spool
+    bool inProcess = false; ///< reference mode: SimPool threads instead
+                            ///< of processes (identical outputs)
+    std::string statsJsonPath; ///< composite stats registry as JSON
+    std::string tracePath;     ///< Chrome trace-event timeline
+
+    /** @{ Shard-worker mode (spawned by the supervisor, not users). */
+    bool shardMode = false;
+    unsigned shardId = 0;
+    double epoch = 0.0; ///< supervisor start (wall), for telemetry
+    /** @} */
+
+    /** @{ Crash-drill knobs for the robustness tests and CI: make a
+     *  specific failure happen deterministically instead of waiting
+     *  for the datacenter to provide one. */
+    uint64_t drillShard0DieAfterChunks = 0; ///< shard 0 self-SIGKILLs
+                                            ///< mid-job at this chunk
+    unsigned drillDieAfterResults = 0; ///< supervisor SIGKILLs fleet +
+                                       ///< itself once N jobs finished
+    unsigned drillPoisonJob = kNoJob;  ///< job index that fails every
+                                       ///< attempt (quarantine path)
+    uint64_t shardDieAfterChunks = 0;  ///< shard-side form of the
+                                       ///< shard-0 drill flag
+    static constexpr unsigned kNoJob = ~0u;
+    /** @} */
+
+    /**
+     * Parse and strip every campaign flag from argv.  Mirrors
+     * CheckpointConfig::parseFlags, but the failure contract is the
+     * tool's: any malformed value, unknown argument or nonsensical
+     * combination (--resume without --spool, --shards 0, a heartbeat
+     * timeout at or below the interval, ...) prints the usage and
+     * exits 2 -- a typo must never launch a different fleet than the
+     * one asked for.  --help prints the usage and exits 0.
+     */
+    static CampaignConfig parseFlags(int *argc, char **argv);
+};
+
+/** The campaign tool's usage text (parseFlags prints it on error). */
+void campaignUsage(const char *prog, std::FILE *out);
+
+/**
+ * One job's spool token.  The token travels between todo/, claimed/
+ * and quarantine/ by rename; its contents carry the retry state.
+ */
+struct JobToken
+{
+    unsigned attempts = 0; ///< failed attempts consumed so far
+    double notBefore = 0.0; ///< wall time before which no shard may
+                            ///< run it (capped exponential backoff)
+    std::string lastError;  ///< final line of the last failure
+};
+
+/** @{ Spool geometry.  Job files (.ckpt/.result) use the PR-4
+ *  checkpointPath/resultPath naming in the spool root. */
+std::string campaignTodoPath(const CampaignConfig &cfg, size_t job);
+std::string campaignClaimPath(const CampaignConfig &cfg, size_t job,
+                              unsigned shard);
+std::string campaignQuarantinePath(const CampaignConfig &cfg,
+                                   size_t job);
+std::string campaignHeartbeatPath(const CampaignConfig &cfg,
+                                  unsigned shard);
+std::string campaignLogPath(const CampaignConfig &cfg, unsigned shard);
+/** @} */
+
+/** @{ Token I/O.  Writes are atomic (tmp+rename, like every other
+ *  campaign-visible file); a damaged token reads as a fresh one with
+ *  a loud warning -- retry bookkeeping is never worth an abort. */
+bool writeJobTokenFile(const std::string &path, const JobToken &t);
+bool readJobTokenFile(const std::string &path, JobToken *out);
+/** @} */
+
+/**
+ * The claim primitive: atomically move a token from @p from to @p to.
+ * @return True when this caller won the token; false when another
+ * shard already took it (or it was retired).  Any other rename
+ * failure warns -- the job is simply not claimed.
+ */
+bool claimByRename(const std::string &from, const std::string &to);
+
+/** Backoff delay in seconds before attempt @p attempts+1 may run. */
+double backoffSeconds(const CampaignConfig &cfg, unsigned attempts);
+
+/** @{ Heartbeats: an atomic write of pid/seq/current-job, and the
+ *  file's age in wall seconds (negative when missing). */
+bool heartbeatWrite(const std::string &path, long pid, uint64_t seq,
+                    long job);
+double heartbeatAgeSeconds(const std::string &path);
+/** @} */
+
+/** Wall-clock now in seconds (CLOCK_REALTIME: comparable across the
+ *  supervisor and its shards, which backoff stamps require). */
+double campaignWallNow();
+
+/**
+ * The campaign's job list: replicas x the five paper workloads, in a
+ * fixed order so every process derives the identical list (the
+ * manifest check proves it).  Replica r > 0 gets a distinct seed and
+ * a "#r" name suffix.  Drill knobs that only affect RunLimits are
+ * applied here too (they are invisible to the manifest).
+ */
+std::vector<SimJob> campaignJobs(const CampaignConfig &cfg);
+
+/** Supervisor entry: spool setup, shard fleet, liveness, merge.
+ *  @return The process exit code (0, or 130 after a drained
+ *  interrupt). */
+int runCampaignSupervisor(const CampaignConfig &cfg);
+
+/** Shard-worker entry: claim, simulate in checkpointed chunks,
+ *  heartbeat, retire/requeue/quarantine.  @return Exit code. */
+int runCampaignShard(const CampaignConfig &cfg);
+
+} // namespace vax
+
+#endif // UPC780_DRIVER_CAMPAIGN_HH

@@ -218,6 +218,26 @@ readResultFile(const std::string &path, ExperimentResult *out)
 {
     if (!fileExists(path))
         return false;
+    // A .result cut off at the instant of a SIGKILL (truncated, CRC
+    // damage, version skew) means the job is NOT finished -- report
+    // it loudly and let the caller re-run the job.  Aborting would
+    // let one half-written file kill a whole campaign; skipping
+    // silently would merge a lie.
+    try {
+        return readResultFileChecked(path, out);
+    } catch (const snap::SnapshotError &e) {
+        warn("result file '%s' is damaged (%s); treating the job as "
+             "unfinished -- it will be re-run", path.c_str(),
+             e.what());
+        return false;
+    }
+}
+
+bool
+readResultFileChecked(const std::string &path, ExperimentResult *out)
+{
+    if (!fileExists(path))
+        return false;
     snap::Deserializer d = snap::Deserializer::fromFile(path);
     ExperimentResult r;
     d.beginSection("result.meta");

@@ -87,10 +87,18 @@ bool writeResultFile(const std::string &path,
 
 /**
  * Load a completed job's .result file into @p out.  @return False
- * when the file is absent; damage in a file that *is* present raises
- * SnapshotError (a half-read result must not be merged).
+ * when the file is absent, or when it is present but truncated /
+ * CRC-damaged / version-skewed (warned loudly) -- a half-written
+ * result means the job is simply not finished and must be re-run,
+ * never merged and never allowed to abort a campaign.
  */
 bool readResultFile(const std::string &path, ExperimentResult *out);
+
+/** Strict variant: damage in a present file raises SnapshotError
+ *  (for tests and callers that must distinguish damage from
+ *  absence). */
+bool readResultFileChecked(const std::string &path,
+                           ExperimentResult *out);
 
 /** Write the job-list manifest for a fresh checkpointed run
  *  (fatal on I/O failure -- without it the run cannot be resumed). */

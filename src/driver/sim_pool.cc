@@ -462,9 +462,12 @@ bool
 writeChromeTrace(const std::string &path,
                  const std::vector<ExperimentResult> &results)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
+    // Atomic tmp+rename: a campaign supervisor may die at any
+    // instant, and a half-written trace must never shadow a good one.
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f) {
-        warn("cannot write Chrome trace '%s'", path.c_str());
+        warn("cannot write Chrome trace '%s'", tmp.c_str());
         return false;
     }
     std::fprintf(f, "{\"traceEvents\":[\n");
@@ -500,7 +503,12 @@ writeChromeTrace(const std::string &path,
                      i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "]}\n");
-    std::fclose(f);
+    if (std::fclose(f) != 0 ||
+        std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cannot finish Chrome trace '%s'", path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
     return true;
 }
 

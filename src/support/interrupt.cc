@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdio>
 
 namespace vax::interrupt
 {
@@ -46,6 +47,19 @@ void
 reset()
 {
     g_requested.store(false, std::memory_order_relaxed);
+}
+
+int
+reportInterrupted(const char *what, unsigned unfinished,
+                  bool resumable)
+{
+    std::printf("*** INTERRUPTED: %s (%u job(s) unfinished); %s ***\n",
+                what, unfinished,
+                resumable ? "rerun with --resume to continue"
+                          : "add --checkpoint-dir to make runs "
+                            "resumable");
+    std::fflush(stdout);
+    return exitCode;
 }
 
 } // namespace vax::interrupt

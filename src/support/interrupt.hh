@@ -42,6 +42,21 @@ void request();
 /** Clear the flag (tests only; real runs stay interrupted). */
 void reset();
 
+/**
+ * The one INTERRUPTED marker every drainable binary prints:
+ *
+ *   *** INTERRUPTED: <what> (N job(s) unfinished); <hint> ***
+ *
+ * where the hint is "rerun with --resume to continue" when the run
+ * was checkpointed (@p resumable) and "add --checkpoint-dir to make
+ * runs resumable" otherwise.  @return exitCode (130), so callers can
+ * write `return interrupt::reportInterrupted(...)`.  Keeping the
+ * format in one place is what lets scripts and the drill tests grep
+ * for it across every tool.
+ */
+int reportInterrupted(const char *what, unsigned unfinished,
+                      bool resumable);
+
 } // namespace vax::interrupt
 
 #endif // UPC780_SUPPORT_INTERRUPT_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * The campaign tool: one characterization run sharded across a
+ * supervised fleet of worker processes (see src/driver/campaign.hh
+ * and DESIGN.md §13).
+ *
+ * The same binary is both roles: invoked plain it is the supervisor
+ * (spool setup, shard fleet, liveness sweep, hierarchical merge);
+ * invoked with --shard --shard-id N (by the supervisor, via
+ * fork/exec of /proc/self/exe) it is one work-stealing shard.
+ */
+
+#include "driver/campaign.hh"
+
+int
+main(int argc, char **argv)
+{
+    vax::CampaignConfig cfg =
+        vax::CampaignConfig::parseFlags(&argc, argv);
+    return cfg.shardMode ? vax::runCampaignShard(cfg)
+                         : vax::runCampaignSupervisor(cfg);
+}
