@@ -20,6 +20,7 @@
 
 #include "driver/checkpoint.hh"
 #include "support/interrupt.hh"
+#include "support/iofault.hh"
 #include "support/logging.hh"
 #include "support/sim_error.hh"
 #include "support/snapshot.hh"
@@ -108,6 +109,33 @@ takeSeconds(const char *prog, const char *flag, const std::string &val)
     return v;
 }
 
+/** Like takeCount but zero is legal (indices, epochs-as-ids). */
+uint64_t
+takeIndex(const char *prog, const char *flag, const std::string &val)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(val.c_str(), &end, 0);
+    if (errno || end == val.c_str() || *end)
+        usageError(prog, "%s: '%s' is not a non-negative integer",
+                   flag, val.c_str());
+    return v;
+}
+
+/** Non-negative finite wall-clock stamp ("12345.678900"). */
+double
+takeStamp(const char *prog, const char *flag, const std::string &val)
+{
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(val.c_str(), &end);
+    if (errno || end == val.c_str() || *end || !std::isfinite(v) ||
+        v < 0.0)
+        usageError(prog, "%s: '%s' is not a non-negative wall-clock "
+                   "stamp in seconds", flag, val.c_str());
+    return v;
+}
+
 // =============== small filesystem helpers ===============
 
 void
@@ -117,35 +145,6 @@ ensureDir(const std::string &path)
         return;
     fatal("campaign: cannot create '%s': %s", path.c_str(),
           std::strerror(errno));
-}
-
-/** Atomic whole-file text write: tmp (pid-unique) + rename, the same
- *  durability contract as the snapshot layer. */
-bool
-atomicWriteText(const std::string &path, const std::string &text)
-{
-    std::string tmp =
-        path + ".tmp" + std::to_string(static_cast<long>(::getpid()));
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f) {
-        warn("campaign: cannot open '%s' for writing: %s", tmp.c_str(),
-             std::strerror(errno));
-        return false;
-    }
-    size_t n = std::fwrite(text.data(), 1, text.size(), f);
-    bool ok = n == text.size() && std::fclose(f) == 0;
-    if (!ok) {
-        warn("campaign: short write to '%s'", tmp.c_str());
-        std::remove(tmp.c_str());
-        return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        warn("campaign: cannot rename '%s' into place: %s",
-             tmp.c_str(), std::strerror(errno));
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
 }
 
 std::string
@@ -302,6 +301,13 @@ campaignUsage(const char *prog, std::FILE *out)
         " JSON\n"
         "  --perfetto PATH      write the shard timeline as a Chrome"
         " trace\n"
+        "  --io-faults SPEC     inject host-I/O faults into this\n"
+        "                       process (kind@N[~substr],... or\n"
+        "                       rand=SEED; also via UPC780_IO_FAULTS)\n"
+        "  --chaos-drill SEED   fault-free supervisor, every spawned\n"
+        "                       shard gets a fault schedule derived\n"
+        "                       from SEED; final stats must still be\n"
+        "                       byte-identical to a clean run\n"
         "  --resume             continue a killed campaign from the"
         " spool\n"
         "  --in-process         reference mode: run the identical job"
@@ -360,13 +366,28 @@ CampaignConfig::parseFlags(int *argc, char **argv)
     cfg.resume = parseBoolFlag(argc, argv, "resume");
     cfg.inProcess = parseBoolFlag(argc, argv, "in-process");
 
+    bool have_io_faults = takeValueFlag(argc, argv, "io-faults", &val);
+    if (have_io_faults) {
+        cfg.ioFaults = val;
+    } else if (const char *env = std::getenv("UPC780_IO_FAULTS")) {
+        if (*env)
+            cfg.ioFaults = env;
+    }
+    if (!cfg.ioFaults.empty())
+        // Validate now: a typo in a fault spec is fatal(1) from the
+        // parser before a single process launches -- a chaos drill
+        // that silently injected nothing would prove nothing.
+        io::FaultPlan::parse(cfg.ioFaults);
+    if (takeValueFlag(argc, argv, "chaos-drill", &val))
+        cfg.chaosSeed = takeCount(prog, "--chaos-drill", val);
+
     cfg.shardMode = parseBoolFlag(argc, argv, "shard");
     bool have_shard_id = takeValueFlag(argc, argv, "shard-id", &val);
     if (have_shard_id)
         cfg.shardId = static_cast<unsigned>(
-            std::strtoul(val.c_str(), nullptr, 0));
+            takeIndex(prog, "--shard-id", val));
     if (takeValueFlag(argc, argv, "epoch", &val))
-        cfg.epoch = std::strtod(val.c_str(), nullptr);
+        cfg.epoch = takeStamp(prog, "--epoch", val);
 
     // Drill knobs (tests/CI only; deliberately undocumented in the
     // usage text, but validated like everything else).
@@ -379,7 +400,7 @@ CampaignConfig::parseFlags(int *argc, char **argv)
             takeCount(prog, "--drill-die-after-results", val));
     if (takeValueFlag(argc, argv, "drill-poison-job", &val))
         cfg.drillPoisonJob = static_cast<unsigned>(
-            std::strtoul(val.c_str(), nullptr, 0));
+            takeIndex(prog, "--drill-poison-job", val));
     if (takeValueFlag(argc, argv, "drill-die-after-chunks", &val))
         cfg.shardDieAfterChunks =
             takeCount(prog, "--drill-die-after-chunks", val);
@@ -417,6 +438,28 @@ CampaignConfig::parseFlags(int *argc, char **argv)
         usageError(prog, "--backoff-cap (%.3fs) is below "
                    "--backoff-base (%.3fs)", cfg.backoffCap,
                    cfg.backoffBase);
+    if (cfg.chaosSeed) {
+        if (have_io_faults)
+            usageError(prog, "--chaos-drill and --io-faults are "
+                       "mutually exclusive: the drill derives each "
+                       "shard's schedule from the seed and keeps the "
+                       "supervisor fault-free");
+        if (cfg.shardMode)
+            usageError(prog, "--chaos-drill belongs to the "
+                       "supervisor; shards receive their derived "
+                       "--io-faults schedule from it");
+        if (cfg.inProcess)
+            usageError(prog, "--chaos-drill needs shard processes to "
+                       "fault; it cannot combine with --in-process");
+        if (!cfg.ioFaults.empty()) {
+            // UPC780_IO_FAULTS is set in the environment.  The drill
+            // contract is a clean supervisor, so ignore it loudly
+            // rather than fault the merge process.
+            warn("campaign: --chaos-drill ignores UPC780_IO_FAULTS "
+                 "('%s') in this process", cfg.ioFaults.c_str());
+            cfg.ioFaults.clear();
+        }
+    }
     return cfg;
 }
 
@@ -454,46 +497,118 @@ campaignLogPath(const CampaignConfig &cfg, unsigned shard)
     return cfg.spool + "/logs/shard" + std::to_string(shard) + ".log";
 }
 
+std::string
+campaignFencePath(const CampaignConfig &cfg, size_t job)
+{
+    return cfg.spool + "/fence/" + jobTokenName(job);
+}
+
+uint64_t
+readFenceFile(const std::string &path)
+{
+    std::string text;
+    io::Status st = io::readFileText(path, &text, 256);
+    if (!st) {
+        if (st.err != ENOENT)
+            warn("campaign: fence file '%s' unreadable (%s: %s); "
+                 "treating the job's claim epoch as 0", path.c_str(),
+                 st.stage, std::strerror(st.err));
+        return 0;
+    }
+    unsigned long long fence = 0;
+    if (std::sscanf(text.c_str(), "fence %llu", &fence) != 1) {
+        warn("campaign: fence file '%s' is damaged; treating the "
+             "job's claim epoch as 0", path.c_str());
+        return 0;
+    }
+    return fence;
+}
+
+bool
+writeFenceFile(const std::string &path, uint64_t fence)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "fence %llu\n",
+                  static_cast<unsigned long long>(fence));
+    return static_cast<bool>(io::atomicWriteText(path, buf));
+}
+
+uint64_t
+bumpJobFence(const CampaignConfig &cfg, size_t job, JobToken *tok)
+{
+    std::string path = campaignFencePath(cfg, job);
+    // max() guards against a fence file lost to a damaged read: the
+    // token itself then carries the floor, so the epoch still never
+    // regresses.
+    uint64_t next = std::max(tok->fence, readFenceFile(path)) + 1;
+    tok->fence = next;
+    if (!writeFenceFile(path, next))
+        // The requeue still proceeds: an unwritable fence file only
+        // costs the split-brain guard for this job, and the next
+        // bump's max() recovers the epoch from the token.
+        warn("campaign: cannot persist fence %llu for job %zu",
+             static_cast<unsigned long long>(next), job);
+    return next;
+}
+
 bool
 writeJobTokenFile(const std::string &path, const JobToken &t)
 {
     std::string text = "attempts " + std::to_string(t.attempts) +
-        "\nnotbefore " + fmtDouble(t.notBefore) + "\n";
+        "\nnotbefore " + fmtDouble(t.notBefore) + "\nfence " +
+        std::to_string(t.fence) + "\n";
     if (!t.lastError.empty()) {
         // One line only: the token is retry bookkeeping, not a log.
         std::string err = t.lastError.substr(0, 512);
         std::replace(err.begin(), err.end(), '\n', ' ');
         text += "error " + err + "\n";
     }
-    return atomicWriteText(path, text);
+    return static_cast<bool>(io::atomicWriteText(path, text));
 }
 
 bool
 readJobTokenFile(const std::string &path, JobToken *out)
 {
     *out = JobToken();
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    char line[640];
+    // Tokens are a few lines; a multi-megabyte "token" is damage (or
+    // mischief) and must not be slurped whole.  The cap makes io::
+    // fail the read, which lands in the damaged-token path below.
+    std::string text;
+    io::Status st = io::readFileText(path, &text, 64 * 1024);
+    if (!st) {
+        if (st.err == ENOENT)
+            return false;
+        warn("campaign: token '%s' unreadable (%s: %s); treating it "
+             "as a fresh attempt record", path.c_str(), st.stage,
+             std::strerror(st.err));
+        return true;
+    }
+    // Parse from memory, splitting on '\n' by index: an embedded NUL
+    // terminates at most that line's sscanf, never the scan itself.
     bool sane = true;
-    while (std::fgets(line, sizeof(line), f)) {
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
         unsigned u = 0;
         double d = 0.0;
-        if (std::sscanf(line, "attempts %u", &u) == 1)
+        unsigned long long f = 0;
+        if (std::sscanf(line.c_str(), "attempts %u", &u) == 1)
             out->attempts = u;
-        else if (std::sscanf(line, "notbefore %lf", &d) == 1)
+        else if (std::sscanf(line.c_str(), "notbefore %lf", &d) == 1)
             out->notBefore = d;
-        else if (std::strncmp(line, "error ", 6) == 0) {
-            out->lastError = line + 6;
-            while (!out->lastError.empty() &&
-                   out->lastError.back() == '\n')
-                out->lastError.pop_back();
-        } else if (line[0] != '\n') {
+        else if (std::sscanf(line.c_str(), "fence %llu", &f) == 1)
+            out->fence = f;
+        else if (line.compare(0, 6, "error ") == 0)
+            out->lastError = line.substr(6);
+        else
             sane = false;
-        }
     }
-    std::fclose(f);
     if (!sane)
         // A half-understood token is still a token: warn and keep the
         // fields that parsed -- losing retry bookkeeping must never
@@ -503,15 +618,23 @@ readJobTokenFile(const std::string &path, JobToken *out)
     return true;
 }
 
-bool
+ClaimOutcome
 claimByRename(const std::string &from, const std::string &to)
 {
-    if (::rename(from.c_str(), to.c_str()) == 0)
-        return true;
-    if (errno != ENOENT)
-        warn("campaign: rename '%s' -> '%s' failed: %s", from.c_str(),
-             to.c_str(), std::strerror(errno));
-    return false;
+    if (io::renameFile(from, to))
+        return ClaimOutcome::Won;
+    io::Status st = io::lastStatus();
+    if (st.err == ENOENT)
+        return ClaimOutcome::Lost;
+    if (fileExists(to) && !fileExists(from))
+        // The rename reported failure but demonstrably happened (the
+        // error came from somewhere past the commit point).  Within
+        // one directory that makes us the owner: take the win rather
+        // than abandon a token nobody else can claim.
+        return ClaimOutcome::Won;
+    warn("campaign: rename '%s' -> '%s' failed: %s", from.c_str(),
+         to.c_str(), std::strerror(st.err));
+    return ClaimOutcome::Error;
 }
 
 double
@@ -539,18 +662,47 @@ heartbeatWrite(const std::string &path, long pid, uint64_t seq,
     char buf[96];
     std::snprintf(buf, sizeof(buf), "pid %ld\nseq %llu\njob %ld\n",
                   pid, static_cast<unsigned long long>(seq), job);
-    return atomicWriteText(path, buf);
+    return static_cast<bool>(io::atomicWriteText(path, buf));
+}
+
+bool
+readHeartbeatFile(const std::string &path, HeartbeatInfo *out)
+{
+    *out = HeartbeatInfo();
+    std::string text;
+    if (!io::readFileText(path, &text, 4096))
+        return false;
+    long pid = -1;
+    unsigned long long seq = 0;
+    long job = -1;
+    bool have_pid = false;
+    bool have_seq = false;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (std::sscanf(line.c_str(), "pid %ld", &pid) == 1)
+            have_pid = true;
+        else if (std::sscanf(line.c_str(), "seq %llu", &seq) == 1)
+            have_seq = true;
+        else
+            std::sscanf(line.c_str(), "job %ld", &job);
+    }
+    if (!have_pid || !have_seq)
+        return false;
+    out->pid = pid;
+    out->seq = seq;
+    out->job = job;
+    return true;
 }
 
 double
 heartbeatAgeSeconds(const std::string &path)
 {
-    struct stat st;
-    if (::stat(path.c_str(), &st) != 0)
-        return -1.0;
-    double mtime = static_cast<double>(st.st_mtim.tv_sec) +
-        st.st_mtim.tv_nsec * 1e-9;
-    return campaignWallNow() - mtime;
+    return io::fileAgeSeconds(path);
 }
 
 std::vector<SimJob>
@@ -592,7 +744,49 @@ struct ShardCtx
     uint64_t seq = 0;
     uint64_t chunksDone = 0;
     double lastBeat = 0.0;
+    bool ckptPaused = false;     ///< ENOSPC degraded mode (see below)
+    uint64_t ckptRetryAt = 0;    ///< chunksDone at which to re-probe
 };
+
+/** Chunks between checkpoint re-probes while ENOSPC-paused. */
+constexpr uint64_t kCkptRetryChunks = 8;
+
+/**
+ * Write the rolling checkpoint, with the ENOSPC degraded mode: a full
+ * disk pauses checkpointing loudly and keeps the simulation running
+ * (crash recovery falls back to older state or the seed) instead of
+ * letting every shard die on the same full disk.  While paused, a
+ * probe write every kCkptRetryChunks chunks notices a cleaned disk
+ * and resumes.  Other write failures warn (inside io::) and retry at
+ * the next boundary.
+ */
+void
+shardSaveCheckpoint(ShardCtx &c, Experiment &exp,
+                    const std::string &cpath)
+{
+    if (c.ckptPaused && c.chunksDone < c.ckptRetryAt)
+        return;
+    if (exp.saveFile(cpath)) {
+        if (c.ckptPaused) {
+            c.ckptPaused = false;
+            warn("shard %u: disk space recovered; checkpointing "
+                 "resumed at '%s'", c.cfg.shardId, cpath.c_str());
+        }
+        return;
+    }
+    if (io::lastStatus().err == ENOSPC) {
+        if (!c.ckptPaused)
+            warn("shard %u: DEGRADED: checkpoint '%s' failed with "
+                 "ENOSPC; checkpointing is paused and progress "
+                 "continues unprotected (a crash now falls back to "
+                 "the last good checkpoint or the job seed); will "
+                 "re-probe every %llu chunks", c.cfg.shardId,
+                 cpath.c_str(),
+                 static_cast<unsigned long long>(kCkptRetryChunks));
+        c.ckptPaused = true;
+        c.ckptRetryAt = c.chunksDone + kCkptRetryChunks;
+    }
+}
 
 /** Refresh the heartbeat when it is due (or forced).  Cheap enough to
  *  call at every chunk boundary. */
@@ -648,7 +842,7 @@ runShardJobAttempt(ShardCtx &c, size_t i, ExperimentResult *out,
             std::max<uint64_t>(c.ck.intervalCycles, 1);
         double a0 = campaignWallNow();
         while (!exp->runChunk(chunk)) {
-            exp->saveFile(cpath);
+            shardSaveCheckpoint(c, *exp, cpath);
             ++c.chunksDone;
             if (c.cfg.shardDieAfterChunks &&
                 c.chunksDone >= c.cfg.shardDieAfterChunks) {
@@ -695,6 +889,11 @@ runCampaignShard(const CampaignConfig &cfg)
            cfg.spool.c_str(), c.jobs.size());
 
     const size_t n = c.jobs.size();
+    // Claim-rename I/O errors (EIO, not a lost race) per job: retried
+    // with the campaign's capped backoff, quarantined for good after
+    // maxAttempts -- a token on a broken disk must not spin forever.
+    std::vector<unsigned> claimErrors(n, 0);
+    std::vector<double> claimRetryAt(n, 0.0);
     for (;;) {
         if (interrupt::requested())
             return interrupt::reportInterrupted(
@@ -713,17 +912,70 @@ runCampaignShard(const CampaignConfig &cfg)
                 ::unlink(todo.c_str());
                 continue;
             }
-            std::string claim =
-                campaignClaimPath(cfg, i, cfg.shardId);
-            if (!claimByRename(todo, claim))
-                continue; // another shard won the rename
-            JobToken tok;
-            readJobTokenFile(claim, &tok);
-            if (tok.notBefore > campaignWallNow()) {
-                // Claimed too early: hand it back and keep looking.
-                claimByRename(claim, todo);
+            if (claimRetryAt[i] > campaignWallNow()) {
                 backing_off = true;
                 continue;
+            }
+            std::string claim =
+                campaignClaimPath(cfg, i, cfg.shardId);
+            ClaimOutcome got = claimByRename(todo, claim);
+            if (got == ClaimOutcome::Lost)
+                continue; // another shard won the rename
+            if (got == ClaimOutcome::Error) {
+                ++claimErrors[i];
+                if (claimErrors[i] >= cfg.maxAttempts) {
+                    JobToken qtok;
+                    readJobTokenFile(todo, &qtok);
+                    qtok.lastError = "claim rename failed " +
+                        std::to_string(claimErrors[i]) + " time(s)";
+                    warn("shard %u: job %zu '%s' QUARANTINED: %s",
+                         cfg.shardId, i,
+                         c.jobs[i].profile.name.c_str(),
+                         qtok.lastError.c_str());
+                    writeJobTokenFile(
+                        campaignQuarantinePath(cfg, i), qtok);
+                    ::unlink(todo.c_str());
+                    continue;
+                }
+                double delay = backoffSeconds(cfg, claimErrors[i]);
+                warn("shard %u: claim of job %zu hit an I/O error "
+                     "(attempt %u/%u); retrying in %.2fs",
+                     cfg.shardId, i, claimErrors[i], cfg.maxAttempts,
+                     delay);
+                claimRetryAt[i] = campaignWallNow() + delay;
+                backing_off = true;
+                continue;
+            }
+            claimErrors[i] = 0;
+            JobToken tok;
+            readJobTokenFile(claim, &tok);
+            uint64_t highWater =
+                readFenceFile(campaignFencePath(cfg, i));
+            if (tok.fence < highWater) {
+                // A fence-regressed token (hand-edited, or restored
+                // from a backup) must not write results the merge
+                // will reject: adopt the durable high-water mark.
+                warn("shard %u: job %zu token fence %llu is behind "
+                     "the high-water mark %llu; adopting the mark",
+                     cfg.shardId, i,
+                     static_cast<unsigned long long>(tok.fence),
+                     static_cast<unsigned long long>(highWater));
+                tok.fence = highWater;
+            }
+            if (tok.notBefore > campaignWallNow()) {
+                // Claimed too early: hand it back and keep looking.
+                // A hand-back that errors but didn't happen leaves
+                // the claim with us -- running the job early is safe
+                // (backoff is pacing, not correctness), so fall
+                // through instead of stranding the token.
+                if (claimByRename(claim, todo) != ClaimOutcome::Error
+                    || fileExists(todo)) {
+                    backing_off = true;
+                    continue;
+                }
+                warn("shard %u: cannot hand back early claim of job "
+                     "%zu; running it ahead of its backoff window",
+                     cfg.shardId, i);
             }
             beat(c, static_cast<long>(i), true);
             ExperimentResult r;
@@ -731,15 +983,52 @@ runCampaignShard(const CampaignConfig &cfg)
             bool interrupted = false;
             if (runShardJobAttempt(c, i, &r, &err, &interrupted)) {
                 r.retries = tok.attempts;
-                if (!writeResultFile(rpath, r))
-                    warn("shard %u: job %zu '%s' finished but its "
-                         "result could not be written; it will be "
-                         "re-run", cfg.shardId, i,
-                         c.jobs[i].profile.name.c_str());
-                else
+                r.fence = tok.fence;
+                if (readFenceFile(campaignFencePath(cfg, i)) >
+                    tok.fence) {
+                    // Fenced out mid-run: the supervisor declared us
+                    // dead and requeued the job.  Our result would be
+                    // rejected at merge; don't publish it, and leave
+                    // the token with the new epoch's owner.
+                    warn("shard %u: job %zu '%s' claim superseded "
+                         "(fence advanced past %llu); discarding "
+                         "this attempt's result", cfg.shardId, i,
+                         c.jobs[i].profile.name.c_str(),
+                         static_cast<unsigned long long>(tok.fence));
+                    ::unlink(claim.c_str());
+                } else if (!writeResultFile(rpath, r)) {
+                    // Requeue with an attempt charged: persistent
+                    // result-write failure must eventually quarantine
+                    // rather than silently strand the job (the old
+                    // behavior dropped the token here and the
+                    // campaign could only fatal out).
+                    ++tok.attempts;
+                    tok.lastError = "result write failed";
+                    if (tok.attempts >= cfg.maxAttempts) {
+                        warn("shard %u: job %zu '%s' QUARANTINED: "
+                             "finished %u time(s) but its result "
+                             "could never be written", cfg.shardId, i,
+                             c.jobs[i].profile.name.c_str(),
+                             tok.attempts);
+                        writeJobTokenFile(
+                            campaignQuarantinePath(cfg, i), tok);
+                    } else {
+                        double delay =
+                            backoffSeconds(cfg, tok.attempts);
+                        warn("shard %u: job %zu '%s' finished but "
+                             "its result could not be written; "
+                             "requeued with %.2fs backoff",
+                             cfg.shardId, i,
+                             c.jobs[i].profile.name.c_str(), delay);
+                        tok.notBefore = campaignWallNow() + delay;
+                        writeJobTokenFile(todo, tok);
+                    }
+                    ::unlink(claim.c_str());
+                } else {
                     ::unlink(checkpointPath(
                         c.ck, i, c.jobs[i].profile.name).c_str());
-                ::unlink(claim.c_str());
+                    ::unlink(claim.c_str());
+                }
             } else if (interrupted) {
                 // Requeue with no attempt charged: a drain is not the
                 // job's fault, and the checkpoint keeps its cycles.
@@ -798,6 +1087,12 @@ struct Child
     unsigned id = 0;
     double spawned = 0.0;
     bool alive = false;
+    // Beat-counter liveness: when the shard's heartbeat seq was last
+    // seen to advance.  mtime is only the fallback for an unreadable
+    // heartbeat file (see readHeartbeatFile).
+    bool seqSeen = false;
+    uint64_t lastSeq = 0;
+    double lastAdvance = 0.0;
 };
 
 std::string
@@ -854,6 +1149,18 @@ spawnShard(const CampaignConfig &cfg, unsigned id,
         args.emplace_back(
             std::to_string(cfg.drillShard0DieAfterChunks));
     }
+    if (cfg.chaosSeed) {
+        // Every spawn (including respawns after a chaos-induced
+        // death) gets its own schedule, derived from the drill seed
+        // and the spawn id so reruns of the same seed are identical.
+        io::FaultPlan plan = io::FaultPlan::randomized(
+            cfg.chaosSeed * 1000003ull + id);
+        args.emplace_back("--io-faults");
+        args.emplace_back(plan.format());
+    } else if (!cfg.ioFaults.empty()) {
+        args.emplace_back("--io-faults");
+        args.emplace_back(cfg.ioFaults);
+    }
     std::vector<char *> argv;
     argv.reserve(args.size() + 1);
     for (std::string &a : args)
@@ -907,8 +1214,15 @@ reclaimShardClaims(const CampaignConfig &cfg,
             tok.notBefore =
                 campaignWallNow() + backoffSeconds(cfg, tok.attempts);
         }
-        warn("campaign: reclaimed job %zu '%s' from shard %u", i,
-             jobs[i].profile.name.c_str(), shard);
+        // Fence the old holder out *before* the token becomes
+        // claimable again: if the "dead" shard is actually a zombie
+        // that finishes later, its result carries the old epoch and
+        // the merge rejects it.
+        bumpJobFence(cfg, i, &tok);
+        warn("campaign: reclaimed job %zu '%s' from shard %u "
+             "(claim epoch now %llu)", i,
+             jobs[i].profile.name.c_str(), shard,
+             static_cast<unsigned long long>(tok.fence));
         writeJobTokenFile(campaignTodoPath(cfg, i), tok);
         ::unlink(claim.c_str());
     }
@@ -956,7 +1270,7 @@ runCampaignSupervisor(const CampaignConfig &cfg)
     CheckpointConfig ck = spoolCheckpointConfig(cfg);
     ensureCheckpointDir(ck);
     for (const char *sub : {"todo", "claimed", "quarantine", "hb",
-                            "logs"})
+                            "logs", "fence"})
         ensureDir(cfg.spool + "/" + sub);
 
     if (cfg.resume) {
@@ -996,8 +1310,21 @@ runCampaignSupervisor(const CampaignConfig &cfg)
             continue;
         }
         ExperimentResult scratch;
-        if (readResultFile(rpath, &scratch))
-            continue; // finished by the previous fleet
+        if (readResultFile(rpath, &scratch)) {
+            uint64_t highWater =
+                readFenceFile(campaignFencePath(cfg, i));
+            if (scratch.fence >= highWater)
+                continue; // finished by the previous fleet
+            // A fence-stale result is a zombie shard's write from a
+            // claim epoch the previous supervisor already revoked:
+            // reject it and re-run the job.
+            warn("campaign: job %zu '%s' result carries stale fence "
+                 "%llu < %llu; rejected, the job will be re-run", i,
+                 jobs[i].profile.name.c_str(),
+                 static_cast<unsigned long long>(scratch.fence),
+                 static_cast<unsigned long long>(highWater));
+            ::unlink(rpath.c_str());
+        }
         if (fileExists(rpath)) {
             // Present but unreadable: cut off by the crash.  The
             // loud warning came from readResultFile; the job simply
@@ -1047,6 +1374,40 @@ runCampaignSupervisor(const CampaignConfig &cfg)
         return done;
     };
     std::vector<bool> validated(jobs.size(), false);
+    // A job is *orphaned* when it has no result and its token exists
+    // nowhere (todo/any claim/quarantine) -- the trace of a token
+    // write that an injected I/O fault ate.  The claim rename is
+    // atomic and every other transition writes the destination before
+    // unlinking the source, so a steady state with no token is never
+    // a race in progress: heal it with a fresh token at the current
+    // claim epoch instead of spinning the fleet to death.
+    auto jobHeldByAnyShard = [&](size_t i) {
+        std::string prefix = jobTokenName(i) + ".shard";
+        DIR *d = ::opendir((cfg.spool + "/claimed").c_str());
+        if (!d)
+            return false;
+        bool held = false;
+        while (struct dirent *e = ::readdir(d)) {
+            if (std::strncmp(e->d_name, prefix.c_str(),
+                             prefix.size()) == 0) {
+                held = true;
+                break;
+            }
+        }
+        ::closedir(d);
+        return held;
+    };
+    auto healOrphan = [&](size_t i) {
+        if (fileExists(campaignTodoPath(cfg, i)) ||
+            jobHeldByAnyShard(i))
+            return;
+        JobToken tok;
+        tok.fence = readFenceFile(campaignFencePath(cfg, i));
+        warn("campaign: job %zu '%s' has no token anywhere (a spool "
+             "write was lost); respooling it", i,
+             jobs[i].profile.name.c_str());
+        writeJobTokenFile(campaignTodoPath(cfg, i), tok);
+    };
     auto campaignDone = [&] {
         for (size_t i = 0; i < jobs.size(); ++i) {
             if (validated[i] ||
@@ -1054,19 +1415,34 @@ runCampaignSupervisor(const CampaignConfig &cfg)
                 continue;
             std::string rpath =
                 resultPath(ck, i, jobs[i].profile.name);
-            if (!fileExists(rpath))
+            if (!fileExists(rpath)) {
+                healOrphan(i);
                 return false;
-            ExperimentResult scratch;
-            if (readResultFile(rpath, &scratch)) {
-                validated[i] = true;
-                continue;
             }
-            // Damaged result: not finished.  Requeue unless some
-            // shard already holds the job again.
+            ExperimentResult scratch;
+            uint64_t highWater =
+                readFenceFile(campaignFencePath(cfg, i));
+            if (readResultFile(rpath, &scratch)) {
+                if (scratch.fence >= highWater) {
+                    validated[i] = true;
+                    continue;
+                }
+                warn("campaign: job %zu '%s' result is fence-stale "
+                     "(%llu < %llu); rejected at merge, the job "
+                     "will be re-run", i,
+                     jobs[i].profile.name.c_str(),
+                     static_cast<unsigned long long>(scratch.fence),
+                     static_cast<unsigned long long>(highWater));
+            }
+            // Damaged or fence-stale result: not finished.  Requeue
+            // (at the current claim epoch) unless some shard already
+            // holds the job again.
             ::unlink(rpath.c_str());
-            if (!fileExists(campaignTodoPath(cfg, i)))
-                writeJobTokenFile(campaignTodoPath(cfg, i),
-                                  JobToken());
+            if (!fileExists(campaignTodoPath(cfg, i))) {
+                JobToken tok;
+                tok.fence = highWater;
+                writeJobTokenFile(campaignTodoPath(cfg, i), tok);
+            }
             return false;
         }
         return true;
@@ -1122,10 +1498,26 @@ runCampaignSupervisor(const CampaignConfig &cfg)
             for (Child &c : children) {
                 if (!c.alive)
                     continue;
-                double age = heartbeatAgeSeconds(
-                    campaignHeartbeatPath(cfg, c.id));
-                if (age < 0.0)
-                    age = now - c.spawned; // never beat yet
+                std::string hb = campaignHeartbeatPath(cfg, c.id);
+                HeartbeatInfo info;
+                double age;
+                if (readHeartbeatFile(hb, &info)) {
+                    // Liveness is the beat *counter* advancing, not
+                    // the file's mtime: a coarse-timestamp (or
+                    // deliberately lied-about) mtime must not get a
+                    // healthy shard SIGKILLed, and a shard stuck
+                    // rewriting the same seq is still hung.
+                    if (!c.seqSeen || info.seq != c.lastSeq) {
+                        c.seqSeen = true;
+                        c.lastSeq = info.seq;
+                        c.lastAdvance = now;
+                    }
+                    age = now - c.lastAdvance;
+                } else {
+                    age = heartbeatAgeSeconds(hb);
+                    if (age < 0.0)
+                        age = now - c.spawned; // never beat yet
+                }
                 if (age > cfg.heartbeatTimeout) {
                     warn("campaign: shard %u (pid %ld) heartbeat "
                          "stale (%.1fs > %.1fs); SIGKILL + reclaim",
@@ -1181,8 +1573,26 @@ runCampaignSupervisor(const CampaignConfig &cfg)
     std::vector<ExperimentResult> parts(jobs.size());
     for (size_t i = 0; i < jobs.size(); ++i) {
         std::string rpath = resultPath(ck, i, jobs[i].profile.name);
-        if (readResultFile(rpath, &parts[i]))
+        if (readResultFile(rpath, &parts[i])) {
+            uint64_t highWater =
+                readFenceFile(campaignFencePath(cfg, i));
+            if (parts[i].fence >= highWater)
+                continue;
+            // The last line of the split-brain defense: a zombie
+            // shard's write that landed after campaignDone() last
+            // looked.  Its measurement is from a revoked claim epoch
+            // -- refuse to composite it.
+            warn("campaign: job %zu '%s' result is fence-stale "
+                 "(%llu < %llu); REJECTED at merge", i,
+                 jobs[i].profile.name.c_str(),
+                 static_cast<unsigned long long>(parts[i].fence),
+                 static_cast<unsigned long long>(highWater));
+            parts[i] = ExperimentResult();
+            parts[i].name = jobs[i].profile.name;
+            parts[i].failed = true;
+            parts[i].error = "stale-fenced result rejected at merge";
             continue;
+        }
         JobToken tok;
         readJobTokenFile(campaignQuarantinePath(cfg, i), &tok);
         parts[i].name = jobs[i].profile.name;

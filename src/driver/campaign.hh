@@ -29,6 +29,26 @@
  *    `--resume` restarts the whole fleet from the manifest plus the
  *    per-job .result/.ckpt files and produces the byte-identical
  *    composite of an uninterrupted run (the kill-drill ctest gate).
+ *  - Claims are *epoch-fenced*: every token carries a monotonic fence
+ *    number, bumped (and persisted to a per-job fence file) each time
+ *    the supervisor reclaims a claim from a dead or hung shard.  A
+ *    shard stamps its claim's fence into the `.result` it writes, and
+ *    the merge rejects any result whose fence is below the job's
+ *    high-water mark -- so a hung-then-revived shard that still
+ *    thinks it owns a job can never double-commit it.  This is the
+ *    split-brain guard a shared-filesystem multi-node tier requires.
+ *  - Every campaign-visible file moves through the `io::` durable
+ *    writers (fsync file, rename, fsync directory) and the host-I/O
+ *    fault layer (support/iofault.hh): `--io-faults` /
+ *    UPC780_IO_FAULTS injects deterministic ENOSPC, EIO, short
+ *    read/write, fsync, rename and stale-mtime failures, and
+ *    `--chaos-drill SEED` fuzzes a seed-derived schedule across the
+ *    fleet.  The hardening the drills forced: ENOSPC pauses
+ *    checkpointing (loud degraded mode) instead of killing the shard,
+ *    claim-rename EIO retries with capped backoff then quarantines,
+ *    and liveness uses the heartbeat's beat *counter* (mtime only as
+ *    a fallback) so coarse-mtime filesystems cannot cause false
+ *    SIGKILLs.
  *
  * Every quantity that reaches the composite is a deterministic
  * simulation sum, so a campaign's stats dump is byte-identical to the
@@ -87,6 +107,16 @@ struct CampaignConfig
     std::string statsJsonPath; ///< composite stats registry as JSON
     std::string tracePath;     ///< Chrome trace-event timeline
 
+    /** @{ Host-I/O chaos (support/iofault.hh).  ioFaults is a
+     *  deterministic fault schedule for *this* process (validated at
+     *  parse time: a typo exits before anything launches);
+     *  chaosSeed != 0 keeps the supervisor fault-free but hands every
+     *  spawned shard a schedule derived from seed and spawn id.  The
+     *  two are mutually exclusive on the command line. */
+    std::string ioFaults;
+    uint64_t chaosSeed = 0;
+    /** @} */
+
     /** @{ Shard-worker mode (spawned by the supervisor, not users). */
     bool shardMode = false;
     unsigned shardId = 0;
@@ -131,6 +161,8 @@ struct JobToken
     unsigned attempts = 0; ///< failed attempts consumed so far
     double notBefore = 0.0; ///< wall time before which no shard may
                             ///< run it (capped exponential backoff)
+    uint64_t fence = 0;     ///< claim epoch (monotonic per job; see
+                            ///< the fencing note atop this file)
     std::string lastError;  ///< final line of the last failure
 };
 
@@ -144,6 +176,21 @@ std::string campaignQuarantinePath(const CampaignConfig &cfg,
 std::string campaignHeartbeatPath(const CampaignConfig &cfg,
                                   unsigned shard);
 std::string campaignLogPath(const CampaignConfig &cfg, unsigned shard);
+std::string campaignFencePath(const CampaignConfig &cfg, size_t job);
+/** @} */
+
+/** @{ Fence files: the durable per-job claim-epoch high-water mark.
+ *  readFenceFile returns 0 when the file is missing (every job starts
+ *  at epoch 0); a damaged file warns and reads as 0 -- fencing then
+ *  degrades to the pre-fence behavior instead of wedging the spool.
+ *  bumpJobFence advances a reclaimed token past the high-water mark
+ *  and persists the new mark *before* the caller requeues the token,
+ *  so a zombie holder of the old claim is fenced out even if the
+ *  supervisor dies between the two steps. */
+uint64_t readFenceFile(const std::string &path);
+bool writeFenceFile(const std::string &path, uint64_t fence);
+uint64_t bumpJobFence(const CampaignConfig &cfg, size_t job,
+                      JobToken *tok);
 /** @} */
 
 /** @{ Token I/O.  Writes are atomic (tmp+rename, like every other
@@ -154,20 +201,48 @@ bool readJobTokenFile(const std::string &path, JobToken *out);
 /** @} */
 
 /**
- * The claim primitive: atomically move a token from @p from to @p to.
- * @return True when this caller won the token; false when another
- * shard already took it (or it was retired).  Any other rename
- * failure warns -- the job is simply not claimed.
+ * Outcome of a claim rename.  Lost is the normal race (another shard
+ * took the token, or it was retired); Error is a host-I/O failure
+ * (EIO and friends) that the caller must retry with backoff and
+ * eventually quarantine -- it says nothing about who owns the token.
  */
-bool claimByRename(const std::string &from, const std::string &to);
+enum class ClaimOutcome
+{
+    Won,
+    Lost,
+    Error,
+};
+
+/**
+ * The claim primitive: atomically move a token from @p from to @p to.
+ * A rename that reports failure but demonstrably happened (the token
+ * is at @p to and gone from @p from -- a "rename lie" from a flaky
+ * filesystem) self-heals to Won, since rename(2) within a directory
+ * either moved the file or didn't.
+ */
+ClaimOutcome claimByRename(const std::string &from,
+                           const std::string &to);
 
 /** Backoff delay in seconds before attempt @p attempts+1 may run. */
 double backoffSeconds(const CampaignConfig &cfg, unsigned attempts);
 
-/** @{ Heartbeats: an atomic write of pid/seq/current-job, and the
- *  file's age in wall seconds (negative when missing). */
+/** @{ Heartbeats: an atomic write of pid/seq/current-job.  Liveness
+ *  is judged by the beat *counter* (seq) advancing -- the supervisor
+ *  remembers the last seq it saw per shard and measures how long it
+ *  has been unchanged.  readHeartbeatFile parses the contents (false
+ *  when missing or damaged); heartbeatAgeSeconds is the mtime-based
+ *  age (negative when missing), kept only as the fallback for an
+ *  unreadable heartbeat -- mtime alone is untrustworthy on
+ *  coarse-timestamp or clock-skewed filesystems. */
+struct HeartbeatInfo
+{
+    long pid = -1;
+    uint64_t seq = 0;
+    long job = -1;
+};
 bool heartbeatWrite(const std::string &path, long pid, uint64_t seq,
                     long job);
+bool readHeartbeatFile(const std::string &path, HeartbeatInfo *out);
 double heartbeatAgeSeconds(const std::string &path);
 /** @} */
 

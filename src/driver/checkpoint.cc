@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include "driver/sim_pool.hh"
+#include "support/iofault.hh"
 #include "support/logging.hh"
 #include "support/snapshot.hh"
 
@@ -187,6 +189,7 @@ writeResultFile(const std::string &path, const ExperimentResult &r)
     s.putU32(r.retries);
     s.putU64(r.resumeCycle);
     s.putDouble(r.retryWallSeconds);
+    s.putU64(r.fence);
     s.endSection();
 
     s.beginSection("result.hist");
@@ -248,6 +251,7 @@ readResultFileChecked(const std::string &path, ExperimentResult *out)
     r.retries = d.getU32();
     r.resumeCycle = d.getU64();
     r.retryWallSeconds = d.getDouble();
+    r.fence = d.getU64();
     d.endSection();
 
     d.beginSection("result.hist");
@@ -291,9 +295,20 @@ writeManifest(const CheckpointConfig &ck,
         s.putU64(j.weight);
     }
     s.endSection();
-    if (!s.writeFile(manifestPath(ck)))
-        fatal("cannot write checkpoint manifest to '%s'",
-              ck.dir.c_str());
+    // Nothing about the run is resumable without the manifest, so a
+    // write that stays failed is fatal -- but a *transient* failure at
+    // the very first spool write (an ENOSPC race, a flaky mount) gets
+    // a few tries before it is allowed to kill the whole campaign.
+    std::vector<uint8_t> image = s.finish();
+    for (unsigned attempt = 1; attempt <= 5; ++attempt) {
+        if (io::atomicWrite(manifestPath(ck), image.data(),
+                            image.size()))
+            return;
+        warn("cannot write checkpoint manifest to '%s' (attempt "
+             "%u/5); retrying", ck.dir.c_str(), attempt);
+        ::usleep(50'000u * attempt);
+    }
+    fatal("cannot write checkpoint manifest to '%s'", ck.dir.c_str());
 }
 
 void

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "support/interrupt.hh"
+#include "support/iofault.hh"
 #include "support/logging.hh"
 #include "support/sim_error.hh"
 #include "support/snapshot.hh"
@@ -462,15 +463,12 @@ bool
 writeChromeTrace(const std::string &path,
                  const std::vector<ExperimentResult> &results)
 {
-    // Atomic tmp+rename: a campaign supervisor may die at any
-    // instant, and a half-written trace must never shadow a good one.
-    std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f) {
-        warn("cannot write Chrome trace '%s'", tmp.c_str());
-        return false;
-    }
-    std::fprintf(f, "{\"traceEvents\":[\n");
+    // Durable atomic write through the host-I/O fault layer: a
+    // campaign supervisor may die at any instant, and a half-written
+    // trace must never shadow a good one.  The JSON is rendered to
+    // memory first so the file write is one all-or-nothing operation.
+    std::string out = "{\"traceEvents\":[\n";
+    char line[512];
     for (size_t i = 0; i < results.size(); ++i) {
         const ExperimentResult &r = results[i];
         // Recovery-cost args only when nonzero, so a clean run's
@@ -491,22 +489,21 @@ writeChromeTrace(const std::string &path,
         }
         if (r.interrupted)
             extra += ",\"interrupted\":true";
-        std::fprintf(f,
-                     "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.0f,"
-                     "\"dur\":%.0f,\"pid\":1,\"tid\":%u,"
-                     "\"args\":{\"simCycles\":%llu%s}}%s\n",
-                     r.name.c_str(), r.startSeconds * 1e6,
-                     r.wallSeconds * 1e6, r.worker + 1,
-                     static_cast<unsigned long long>(
-                         r.hw.counters.cycles),
-                     extra.c_str(),
-                     i + 1 < results.size() ? "," : "");
+        std::snprintf(line, sizeof(line),
+                      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.0f,"
+                      "\"dur\":%.0f,\"pid\":1,\"tid\":%u,"
+                      "\"args\":{\"simCycles\":%llu%s}}%s\n",
+                      r.name.c_str(), r.startSeconds * 1e6,
+                      r.wallSeconds * 1e6, r.worker + 1,
+                      static_cast<unsigned long long>(
+                          r.hw.counters.cycles),
+                      extra.c_str(),
+                      i + 1 < results.size() ? "," : "");
+        out += line;
     }
-    std::fprintf(f, "]}\n");
-    if (std::fclose(f) != 0 ||
-        std::rename(tmp.c_str(), path.c_str()) != 0) {
+    out += "]}\n";
+    if (!io::atomicWriteText(path, out)) {
         warn("cannot finish Chrome trace '%s'", path.c_str());
-        std::remove(tmp.c_str());
         return false;
     }
     return true;

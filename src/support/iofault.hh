@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Deterministic host-I/O fault injection and durable file wrappers.
+ *
+ * PR 3's FaultInjector refutes the *simulated* machine's assumptions;
+ * this module does the same for the host filesystem the campaign
+ * layer trusts with its spool tokens, heartbeats, checkpoints,
+ * `.result` files and stats dumps.  Every campaign-visible file
+ * operation routes through the `io::` wrappers below, and a
+ * schedule-driven injector can make any of those operations fail the
+ * way real disks and shared filesystems fail: ENOSPC mid-write, EIO
+ * on read, silent short writes and reads, failed fsync, failed or
+ * *lying* rename (performed but reported failed, the NFS ambiguity),
+ * torn tmp files, and stale stat mtimes.
+ *
+ * Schedule contract: a fault spec is a comma-separated list of
+ * `kind@N[~substr]` entries -- the Nth wrapper operation whose class
+ * matches the kind and whose path contains `substr` (all operations
+ * when omitted) delivers the fault, once.  `rand=SEED` expands to a
+ * small seed-derived schedule for chaos drills.  Unknown or malformed
+ * fields are fatal: a mistyped chaos campaign must not silently run
+ * fault-free.  Counting is per process and deterministic for a
+ * deterministic operation stream.
+ *
+ * When no injector is installed the wrappers take no locks and make
+ * no draws -- the golden path costs one pointer test per operation.
+ *
+ * Durability contract of the wrappers themselves (always on, faults
+ * or not): `atomicWrite` writes a pid-unique tmp file, loops over
+ * short writes, fsyncs the file, renames it into place and fsyncs
+ * the parent directory, so a crash at any instant leaves either the
+ * old bytes or the new bytes under the real name -- durably.
+ */
+
+#ifndef UPC780_SUPPORT_IOFAULT_HH
+#define UPC780_SUPPORT_IOFAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vax::io
+{
+
+/** One injectable host-I/O failure mode. */
+enum class FaultKind : uint8_t {
+    None = 0,
+    Enospc,     ///< write(2) fails mid-file with ENOSPC
+    Eio,        ///< read(2) fails with EIO
+    ShortWrite, ///< one write(2) silently accepts fewer bytes
+    ShortRead,  ///< the read loop is cut off before the file's end
+    FsyncFail,  ///< fsync(2) reports EIO (durability unknown)
+    RenameFail, ///< rename(2) fails with EIO, nothing moved
+    RenameLie,  ///< rename(2) happens but is *reported* failed
+    TornTmp,    ///< write dies mid-file; partial tmp bytes remain
+    StaleMtime, ///< stat-derived file age reads absurdly old
+};
+
+/** Printable spec-grammar name ("enospc", "eio", ...). */
+const char *faultKindName(FaultKind k);
+
+/** Operation classes the wrappers report to the injector. */
+enum class OpClass : uint8_t { Write, Read, Fsync, Rename, Stat };
+
+/** The operation class a fault kind attaches to. */
+OpClass faultOpClass(FaultKind k);
+
+/** One scheduled fault: deliver @ref kind at the Nth matching op. */
+struct FaultRule
+{
+    FaultKind kind = FaultKind::None;
+    uint64_t nth = 1;  ///< 1-based index into the matching op stream
+    std::string match; ///< path substring filter ("" matches all)
+};
+
+/**
+ * A parsed fault schedule.  Specs come from `--io-faults` or the
+ * UPC780_IO_FAULTS environment variable; parse() is fatal on typos,
+ * exactly like FaultConfig::parse.
+ */
+struct FaultPlan
+{
+    std::vector<FaultRule> rules;
+
+    bool enabled() const { return !rules.empty(); }
+
+    /**
+     * Parse "kind@N[~substr],..." (kinds: enospc, eio, shortwrite,
+     * shortread, fsync, rename, renamelie, torn, stale), or
+     * "rand=SEED" which expands to randomized(SEED).  Fatal on any
+     * unknown or malformed field.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** The UPC780_IO_FAULTS environment variable, else empty plan. */
+    static FaultPlan fromEnv();
+
+    /** Canonical spec text (parse(format()) round-trips). */
+    std::string format() const;
+
+    /**
+     * Seed-derived schedule for chaos drills: 1..3 rules with kinds,
+     * indices and path filters drawn from a deterministic stream, so
+     * `--chaos-drill SEED` reproduces the identical fault campaign.
+     */
+    static FaultPlan randomized(uint64_t seed);
+};
+
+/** Delivery counters (per kind) plus total operations observed. */
+struct FaultStats
+{
+    uint64_t opsSeen = 0;      ///< wrapper ops consulted
+    uint64_t delivered = 0;    ///< faults injected, all kinds
+    uint64_t perKind[10] = {}; ///< indexed by FaultKind
+};
+
+/**
+ * The injector: counts wrapper operations against the plan's rules
+ * and says which fault (if any) the current operation must suffer.
+ * Thread-safe -- SimPool workers write checkpoints concurrently.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan);
+
+    /** Consult at an op site; FaultKind::None means run clean.  Each
+     *  rule fires exactly once. */
+    FaultKind check(OpClass op, const std::string &path);
+
+    FaultStats stats() const;
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    struct RuleState
+    {
+        FaultRule rule;
+        uint64_t seen = 0;
+        bool fired = false;
+    };
+
+    mutable std::mutex mu_;
+    FaultPlan plan_;
+    std::vector<RuleState> states_;
+    FaultStats stats_;
+};
+
+/** @{ Global injector (process-wide; nullptr = fault-free).  The
+ *  campaign tool installs one from --io-faults/UPC780_IO_FAULTS;
+ *  tests use ScopedInjector. */
+void installFaultInjector(FaultInjector *inj);
+FaultInjector *faultInjector();
+/** @} */
+
+/** RAII install/uninstall for tests. */
+struct ScopedInjector
+{
+    explicit ScopedInjector(FaultInjector *inj)
+    {
+        installFaultInjector(inj);
+    }
+    ~ScopedInjector() { installFaultInjector(nullptr); }
+    ScopedInjector(const ScopedInjector &) = delete;
+    ScopedInjector &operator=(const ScopedInjector &) = delete;
+};
+
+/**
+ * Outcome of a wrapper operation.  err is 0 on success, else the
+ * errno of the failing stage; stage names the step that failed
+ * ("open", "write", "fsync", "close", "rename", "dirsync", "read",
+ * "short").  Converts to bool so existing `if (!writeFile(...))`
+ * call sites keep working.
+ */
+struct Status
+{
+    int err = 0;
+    const char *stage = "";
+
+    bool ok() const { return err == 0; }
+    operator bool() const { return err == 0; }
+};
+
+/** The last wrapper Status observed by this thread (so a bool-only
+ *  caller can still distinguish ENOSPC from everything else, the way
+ *  the campaign's degraded checkpoint mode must). */
+Status lastStatus();
+
+/**
+ * Thin RAII fd wrapper routing reads/writes/fsync through the
+ * injector.  Building block of atomicWrite/readFile; exposed for
+ * tests and future streaming writers.
+ */
+class File
+{
+  public:
+    File() = default;
+    ~File() { closeQuiet(); }
+    File(const File &) = delete;
+    File &operator=(const File &) = delete;
+
+    /** @{ Open for writing (O_TRUNC|O_CREAT) or reading. */
+    Status openWrite(const std::string &path);
+    Status openRead(const std::string &path);
+    /** @} */
+
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    /** Write all @p len bytes, looping over short writes (a genuine
+     *  short write from the kernel is retried, not trusted). */
+    Status writeAll(const void *data, size_t len);
+    /** Read up to @p len bytes; sets @p got to the bytes read. */
+    Status readSome(void *out, size_t len, size_t *got);
+    /** File size via fstat. */
+    Status size(uint64_t *out) const;
+    Status sync();
+    Status close();
+    /** Close ignoring errors (destructor path). */
+    void closeQuiet();
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+/** @{ Durable atomic whole-file writes: pid-unique tmp, short-write
+ *  loop, fsync file, rename into place, fsync parent directory.
+ *  Failures warn and clean up the tmp file (best effort); the real
+ *  name always holds either the old or the new bytes. */
+Status atomicWrite(const std::string &path, const void *data,
+                   size_t len);
+Status atomicWriteText(const std::string &path,
+                       const std::string &text);
+/** @} */
+
+/** @{ Whole-file reads, validated against the file's stat size: a
+ *  short read (torn file, lying kernel) is a failure, never a
+ *  silently truncated buffer.  maxLen guards token-sized files
+ *  against absurd allocations (0 = no cap). */
+Status readFile(const std::string &path, std::vector<uint8_t> *out,
+                uint64_t maxLen = 0);
+Status readFileText(const std::string &path, std::string *out,
+                    uint64_t maxLen = 0);
+/** @} */
+
+/** rename(2) through the injector (the claim primitive's engine). */
+Status renameFile(const std::string &from, const std::string &to);
+
+/** Age of @p path in wall seconds via stat mtime (negative when
+ *  missing); the StaleMtime fault makes it read absurdly old. */
+double fileAgeSeconds(const std::string &path);
+
+/** fsync the directory containing @p path (durability of a rename). */
+Status syncParentDir(const std::string &path);
+
+} // namespace vax::io
+
+#endif // UPC780_SUPPORT_IOFAULT_HH

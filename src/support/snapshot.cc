@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "support/iofault.hh"
 #include "support/logging.hh"
 
 namespace vax::snap
@@ -243,27 +244,14 @@ Serializer::finish()
 bool
 Serializer::writeFile(const std::string &path)
 {
+    // Durable atomic write (fsync file, rename, fsync dir) through
+    // the host-I/O fault layer: a snapshot that "succeeded" must
+    // survive power loss, and the chaos drills must be able to make
+    // any stage of it fail.  On failure io::lastStatus() tells the
+    // caller *how* (the campaign's ENOSPC degraded mode needs that).
     std::vector<uint8_t> image = finish();
-    std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f) {
-        warn("snapshot: cannot create '%s'", tmp.c_str());
-        return false;
-    }
-    size_t wrote = std::fwrite(image.data(), 1, image.size(), f);
-    bool ok = wrote == image.size() && std::fflush(f) == 0;
-    ok = (std::fclose(f) == 0) && ok;
-    if (!ok) {
-        warn("snapshot: short write to '%s'", tmp.c_str());
-        std::remove(tmp.c_str());
-        return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        warn("snapshot: cannot rename '%s' into place", tmp.c_str());
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    return static_cast<bool>(
+        io::atomicWrite(path, image.data(), image.size()));
 }
 
 // ====================== Deserializer ======================
@@ -287,19 +275,15 @@ Deserializer::Deserializer(std::vector<uint8_t> data)
 Deserializer
 Deserializer::fromFile(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        SNAP_FAIL("cannot open '%s'", path.c_str());
-    std::fseek(f, 0, SEEK_END);
-    long sz = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    std::vector<uint8_t> bytes(sz > 0 ? static_cast<size_t>(sz) : 0);
-    size_t got = bytes.empty()
-        ? 0
-        : std::fread(bytes.data(), 1, bytes.size(), f);
-    std::fclose(f);
-    if (got != bytes.size())
-        SNAP_FAIL("short read from '%s'", path.c_str());
+    // Size-validated whole-file read through the fault layer: an EIO
+    // or short read surfaces as a SnapshotError, which every caller
+    // already treats as "this file is damaged" (fail-soft for
+    // .result ingestion, restart-from-seed for checkpoints).
+    std::vector<uint8_t> bytes;
+    io::Status st = io::readFile(path, &bytes);
+    if (!st)
+        SNAP_FAIL("cannot read '%s' (%s: %s)", path.c_str(), st.stage,
+                  std::strerror(st.err));
     return Deserializer(std::move(bytes));
 }
 

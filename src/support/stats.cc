@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "support/iofault.hh"
 #include "support/logging.hh"
 
 namespace vax::stats
@@ -216,28 +217,11 @@ bool
 Registry::writeFile(const std::string &path,
                     const std::string &content)
 {
-    // Atomic tmp+rename, like the snapshot layer: a stats dump is a
-    // campaign-visible file, and a reader (or a byte-identity test)
-    // must never observe a half-written one.
-    std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "w");
-    if (!f) {
-        warn("stats: cannot open '%s' for writing", tmp.c_str());
-        return false;
-    }
-    size_t n = std::fwrite(content.data(), 1, content.size(), f);
-    bool ok = n == content.size() && std::fclose(f) == 0;
-    if (!ok) {
-        warn("stats: short write to '%s'", tmp.c_str());
-        std::remove(tmp.c_str());
-        return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        warn("stats: cannot rename '%s' into place", tmp.c_str());
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    // Durable atomic write through the host-I/O fault layer: a stats
+    // dump is a campaign-visible file, and a reader (or a
+    // byte-identity test) must never observe a half-written one --
+    // even across power loss, which plain tmp+rename does not cover.
+    return static_cast<bool>(io::atomicWriteText(path, content));
 }
 
 bool

@@ -79,6 +79,11 @@ struct ExperimentResult
     double retryWallSeconds = 0.0;
     bool interrupted = false;
     /** @} */
+    /** Claim epoch the producing shard held when it wrote this result
+     *  (campaign fencing; 0 outside a campaign).  The campaign merge
+     *  rejects a result whose fence is below the job's durable
+     *  high-water mark -- see driver/campaign.hh. */
+    uint64_t fence = 0;
 };
 
 /**

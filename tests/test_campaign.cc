@@ -260,8 +260,10 @@ TEST(CampaignSpool, ClaimByRenameIsExclusive)
 
     // First claimant wins; the loser's rename sees ENOENT and is a
     // clean "already taken", not an error.
-    EXPECT_TRUE(claimByRename(todo, dir + "/job000.shard0"));
-    EXPECT_FALSE(claimByRename(todo, dir + "/job000.shard1"));
+    EXPECT_EQ(claimByRename(todo, dir + "/job000.shard0"),
+              ClaimOutcome::Won);
+    EXPECT_EQ(claimByRename(todo, dir + "/job000.shard1"),
+              ClaimOutcome::Lost);
     EXPECT_TRUE(fileExists(dir + "/job000.shard0"));
     EXPECT_FALSE(fileExists(dir + "/job000.shard1"));
 }

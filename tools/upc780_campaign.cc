@@ -8,15 +8,26 @@
  * (spool setup, shard fleet, liveness sweep, hierarchical merge);
  * invoked with --shard --shard-id N (by the supervisor, via
  * fork/exec of /proc/self/exe) it is one work-stealing shard.
+ *
+ * --io-faults / UPC780_IO_FAULTS arms the host-I/O fault injector
+ * (DESIGN.md §14) for this process before anything touches the
+ * spool; --chaos-drill SEED instead derives a per-shard schedule and
+ * keeps the supervisor clean.
  */
 
 #include "driver/campaign.hh"
+#include "support/iofault.hh"
 
 int
 main(int argc, char **argv)
 {
     vax::CampaignConfig cfg =
         vax::CampaignConfig::parseFlags(&argc, argv);
+    if (!cfg.ioFaults.empty()) {
+        static vax::io::FaultInjector injector(
+            vax::io::FaultPlan::parse(cfg.ioFaults));
+        vax::io::installFaultInjector(&injector);
+    }
     return cfg.shardMode ? vax::runCampaignShard(cfg)
                          : vax::runCampaignSupervisor(cfg);
 }
