@@ -1,0 +1,216 @@
+/**
+ * @file
+ * ubound: static cycle-bound analysis of the micro-CFG.
+ *
+ * ulint (see ulint.hh) proves the declared micro-CFG is structurally
+ * sound; ucharacterize measures what the microcode actually costs.
+ * Nothing connected the two: a mis-annotated microword or an
+ * accidentally lengthened flow was only caught if a dynamic benchmark
+ * happened to execute it.  This pass closes the loop the way Emer &
+ * Clark could by reading DEC's listings: for every dispatch root it
+ * derives a best-case cycle count (bcc: the shortest declared path,
+ * stall-free) and a worst-case cycle count (wcc: the longest declared
+ * path with every stall ceiling applied and every micro-loop expanded
+ * to its annotated bound), and the consistency gate then requires
+ * every dynamically measured per-opcode cycle count to satisfy
+ * bcc <= measured <= wcc.
+ *
+ * Path model:
+ *  - every executed microword costs one cycle (the 11/780 microcycle);
+ *  - a word annotated UMemKind::Read/Write may add up to
+ *    readStallCeil/writeStallCeil stalled cycles (cache miss, write
+ *    buffer drain, longword-crossing double access);
+ *  - a word with an IB request may burn up to ibStallCeil cycles
+ *    re-executing while the instruction buffer refills;
+ *  - a memory-referencing word may take an alignment microtrap: one
+ *    abort cycle, the alignment service flow, and the resumed cycle
+ *    (TB-miss services are excluded under assumeUnmapped, matching
+ *    the characterization harness which runs with mapping off);
+ *  - a micro-loop (cyclic SCC of the declared successor graph) must
+ *    carry a UFlow::loopBound annotation on at least one member word;
+ *    its wcc contribution is bound x (sum of member worst costs).
+ *    An unannotated reachable cycle is an UnboundedLoop diagnostic,
+ *    extending ulint's micro-loop check with a progress proof.
+ *
+ * Every quantity is a deterministic integer: reports are byte-stable
+ * across runs and job counts.
+ */
+
+#ifndef UPC780_ANALYSIS_UBOUND_HH
+#define UPC780_ANALYSIS_UBOUND_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/opcodes.hh"
+#include "arch/specifiers.hh"
+#include "ucode/control_store.hh"
+
+namespace vax
+{
+
+namespace stats { class Registry; }
+
+/** Stall-ceiling assumptions of the worst-case model (cycles). */
+struct UBoundParams
+{
+    /**
+     * Per-read stall ceiling: two cache misses (an unaligned access
+     * crossing a longword costs two) plus one SBI retry margin at the
+     * default readMissPenalty of 6.
+     */
+    uint32_t readStallCeil = 18;
+    /** Per-write ceiling: full write-buffer drain, twice, plus margin
+     *  (default writeDrainCycles 6). */
+    uint32_t writeStallCeil = 18;
+    /** Per-IB-request ceiling: up to five buffer refills at the
+     *  default ibFillPenalty of 6 (a redirect empties the IB and a
+     *  long instruction can need several fills). */
+    uint32_t ibStallCeil = 30;
+    /** Include the alignment-microtrap ceiling on memory words. */
+    bool alignTraps = true;
+    /** Harness runs with mapping off: no TB-miss service ceilings. */
+    bool assumeUnmapped = true;
+};
+
+/** Diagnostic classes of the bound analyzer. */
+enum class UBoundCheck : uint8_t {
+    UnboundedLoop, ///< reachable cycle with no loopBound annotation
+    NoExit,        ///< no flow-terminating word reachable from a root
+    CallCycle,     ///< recursive micro-subroutine call chain
+    Baseline,      ///< measured row outside [bcc, wcc]
+    NumChecks,
+};
+
+const char *uboundCheckName(UBoundCheck c);
+
+struct UBoundDiag
+{
+    UBoundCheck check;
+    UAddr addr = kInvalidUAddr; ///< anchor word (or kInvalidUAddr)
+    std::string where;          ///< flow/root or baseline row name
+    std::string message;
+};
+
+/** Static cycle bounds of one dispatch root. */
+struct UFlowBound
+{
+    std::string name;  ///< deterministic root name ("exec:MOVx", ...)
+    UAddr entry = kInvalidUAddr;
+    uint64_t lo = 0;   ///< bcc: stall-free shortest declared path
+    uint64_t hi = 0;   ///< wcc: ceiling path (0 when unbounded)
+    uint32_t words = 0;    ///< words reachable inside the flow
+    uint32_t loopSccs = 0; ///< cyclic SCCs among them
+    bool bounded = true;   ///< exit reachable, every loop annotated
+};
+
+/** Static Table 8 attribution of one activity row. */
+struct URowCost
+{
+    uint32_t words = 0;      ///< reachable control-store words
+    uint32_t readWords = 0;  ///< of them, UMemKind::Read
+    uint32_t writeWords = 0; ///< of them, UMemKind::Write
+    uint32_t ibWords = 0;    ///< of them, IB-requesting
+    uint64_t hiStall = 0;    ///< summed per-word stall ceilings
+};
+
+struct UBoundReport
+{
+    UBoundParams params;
+    std::vector<UFlowBound> flows; ///< deterministic root order
+    std::array<URowCost, static_cast<size_t>(Row::NumRows)> rows{};
+    std::vector<UBoundDiag> diags;
+
+    bool clean() const { return diags.empty(); }
+    size_t countFor(UBoundCheck c) const;
+
+    std::string text() const;
+    std::string csv() const;
+    std::string json() const;
+};
+
+/**
+ * The analysis object: runs at construction, keeps per-entry ranges
+ * so instruction-level bounds can be composed from the corpus's
+ * specifier profiles.
+ */
+class UBoundAnalysis
+{
+  public:
+    explicit UBoundAnalysis(const ControlStore &cs,
+                            const UBoundParams &p = UBoundParams());
+
+    const UBoundReport &report() const { return report_; }
+
+    /** A [lo, hi] cycle range; valid=false when the flow is missing
+     *  or unbounded. */
+    struct Range
+    {
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+        bool valid = false;
+    };
+
+    /** Bounds of the flow rooted at a dispatch entry address. */
+    Range flowRange(UAddr entry) const;
+
+    /** One operand specifier as the corpus profile records it. */
+    struct SpecUse
+    {
+        AddrMode mode = AddrMode::Register;
+        bool indexed = false;
+    };
+
+    /**
+     * Cycle bounds of one dynamic instruction: the IID cycle, each
+     * operand specifier flow (index prefix + SPEC2-6 base copy for
+     * indexed operands), the execute flow, and per-request IB slack
+     * in the ceiling.  specs must have opcodeInfo(opcode)
+     * .numSpecifiers entries.  Returns valid=false for unimplemented
+     * opcodes or unbounded component flows.
+     */
+    Range instrRange(uint8_t opcode,
+                     const std::vector<SpecUse> &specs) const;
+
+  private:
+    struct FlowSolve; // internal per-root solver state
+
+    Range computeFlow(UAddr entry, const std::string &rootName,
+                      bool allowTrapCeil, std::vector<UAddr> &callStack,
+                      UFlowBound *fb);
+    Range cachedFlow(UAddr entry, const std::string &rootName,
+                     bool allowTrapCeil, std::vector<UAddr> &callStack);
+    uint64_t wordLoCost(UAddr a) const;
+    uint64_t wordHiCost(UAddr a, bool allowTrapCeil) const;
+
+    const ControlStore &cs_;
+    UBoundParams params_;
+    UBoundReport report_;
+    std::map<UAddr, Range> ranges_;   ///< memoized per-entry ranges
+    Range alignReadSvc_, alignWriteSvc_, tbMissSvc_;
+    std::vector<bool> globalReach_;   ///< union across all roots
+};
+
+/** Convenience: analyze and return the report. */
+UBoundReport uboundAnalyze(const ControlStore &cs,
+                           const UBoundParams &p = UBoundParams());
+
+/**
+ * Baseline consistency helper: record `measured` against [lo, hi],
+ * appending a named Baseline diagnostic to *diags on breach.
+ * @return True when the measurement is inside the bounds.
+ */
+bool uboundCheckMeasured(const std::string &rowName, uint64_t measured,
+                         uint64_t lo, uint64_t hi,
+                         std::vector<UBoundDiag> *diags);
+
+/** Deterministic scalars under `<prefix>.*` (counts and totals). */
+void regUBoundStats(const UBoundReport &rep, stats::Registry &r,
+                    const std::string &prefix = "ubound");
+
+} // namespace vax
+
+#endif // UPC780_ANALYSIS_UBOUND_HH

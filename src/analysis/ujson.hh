@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Tiny shared JSON-writing helpers for the static-analysis reports.
+ *
+ * Both `ucode_lint --json` and `ucode_bounds --json` emit reports
+ * that CI diffs mechanically, so the escaping must be exact: every
+ * control character as a well-formed \u00XX sequence (the char must
+ * be widened *unsigned*; a raw char promotes negative on most ABIs
+ * and snprintf would print ￿ff9b), plus the usual quote and
+ * backslash escapes.
+ */
+
+#ifndef UPC780_ANALYSIS_UJSON_HH
+#define UPC780_ANALYSIS_UJSON_HH
+
+#include <string>
+
+namespace vax
+{
+namespace ujson
+{
+
+/** Escape a string for inclusion inside JSON double quotes. */
+std::string escape(const std::string &s);
+
+/** printf-append to a std::string. */
+void appendf(std::string *out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace ujson
+} // namespace vax
+
+#endif // UPC780_ANALYSIS_UJSON_HH

@@ -1,5 +1,7 @@
 #include "analysis/ulint.hh"
 
+#include "analysis/ujson.hh"
+
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -207,30 +209,6 @@ tarjanScc(const std::vector<std::vector<UAddr>> &succ)
     return r;
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char ch : s) {
-        switch (ch) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(ch) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-                out += buf;
-            } else {
-                out += ch;
-            }
-        }
-    }
-    return out;
-}
-
 } // anonymous namespace
 
 size_t
@@ -299,8 +277,8 @@ LintReport::json() const
         out += d.addr == kInvalidUAddr
             ? std::string("null")
             : std::to_string(static_cast<unsigned>(d.addr));
-        out += ", \"word\": \"" + jsonEscape(d.word) +
-            "\", \"message\": \"" + jsonEscape(d.message) + "\"}";
+        out += ", \"word\": \"" + ujson::escape(d.word) +
+            "\", \"message\": \"" + ujson::escape(d.message) + "\"}";
     }
     out += diags.empty() ? "]\n" : "\n  ]\n";
     out += "}\n";

@@ -187,6 +187,40 @@ Operand::idx(uint8_t rx) const
     return o;
 }
 
+AddrMode
+Operand::specMode() const
+{
+    switch (kind_) {
+      case Kind::Literal:        return AddrMode::ShortLiteral;
+      case Kind::Register:       return AddrMode::Register;
+      case Kind::RegDeferred:    return AddrMode::RegDeferred;
+      case Kind::AutoInc:        return AddrMode::AutoInc;
+      case Kind::AutoDec:        return AddrMode::AutoDec;
+      case Kind::AutoIncDef:     return AddrMode::AutoIncDef;
+      case Kind::Immediate:
+      case Kind::ImmediateLabel: return AddrMode::Immediate;
+      case Kind::Absolute:
+      case Kind::AbsoluteLabel:  return AddrMode::Absolute;
+      case Kind::Disp:
+      case Kind::DispDef: {
+        bool deferred = kind_ == Kind::DispDef;
+        unsigned forced = dispBytes_;
+        if (forced == 1 || (!forced && value_ >= -128 && value_ <= 127))
+            return deferred ? AddrMode::ByteDispDef
+                            : AddrMode::ByteDisp;
+        if (forced == 2 ||
+            (!forced && value_ >= -32768 && value_ <= 32767))
+            return deferred ? AddrMode::WordDispDef
+                            : AddrMode::WordDisp;
+        return deferred ? AddrMode::LongDispDef : AddrMode::LongDisp;
+      }
+      case Kind::RelLabel:       return AddrMode::WordDisp;
+      case Kind::RelDefLabel:    return AddrMode::WordDispDef;
+      case Kind::BranchLabel:    break;
+    }
+    fatal("assembler: branch operand has no addressing mode");
+}
+
 Assembler::Assembler(VirtAddr base)
     : base_(base)
 {
@@ -383,6 +417,8 @@ Assembler::instr(uint8_t opcode, const std::vector<Operand> &ops)
     if (ops.size() != info.numOperands)
         fatal("assembler: %s expects %u operands, got %zu",
               info.mnemonic, info.numOperands, ops.size());
+    if (instrHook_)
+        instrHook_(info, ops);
     image_.push_back(opcode);
     for (unsigned i = 0; i < info.numOperands; ++i)
         emitOperand(ops[i], info.operands[i]);

@@ -12,6 +12,7 @@
 #define UPC780_ARCH_ASSEMBLER_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -75,6 +76,24 @@ class Operand
 
     /** Return a copy of this operand with an index register prefix. */
     Operand idx(uint8_t rx) const;
+
+    /** @{
+     * Static introspection for instruction-profile consumers: the
+     * characterization corpus records every emitted instruction's
+     * specifier shape so the static bound analyzer (ubound) can
+     * compose per-opcode cycle bounds without re-decoding the image.
+     */
+    /** True for branch-displacement operands (not specifiers). */
+    bool isBranch() const { return kind_ == Kind::BranchLabel; }
+    /** True when an index-prefix byte precedes the specifier. */
+    bool isIndexed() const { return indexed_; }
+    /**
+     * Addressing mode this operand encodes to, mirroring the
+     * emission rules exactly (auto-sized displacements included).
+     * Fatal for branch operands, which have no specifier byte.
+     */
+    AddrMode specMode() const;
+    /** @} */
 
   private:
     friend class Assembler;
@@ -153,6 +172,17 @@ class Assembler
     /** True if the label has been defined. */
     bool hasLabel(const std::string &label) const;
 
+    /**
+     * Observer called once per assembled instruction (after the
+     * opcode/operand validation, before emission) with the opcode's
+     * metadata and the operand list.  The characterization corpus
+     * uses it to build an exact static instruction profile of the
+     * image it emits.
+     */
+    using InstrHook = std::function<void(const OpcodeInfo &,
+                                         const std::vector<Operand> &)>;
+    void setInstrHook(InstrHook hook) { instrHook_ = std::move(hook); }
+
   private:
     enum class FixKind : uint8_t {
         BranchByte,   ///< 1-byte branch displacement
@@ -175,6 +205,7 @@ class Assembler
     void putBytes(uint64_t v, unsigned n);
 
     VirtAddr base_;
+    InstrHook instrHook_;
     std::vector<uint8_t> image_;
     std::map<std::string, VirtAddr> labels_;
     std::vector<Fixup> fixups_;

@@ -102,6 +102,16 @@ struct UFlow
     std::vector<ULabel> targets;   ///< uJump()/uIf() label targets
     std::vector<ULabel> calls;     ///< uCall() subroutine entries
     std::vector<UAddr> rawTargets; ///< uJumpAddr() absolute targets
+    /**
+     * Loop-bound annotation: when this word sits on a micro-loop (it
+     * is a member of a cyclic SCC of the declared micro-CFG), the
+     * maximum number of times any word of that loop can execute per
+     * entry into the flow.  0 means "not annotated"; the static bound
+     * analyzer (src/analysis/ubound) requires every reachable cycle
+     * to carry a non-zero bound on at least one member word and uses
+     * it for the worst-case cycle ceiling.
+     */
+    uint32_t loopBound = 0;
 
     UFlow &orFall()          { fall = true; return *this; }
     UFlow &orEnd()           { end = true; return *this; }
@@ -118,6 +128,13 @@ struct UFlow
     orToAddr(UAddr a)
     {
         rawTargets.push_back(a);
+        return *this;
+    }
+    /** Attach a loop-bound annotation (see loopBound). */
+    UFlow &
+    withLoopBound(uint32_t n)
+    {
+        loopBound = n;
         return *this;
     }
 

@@ -82,7 +82,8 @@ buildCall(RomCtx &c)
         e.lat.t[6] = e.md();     // keep the raw mask word
     });
     c.bind(scan);
-    c.emit(R, "CALL.scan", flowTo({pushr, pushpc}), [pushr, pushpc](Ebox &e) {
+    c.emit(R, "CALL.scan", flowTo({pushr, pushpc}).withLoopBound(13),
+           [pushr, pushpc](Ebox &e) {
         int bit = highestBit(e.lat.t[3], 11);
         if (bit < 0) {
             e.uJump(pushpc);
@@ -169,7 +170,8 @@ buildRet(RomCtx &c)
         e.uJump(popscan);
     });
     c.bind(popscan);
-    c.emit(R, "RET.scan", flowTo({popr, popdone}), [popr, popdone](Ebox &e) {
+    c.emit(R, "RET.scan", flowTo({popr, popdone}).withLoopBound(13),
+           [popr, popdone](Ebox &e) {
         int bit = lowestBit(e.lat.t[0]);
         if (bit < 0) {
             e.uJump(popdone);
@@ -216,7 +218,8 @@ buildPushPopR(RomCtx &c)
             e.uJump(scan);
         });
         c.bind(scan);
-        c.emit(R, "PUSHR.scan", flowTo({push, done}), [push, done](Ebox &e) {
+        c.emit(R, "PUSHR.scan", flowTo({push, done}).withLoopBound(16),
+               [push, done](Ebox &e) {
             int bit = highestBit(e.lat.t[0], 14);
             if (bit < 0) {
                 e.uJump(done);
@@ -244,7 +247,8 @@ buildPushPopR(RomCtx &c)
             e.uJump(scan);
         });
         c.bind(scan);
-        c.emit(R, "POPR.scan", flowTo({pop, done}), [pop, done](Ebox &e) {
+        c.emit(R, "POPR.scan", flowTo({pop, done}).withLoopBound(16),
+               [pop, done](Ebox &e) {
             int bit = lowestBit(e.lat.t[0]);
             if (bit < 0) {
                 e.uJump(done);

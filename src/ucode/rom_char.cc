@@ -57,7 +57,8 @@ buildMovc(RomCtx &c)
         c.emitWrite(R, "MOVC3.write", flowFall(), [](Ebox &e) {
             e.memWrite(e.r(R3), e.lat.t[1], e.lat.sc);
         });
-        c.emit(R, "MOVC3.next", flowTo({loop, done}), [loop, done](Ebox &e) {
+        c.emit(R, "MOVC3.next", flowTo({loop, done}).withLoopBound(65535),
+               [loop, done](Ebox &e) {
             e.r(R3) += e.lat.sc;
             e.r(R0) -= e.lat.sc;
             e.uJump(e.r(R0) ? loop : done);
@@ -107,7 +108,8 @@ buildMovc(RomCtx &c)
         c.emitWrite(R, "MOVC5.write", flowFall(), [](Ebox &e) {
             e.memWrite(e.r(R3), e.lat.t[1], e.lat.sc);
         });
-        c.emit(R, "MOVC5.next", flowTo({loop, fill, done}),
+        c.emit(R, "MOVC5.next",
+               flowTo({loop, fill, done}).withLoopBound(65535),
                [loop, fill, done](Ebox &e) {
             e.r(R3) += e.lat.sc;
             e.lat.t[0] -= e.lat.sc;
@@ -130,7 +132,8 @@ buildMovc(RomCtx &c)
         c.emitWrite(R, "MOVC5.fwrite", flowFall(), [](Ebox &e) {
             e.memWrite(e.r(R3), e.lat.t[1], e.lat.sc);
         });
-        c.emit(R, "MOVC5.fnext", flowTo({fill, done}), [fill, done](Ebox &e) {
+        c.emit(R, "MOVC5.fnext", flowTo({fill, done}).withLoopBound(65535),
+               [fill, done](Ebox &e) {
             e.r(R3) += e.lat.sc;
             e.lat.t[2] -= e.lat.sc;
             e.uJump(e.lat.t[2] ? fill : done);
@@ -187,7 +190,7 @@ buildCmpc(RomCtx &c)
         else
             e.setMd(e.lat.t[3]);
     });
-    c.emit(R, "CMPC.cmp", flowTo({loop, done, neq}),
+    c.emit(R, "CMPC.cmp", flowTo({loop, done, neq}).withLoopBound(65535),
            [loop, done, neq](Ebox &e) {
         uint32_t b2 = e.md() & 0xFF;
         if (e.lat.t[1] != b2) {
@@ -234,7 +237,8 @@ buildScan(RomCtx &c)
         c.emitRead(R, "LOCC.read", flowFall(), [](Ebox &e) {
             e.memRead(e.r(R1), e.lat.sc);
         });
-        c.emit(R, "LOCC.scan", flowTo({loop, found, done}),
+        c.emit(R, "LOCC.scan",
+               flowTo({loop, found, done}).withLoopBound(65535),
                [loop, found, done](Ebox &e) {
             bool want_eq = e.lat.opcode == op::LOCC;
             for (uint32_t i = 0; i < e.lat.sc; ++i) {
@@ -283,7 +287,8 @@ buildScan(RomCtx &c)
         c.emitRead(R, "SCANC.rtbl", flowFall(), [](Ebox &e) {
             e.memRead(e.r(R3) + (e.md() & 0xFF), 1);
         });
-        c.emit(R, "SCANC.test", flowTo({loop, found, done}),
+        c.emit(R, "SCANC.test",
+               flowTo({loop, found, done}).withLoopBound(65535),
                [loop, found, done](Ebox &e) {
             bool hit = (e.md() & e.lat.t[0]) != 0;
             if (e.lat.opcode == op::SPANC)

@@ -43,7 +43,9 @@ emitReadLoop(RomCtx &c, const char *name, ULabel after)
     c.bind(loop);
     c.emitRead(R, strdup((n + ".rd").c_str()), flowFall(),
                [](Ebox &e) { e.memRead(e.lat.t[0], 1); });
-    c.emit(R, strdup((n + ".st").c_str()), flowTo({loop, after}),
+    // packedBytes(31 digits) = 16: the architectural byte bound.
+    c.emit(R, strdup((n + ".st").c_str()),
+           flowTo({loop, after}).withLoopBound(16),
            [loop, after](Ebox &e) {
         e.lat.strBuf[e.lat.t[2]++] = static_cast<uint8_t>(e.md());
         ++e.lat.t[0];
@@ -66,7 +68,8 @@ emitWriteLoop(RomCtx &c, const char *name, ULabel after)
     c.emitWrite(R, strdup((n + ".wr").c_str()), flowFall(), [](Ebox &e) {
         e.memWrite(e.lat.t[0], e.lat.strBuf[e.lat.t[2]], 1);
     });
-    c.emit(R, strdup((n + ".nx").c_str()), flowTo({loop, after}),
+    c.emit(R, strdup((n + ".nx").c_str()),
+           flowTo({loop, after}).withLoopBound(16),
            [loop, after](Ebox &e) {
         ++e.lat.t[2];
         ++e.lat.t[0];
@@ -84,7 +87,9 @@ emitDigitLoop(RomCtx &c, const char *name, ULabel after)
 {
     ULabel loop = c.lbl();
     c.bind(loop);
-    c.emit(R, name, flowTo({loop, after}), [loop, after](Ebox &e) {
+    // One cycle per digit, at most 31 digits per operand.
+    c.emit(R, name, flowTo({loop, after}).withLoopBound(31),
+           [loop, after](Ebox &e) {
         if (e.lat.sc > 1) {
             --e.lat.sc;
             e.uJump(loop);

@@ -21,13 +21,16 @@ namespace
 constexpr Group G = Group::Float;
 constexpr Row R = Row::ExecFloat;
 
-/** Emit a self-looping step word burning lat.sc cycles. */
+/** Emit a self-looping step word burning lat.sc cycles.  `bound` is
+ *  the static loop-bound annotation: the largest value the preceding
+ *  setup word ever loads into lat.sc (ubound's worst-case ceiling). */
 ULabel
-emitStepLoop(RomCtx &c, const char *name)
+emitStepLoop(RomCtx &c, const char *name, uint32_t bound)
 {
     ULabel step = c.lbl();
     c.bind(step);
-    c.emit(R, name, flowTo(step).orFall(), [step](Ebox &e) {
+    c.emit(R, name, flowTo(step).orFall().withLoopBound(bound),
+           [step](Ebox &e) {
         if (e.lat.sc > 1) {
             --e.lat.sc;
             e.uJump(step);
@@ -72,7 +75,8 @@ buildFFlows(RomCtx &c)
     {
         ULabel self = c.lbl();
         c.ua.bindAt(self, c.ua.here());
-        c.emit(R, "FMUL.step", flowTo(self).orFall(), [self](Ebox &e) {
+        c.emit(R, "FMUL.step", flowTo(self).orFall().withLoopBound(5),
+               [self](Ebox &e) {
             if (e.lat.sc > 1) {
                 --e.lat.sc;
                 e.uJump(self);
@@ -99,7 +103,7 @@ buildFFlows(RomCtx &c)
         e.setCcFromF(r);
         e.lat.sc = 9;
     });
-    emitStepLoop(c, "FDIV.step");
+    emitStepLoop(c, "FDIV.step", 9);
     c.emit(R, "FDIV.fin", flowStore(div_st), [div_st](Ebox &e) { jumpStore(e, div_st); });
 
     // MOVF / MNEGF.
@@ -158,7 +162,7 @@ buildIntegerMulDiv(RomCtx &c)
         e.psl().cc.c = false;
         e.lat.sc = 10;
     });
-    emitStepLoop(c, "MULL.step");
+    emitStepLoop(c, "MULL.step", 10);
     c.emit(R, "MULL.fin", flowStore(mull_st), [mull_st](Ebox &e) { jumpStore(e, mull_st); });
 
     // DIVL: sixteen divide steps.
@@ -179,7 +183,7 @@ buildIntegerMulDiv(RomCtx &c)
         e.psl().cc.c = false;
         e.lat.sc = 18;
     });
-    emitStepLoop(c, "DIVL.step");
+    emitStepLoop(c, "DIVL.step", 18);
     c.emit(R, "DIVL.fin", flowStore(divl_st), [divl_st](Ebox &e) { jumpStore(e, divl_st); });
 
     // EMUL mulr.rl, muld.rl, add.rl, prod.wq.
@@ -196,7 +200,7 @@ buildIntegerMulDiv(RomCtx &c)
         e.psl().cc.v = false;
         e.lat.sc = 8;
     });
-    emitStepLoop(c, "EMUL.step");
+    emitStepLoop(c, "EMUL.step", 8);
     c.emit(R, "EMUL.fin", flowTo({emul_qreg, emul_qmem}),
            [emul_qreg, emul_qmem](Ebox &e) {
         e.uJump(e.lat.dst[0].kind == DstLatch::Kind::Reg ? emul_qreg
@@ -242,7 +246,7 @@ buildIntegerMulDiv(RomCtx &c)
         e.psl().cc.c = false;
         e.lat.sc = 16;
     });
-    emitStepLoop(c, "EDIV.step");
+    emitStepLoop(c, "EDIV.step", 16);
     c.emit(R, "EDIV.fin", flowTo({ediv_st0r, ediv_st0m}),
            [ediv_st0r, ediv_st0m](Ebox &e) {
         e.uJump(e.lat.dst[0].kind == DstLatch::Kind::Reg ? ediv_st0r

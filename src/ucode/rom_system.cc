@@ -128,7 +128,8 @@ buildContextSwitch(RomCtx &c)
             e.uJump(loop);
         });
         c.bind(loop);
-        c.emitWrite(R, "SVPCTX.wreg", flowTo(loop).orEnd(), [loop](Ebox &e) {
+        c.emitWrite(R, "SVPCTX.wreg",
+                    flowTo(loop).orEnd().withLoopBound(14), [loop](Ebox &e) {
             uint32_t r = e.lat.sc;
             if (r + 1 < 14) {
                 e.lat.sc = r + 1;
@@ -161,7 +162,8 @@ buildContextSwitch(RomCtx &c)
         c.emitRead(R, "LDPCTX.rreg", flowFall(), [](Ebox &e) {
             e.memReadPhys(e.lat.t[0] + pcbGpr + 4 * e.lat.sc);
         });
-        c.emit(R, "LDPCTX.wreg", flowTo(rloop).orFall(), [rloop](Ebox &e) {
+        c.emit(R, "LDPCTX.wreg",
+               flowTo(rloop).orFall().withLoopBound(14), [rloop](Ebox &e) {
             e.r(e.lat.sc) = e.md();
             if (++e.lat.sc < 14)
                 e.uJump(rloop);

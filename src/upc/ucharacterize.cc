@@ -248,6 +248,9 @@ ucharJson(const UcharReport &rep)
         jsonEscape(s, r.mode);
         appendf(s, ", \"ipc\": %u, ", r.ipc);
         jsonRun(s, r.run);
+        if (r.hasBounds)
+            appendf(s, ", \"bcc\": %" PRIu64 ", \"wcc\": %" PRIu64,
+                    r.bcc, r.wcc);
         s += i + 1 < rep.rows.size() ? "},\n" : "}\n";
     }
     s += "  ],\n  \"skipped\": [\n";
@@ -530,6 +533,14 @@ ucharParseJson(const std::string &text, UcharReport *out,
         row.ipc = static_cast<uint32_t>(ipc->num);
         if (!readRun(r, &row.run, err))
             return false;
+        const Jv *bcc = r.get("bcc");
+        const Jv *wcc = r.get("wcc");
+        if (bcc && wcc && bcc->t == Jv::T::Num &&
+            wcc->t == Jv::T::Num) {
+            row.bcc = bcc->num;
+            row.wcc = wcc->num;
+            row.hasBounds = true;
+        }
         out->rows.push_back(std::move(row));
     }
     const Jv *skipped = root.get("skipped");
@@ -697,6 +708,41 @@ regUcharStats(stats::Registry &r, const std::string &prefix,
     r.addFormula(prefix + "meanCyclesPerCopy",
                  "mean per-copy cost over all measured variants",
                  [mean] { return mean; });
+}
+
+void
+regUcharBounds(stats::Registry &r, const std::string &prefix,
+               const UcharReport &rep)
+{
+    uint64_t with_bounds = 0, violations = 0;
+    uint64_t bcc_total = 0, wcc_total = 0, measured = 0;
+    for (const auto &row : rep.rows) {
+        if (!row.hasBounds)
+            continue;
+        ++with_bounds;
+        bcc_total += row.bcc;
+        wcc_total += row.wcc;
+        measured += row.run.cycles;
+        if (row.run.cycles < row.bcc || row.run.cycles > row.wcc)
+            ++violations;
+    }
+    if (!with_bounds)
+        return;
+    r.addScalar(prefix + "bounds.rows",
+                "measured rows carrying static cycle bounds",
+                [with_bounds] { return with_bounds; });
+    r.addScalar(prefix + "bounds.violations",
+                "rows measured outside their static [bcc, wcc]",
+                [violations] { return violations; });
+    r.addScalar(prefix + "bounds.bccTotal",
+                "summed static best-case cycles of bounded rows",
+                [bcc_total] { return bcc_total; });
+    r.addScalar(prefix + "bounds.wccTotal",
+                "summed static worst-case cycles of bounded rows",
+                [wcc_total] { return wcc_total; });
+    r.addScalar(prefix + "bounds.measuredTotal",
+                "summed measured cycles of bounded rows",
+                [measured] { return measured; });
 }
 
 } // namespace vax

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "arch/specifiers.hh"
 #include "ucode/annotations.hh"
 
 namespace vax
@@ -58,6 +59,30 @@ struct UcharParams
     uint64_t maxCycles = 2'000'000;
 };
 
+/** One operand specifier of a profiled instruction (branch
+ *  displacements are not specifiers and are not recorded). */
+struct UcharSpecUse
+{
+    AddrMode mode = AddrMode::Register;
+    bool indexed = false;
+
+    bool operator==(const UcharSpecUse &o) const = default;
+};
+
+/**
+ * One distinct (opcode, specifier shape) the generated image contains,
+ * with its exact dynamic execution count in a clean run.  The static
+ * bound analyzer composes per-instruction cycle ranges from these, so
+ * a program's whole-run measurement can be checked against
+ * sum(count x bound) without re-decoding the image.
+ */
+struct UcharProfileEntry
+{
+    uint8_t opcode = 0;
+    uint64_t count = 0; ///< dynamic executions in the clean run
+    std::vector<UcharSpecUse> specs;
+};
+
 /**
  * One generated microbenchmark, fully described by value: the
  * assembled image plus the data regions to poke into physical memory
@@ -77,6 +102,9 @@ struct UcharProgram
     /** Image offsets of each measured-instruction copy (round-trip
      *  and disassembly checks anchor here). */
     std::vector<uint32_t> targetOffsets;
+    /** Static instruction profile of the image; the counts sum to
+     *  expectedInstructions exactly (generator invariant). */
+    std::vector<UcharProfileEntry> profile;
 };
 
 /** Raw measurement of one program run: integers only, no division,
@@ -125,6 +153,17 @@ struct UcharRow
     std::string mode;
     uint32_t ipc = 1;
     UcharRun run;
+    /**
+     * Static whole-program cycle bounds for this variant, filled by
+     * the bound analyzer (tools/ucode_bounds): the clean run must
+     * satisfy bcc <= run.cycles <= wcc.  Absent (hasBounds == false)
+     * in reports produced by the measurement tool alone; the JSON
+     * round-trips them when present and ucharCompare ignores them
+     * (bounds are derived data, not measurement).
+     */
+    uint64_t bcc = 0;
+    uint64_t wcc = 0;
+    bool hasBounds = false;
 };
 
 /** One skipped variant, with the reason on the record. */
@@ -192,6 +231,15 @@ UcharDiff ucharCompare(const UcharReport &baseline,
  *  row/skip counts, calibration cost, aggregate cycles. */
 void regUcharStats(stats::Registry &r, const std::string &prefix,
                    const UcharReport &rep);
+
+/**
+ * Register the static-bound section (`<prefix>.bounds.*`): how many
+ * rows carry bounds, how many measurements violate them, and the
+ * aggregate floor/measured/ceiling cycle totals.  No-op when no row
+ * has bounds attached.
+ */
+void regUcharBounds(stats::Registry &r, const std::string &prefix,
+                    const UcharReport &rep);
 
 } // namespace vax
 

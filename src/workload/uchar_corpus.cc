@@ -204,9 +204,36 @@ struct Builder
     Assembler a{kCodeBase};
     std::vector<uint32_t> offsets;
 
+    /** Static instruction profile, built by the assembler hook: each
+     *  emitted instruction is recorded with the dynamic multiplicity
+     *  of the image section being laid down (hookMult). */
+    std::vector<UcharProfileEntry> profile;
+    uint64_t hookMult = 1;
+
     Builder(const OpcodeInfo &info_, const UcharParams &p_)
         : info(info_), p(p_)
     {
+    }
+
+    void
+    recordInstr(const OpcodeInfo &ii, const std::vector<Operand> &ops)
+    {
+        if (hookMult == 0)
+            return;
+        std::vector<UcharSpecUse> specs;
+        for (const Operand &o : ops) {
+            if (o.isBranch())
+                continue; // branch displacements are not specifiers
+            specs.push_back(UcharSpecUse{o.specMode(), o.isIndexed()});
+        }
+        for (UcharProfileEntry &e : profile) {
+            if (e.opcode == ii.opcode && e.specs == specs) {
+                e.count += hookMult;
+                return;
+            }
+        }
+        profile.push_back(
+            UcharProfileEntry{ii.opcode, hookMult, std::move(specs)});
     }
 
     std::string
@@ -630,35 +657,62 @@ struct Builder
         prog.base = kCodeBase;
         prog.sp = kStackTop;
 
+        const uint64_t iters = p.iters;
+        a.setInstrHook([this](const OpcodeInfo &ii,
+                              const std::vector<Operand> &ops) {
+            recordInstr(ii, ops);
+        });
+
+        hookMult = 1;
         a.instr(op::MOVL,
                 {Operand::imm(p.iters), Operand::reg(R11)});
         a.label("uch_loop");
+        hookMult = iters; // loop body: preamble + copies + SOBGTR
         emitPreamble();
         for (uint32_t k = 0; k < p.unroll; ++k)
             emitCopy(k);
         a.instr(op::SOBGTR,
                 {Operand::reg(R11), Operand::branch("uch_again")});
+        hookMult = 1; // fall-through after the final iteration
         a.instr(op::BRB, {Operand::branch("uch_done")});
         a.label("uch_again");
+        hookMult = iters - 1; // back-jump on all but the last
         a.instr(op::JMP, {Operand::absoluteLabel("uch_loop")});
         a.label("uch_done");
+        hookMult = kHaltRetires;
         a.instr(op::HALT);
         if (needRsb) {
             a.label("uch_rsb");
             if (info.flow == ExecFlow::Rsb)
                 markTarget();
+            // The shared RSB returns from every BSBx/JSB copy.
+            hookMult = iters * p.unroll;
             a.instr(op::RSB);
         }
         prog.image = a.finish();
         prog.targetOffsets = offsets;
+        prog.profile = std::move(profile);
         addPokes(prog);
 
         // 1 counter init + per iteration (7 preamble + body + SOBGTR)
         // + back-JMP on all but the last iteration + BRB + HALT.
-        uint64_t iters = p.iters;
         prog.expectedInstructions = 1 +
             iters * (7 + static_cast<uint64_t>(p.unroll) * ipc + 1) +
             (iters - 1) + 1 + kHaltRetires;
+
+        // The profile and the retire-count prediction are derived
+        // independently; they must agree exactly or the bound
+        // composition would be unsound.
+        uint64_t profiled = 0;
+        for (const UcharProfileEntry &e : prog.profile)
+            profiled += e.count;
+        if (profiled != prog.expectedInstructions)
+            fatal("uchar: %s/%s instruction profile (%llu) disagrees "
+                  "with expected retire count (%llu)",
+                  prog.op.c_str(), prog.mode.c_str(),
+                  static_cast<unsigned long long>(profiled),
+                  static_cast<unsigned long long>(
+                      prog.expectedInstructions));
         return prog;
     }
 };
